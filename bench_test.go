@@ -1,0 +1,416 @@
+// Benchmarks regenerating every figure of the MCSS paper's evaluation.
+// Each BenchmarkFigN corresponds to one paper figure (see DESIGN.md §4);
+// run them all with:
+//
+//	go test -bench=. -benchmem
+//
+// The workload scale is controlled by MCSS_BENCH_SCALE (default 0.15 of the
+// default experiment size, keeping the full suite in the minutes range);
+// cmd/experiments runs the same drivers at full scale with table output.
+// Custom metrics: cost_usd, vms, bw_gb are reported per benchmark so the
+// figure's headline numbers appear directly in the benchmark output.
+package mcss_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/experiments"
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/pubsub"
+	"github.com/pubsub-systems/mcss/internal/tracegen"
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("MCSS_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.15
+}
+
+// benchLadder runs one Fig. 2/3 panel per iteration and reports the full
+// solution's headline metrics at τ=10.
+func benchLadder(b *testing.B, d experiments.Dataset, inst pricing.InstanceType) {
+	b.Helper()
+	scale := benchScale()
+	var last *experiments.LadderResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunLadder(d, inst, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		if row.Tau == 10 && row.Rung == "(e) +cost decision" {
+			b.ReportMetric(row.CostUSD, "cost_usd")
+			b.ReportMetric(float64(row.VMs), "vms")
+			b.ReportMetric(row.BandwidthGB, "bw_gb")
+		}
+	}
+	b.ReportMetric(last.Savings(10)*100, "saving_pct_tau10")
+	if testing.Verbose() {
+		b.Log("\n" + last.Table().String())
+	}
+}
+
+// BenchmarkFig2aSpotifyC3Large regenerates Fig. 2a: the optimization ladder
+// on the Spotify-like trace with c3.large-class capacity.
+func BenchmarkFig2aSpotifyC3Large(b *testing.B) {
+	benchLadder(b, experiments.Spotify, pricing.C3Large)
+}
+
+// BenchmarkFig2bSpotifyC3XLarge regenerates Fig. 2b (c3.xlarge).
+func BenchmarkFig2bSpotifyC3XLarge(b *testing.B) {
+	benchLadder(b, experiments.Spotify, pricing.C3XLarge)
+}
+
+// BenchmarkFig3aTwitterC3Large regenerates Fig. 3a: the ladder on the
+// Twitter-like trace with c3.large-class capacity.
+func BenchmarkFig3aTwitterC3Large(b *testing.B) {
+	benchLadder(b, experiments.Twitter, pricing.C3Large)
+}
+
+// BenchmarkFig3bTwitterC3XLarge regenerates Fig. 3b (c3.xlarge).
+func BenchmarkFig3bTwitterC3XLarge(b *testing.B) {
+	benchLadder(b, experiments.Twitter, pricing.C3XLarge)
+}
+
+// benchStage1Runtime reproduces Figs. 4–5: GSP vs RSP wall time per τ.
+func benchStage1Runtime(b *testing.B, d experiments.Dataset) {
+	b.Helper()
+	w, err := experiments.Generate(d, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tau := range experiments.Taus {
+		b.Run(fmt.Sprintf("GSP/tau=%d", tau), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.GreedySelectPairs(w, tau)
+			}
+		})
+		b.Run(fmt.Sprintf("RSP/tau=%d", tau), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.RandomSelectPairs(w, tau)
+			}
+		})
+	}
+}
+
+// BenchmarkFig4Stage1RuntimeSpotify regenerates Fig. 4.
+func BenchmarkFig4Stage1RuntimeSpotify(b *testing.B) {
+	benchStage1Runtime(b, experiments.Spotify)
+}
+
+// BenchmarkFig5Stage1RuntimeTwitter regenerates Fig. 5.
+func BenchmarkFig5Stage1RuntimeTwitter(b *testing.B) {
+	benchStage1Runtime(b, experiments.Twitter)
+}
+
+// benchStage2Runtime reproduces Figs. 6–7: CBP vs FFBP on the same GSP
+// selection.
+func benchStage2Runtime(b *testing.B, d experiments.Dataset) {
+	b.Helper()
+	w, err := experiments.Generate(d, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := experiments.ModelFor(pricing.C3Large, w)
+	for _, tau := range experiments.Taus {
+		sel := core.GreedySelectPairs(w, tau)
+		cbpCfg := core.Config{Tau: tau, MessageBytes: experiments.MessageBytes, Model: model, Opts: core.OptAll}
+		ffCfg := core.Config{Tau: tau, MessageBytes: experiments.MessageBytes, Model: model}
+		b.Run(fmt.Sprintf("CBP/tau=%d", tau), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CustomBinPacking(sel, cbpCfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("FFBP/tau=%d", tau), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.FFBinPacking(sel, ffCfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6Stage2RuntimeSpotify regenerates Fig. 6.
+func BenchmarkFig6Stage2RuntimeSpotify(b *testing.B) {
+	benchStage2Runtime(b, experiments.Spotify)
+}
+
+// BenchmarkFig7Stage2RuntimeTwitter regenerates Fig. 7.
+func BenchmarkFig7Stage2RuntimeTwitter(b *testing.B) {
+	benchStage2Runtime(b, experiments.Twitter)
+}
+
+// BenchmarkFig8FollowCCDF regenerates Fig. 8 (follower/following CCDFs).
+func BenchmarkFig8FollowCCDF(b *testing.B) {
+	var points int
+	for i := 0; i < b.N; i++ {
+		ta, err := experiments.RunTraceAnalysis(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = len(ta.FollowersCCDF) + len(ta.FollowingsCCDF)
+	}
+	b.ReportMetric(float64(points), "ccdf_points")
+}
+
+// BenchmarkFig9EventRateCCDF regenerates Fig. 9.
+func BenchmarkFig9EventRateCCDF(b *testing.B) {
+	var points int
+	for i := 0; i < b.N; i++ {
+		ta, err := experiments.RunTraceAnalysis(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = len(ta.EventRateCCDF)
+	}
+	b.ReportMetric(float64(points), "ccdf_points")
+}
+
+// BenchmarkFig10RateVsFollowers regenerates Fig. 10.
+func BenchmarkFig10RateVsFollowers(b *testing.B) {
+	var points int
+	for i := 0; i < b.N; i++ {
+		ta, err := experiments.RunTraceAnalysis(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = len(ta.RateVsFollowers)
+	}
+	b.ReportMetric(float64(points), "buckets")
+}
+
+// BenchmarkFig11SCCCDF regenerates Fig. 11.
+func BenchmarkFig11SCCCDF(b *testing.B) {
+	var points int
+	for i := 0; i < b.N; i++ {
+		ta, err := experiments.RunTraceAnalysis(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = len(ta.SCCCDF)
+	}
+	b.ReportMetric(float64(points), "ccdf_points")
+}
+
+// BenchmarkFig12SCVsFollowings regenerates Fig. 12.
+func BenchmarkFig12SCVsFollowings(b *testing.B) {
+	var points int
+	for i := 0; i < b.N; i++ {
+		ta, err := experiments.RunTraceAnalysis(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = len(ta.SCVsFollowings)
+	}
+	b.ReportMetric(float64(points), "buckets")
+}
+
+// --- Ablation and micro benchmarks -----------------------------------------
+
+// BenchmarkAblationStage2Rungs measures every CBP optimization rung
+// separately on the same selection — the per-optimization cost data behind
+// the §IV-D discussion.
+func BenchmarkAblationStage2Rungs(b *testing.B) {
+	w, err := experiments.Generate(experiments.Twitter, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := experiments.ModelFor(pricing.C3Large, w)
+	sel := core.GreedySelectPairs(w, 100)
+	rungs := []struct {
+		name string
+		opts core.OptFlags
+	}{
+		{"group-only", 0},
+		{"expensive-first", core.OptExpensiveTopicFirst},
+		{"most-free-vm", core.OptExpensiveTopicFirst | core.OptMostFreeVM},
+		{"cost-based", core.OptAll},
+	}
+	for _, rung := range rungs {
+		cfg := core.Config{Tau: 100, MessageBytes: experiments.MessageBytes, Model: model, Opts: rung.opts}
+		b.Run(rung.name, func(b *testing.B) {
+			var alloc *core.Allocation
+			for i := 0; i < b.N; i++ {
+				var err error
+				alloc, err = core.CustomBinPacking(sel, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(alloc.NumVMs()), "vms")
+			b.ReportMetric(float64(alloc.TotalBytesPerHour()), "bytes_per_hour")
+		})
+	}
+}
+
+// BenchmarkGreedySelectPairs is the Stage-1 hot-path micro benchmark.
+func BenchmarkGreedySelectPairs(b *testing.B) {
+	w, err := tracegen.Twitter(tracegen.DefaultTwitterConfig().Scale(0.05))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.GreedySelectPairs(w, 100)
+	}
+	b.ReportMetric(float64(w.NumPairs()), "pairs")
+}
+
+// BenchmarkLowerBound measures the Alg. 5 bound computation.
+func BenchmarkLowerBound(b *testing.B) {
+	w, err := tracegen.Twitter(tracegen.DefaultTwitterConfig().Scale(0.05))
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := experiments.ModelFor(pricing.C3Large, w)
+	cfg := core.Config{Tau: 100, MessageBytes: 200, Model: model}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.LowerBound(w, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadConstruction measures CSR assembly from generator output.
+func BenchmarkWorkloadConstruction(b *testing.B) {
+	cfg := tracegen.DefaultTwitterConfig().Scale(0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tracegen.Twitter(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndSolve measures the complete pipeline (the paper's §IV-E
+// total runtime claim: the full solution is fast enough to re-run
+// periodically).
+func BenchmarkEndToEndSolve(b *testing.B) {
+	for _, d := range []experiments.Dataset{experiments.Spotify, experiments.Twitter} {
+		w, err := experiments.Generate(d, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		model := experiments.ModelFor(pricing.C3Large, w)
+		cfg := core.DefaultConfig(1000, model)
+		b.Run(d.String(), func(b *testing.B) {
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = core.Solve(w, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(w.NumPairs()), "pairs")
+			b.ReportMetric(float64(res.Allocation.NumVMs()), "vms")
+		})
+	}
+}
+
+// BenchmarkSimulate measures the discrete-event simulator's throughput.
+func BenchmarkSimulate(b *testing.B) {
+	w, err := tracegen.Random(tracegen.RandomConfig{
+		Topics: 200, Subscribers: 1000, MaxFollowings: 5, MaxRate: 60, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var maxRate int64
+	for t := 0; t < w.NumTopics(); t++ {
+		if r := w.Rate(workload.TopicID(t)); r > maxRate {
+			maxRate = r
+		}
+	}
+	model := pricing.NewModel(pricing.C3Large)
+	model.CapacityOverrideBytesPerHour = 8 * maxRate * 200
+	cfg := core.DefaultConfig(100, model)
+	res, err := core.Solve(w, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		sim, err := pubsub.Simulate(w, res.Allocation, pubsub.SimConfig{
+			DurationHours: 4,
+			MessageBytes:  200,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = sim.Events
+	}
+	b.ReportMetric(float64(events), "events")
+}
+
+// BenchmarkAblationGSPParallel measures the parallel Stage-1 speedup over
+// worker counts (result identical to serial; see
+// core.GreedySelectPairsParallel).
+func BenchmarkAblationGSPParallel(b *testing.B) {
+	w, err := experiments.Generate(experiments.Twitter, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.GreedySelectPairsParallel(w, 100, workers)
+			}
+			b.ReportMetric(float64(w.NumPairs()), "pairs")
+		})
+	}
+}
+
+// BenchmarkAblationBestFit compares the three pair-granularity packers and
+// grouped CBP on one selection; see internal/core/bestfit.go for why BFD is
+// an interesting non-paper baseline.
+func BenchmarkAblationBestFit(b *testing.B) {
+	w, err := experiments.Generate(experiments.Twitter, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := experiments.ModelFor(pricing.C3Large, w)
+	sel := core.GreedySelectPairs(w, 100)
+	cfg := core.Config{Tau: 100, MessageBytes: experiments.MessageBytes, Model: model}
+	packers := []struct {
+		name string
+		run  func() (*core.Allocation, error)
+	}{
+		{"FFBP", func() (*core.Allocation, error) { return core.FFBinPacking(sel, cfg) }},
+		{"BFD", func() (*core.Allocation, error) { return core.BFDBinPacking(sel, cfg) }},
+		{"CBP", func() (*core.Allocation, error) {
+			c := cfg
+			c.Opts = core.OptAll
+			return core.CustomBinPacking(sel, c)
+		}},
+	}
+	for _, p := range packers {
+		b.Run(p.name, func(b *testing.B) {
+			var alloc *core.Allocation
+			for i := 0; i < b.N; i++ {
+				var err error
+				alloc, err = p.run()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(alloc.NumVMs()), "vms")
+			b.ReportMetric(float64(alloc.TotalBytesPerHour()), "bytes_per_hour")
+		})
+	}
+}

@@ -1,0 +1,262 @@
+// Command experiments regenerates the figures of the MCSS paper's
+// evaluation (§IV and Appendix D) on the synthetic traces and prints them
+// as tables; -outdir additionally writes CSV files per figure.
+//
+// Examples:
+//
+//	experiments -fig 3a                 # one panel of Fig. 3
+//	experiments -fig all -scale 0.5     # everything, half-scale
+//	experiments -fig summary            # paper-vs-measured savings table
+//	experiments -fig all -outdir results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/pubsub-systems/mcss/internal/experiments"
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/report"
+	"github.com/pubsub-systems/mcss/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		fig    = fs.String("fig", "all", "figure: 2a 2b 3a 3b 4 5 6 7 8 9 10 11 12, all, summary, ablation, or scaling")
+		scale  = fs.Float64("scale", 1.0, "workload scale factor")
+		outdir = fs.String("outdir", "", "write CSV files to this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	figs := strings.Split(*fig, ",")
+	if *fig == "all" {
+		figs = []string{"2a", "2b", "3a", "3b", "4", "5", "6", "7", "8", "9", "10", "11", "12", "summary"}
+	}
+	for _, f := range figs {
+		start := time.Now()
+		if err := runFig(strings.TrimSpace(f), *scale, *outdir); err != nil {
+			return fmt.Errorf("fig %s: %w", f, err)
+		}
+		fmt.Fprintf(os.Stderr, "[fig %s done in %s]\n\n", f, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func runFig(fig string, scale float64, outdir string) error {
+	switch fig {
+	case "2a":
+		return ladder(experiments.Spotify, pricing.C3Large, scale, outdir, "fig2a")
+	case "2b":
+		return ladder(experiments.Spotify, pricing.C3XLarge, scale, outdir, "fig2b")
+	case "3a":
+		return ladder(experiments.Twitter, pricing.C3Large, scale, outdir, "fig3a")
+	case "3b":
+		return ladder(experiments.Twitter, pricing.C3XLarge, scale, outdir, "fig3b")
+	case "4":
+		return stage1Runtime(experiments.Spotify, scale, outdir, "fig4")
+	case "5":
+		return stage1Runtime(experiments.Twitter, scale, outdir, "fig5")
+	case "6":
+		return stage2Runtime(experiments.Spotify, scale, outdir, "fig6")
+	case "7":
+		return stage2Runtime(experiments.Twitter, scale, outdir, "fig7")
+	case "8", "9", "10", "11", "12":
+		return traceAnalysis(fig, scale, outdir)
+	case "summary":
+		return summary(scale, outdir)
+	case "ablation":
+		return ablation(scale, outdir)
+	case "scaling":
+		return scaling(outdir)
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+}
+
+func writeCSV(t *report.Table, outdir, name string) error {
+	if outdir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(outdir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}
+
+func ladder(d experiments.Dataset, inst pricing.InstanceType, scale float64, outdir, name string) error {
+	res, err := experiments.RunLadder(d, inst, scale)
+	if err != nil {
+		return err
+	}
+	t := res.Table()
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	for _, tau := range experiments.Taus {
+		fmt.Printf("τ=%-5d full-vs-naive saving %.1f%%, over lower bound %.1f%%\n",
+			tau, res.Savings(tau)*100, res.OverLowerBound(tau)*100)
+	}
+	return writeCSV(t, outdir, name)
+}
+
+func stage1Runtime(d experiments.Dataset, scale float64, outdir, name string) error {
+	rows, err := experiments.RunStage1Runtime(d, scale)
+	if err != nil {
+		return err
+	}
+	var taus []int64
+	var g, r []time.Duration
+	for _, row := range rows {
+		taus = append(taus, row.Tau)
+		g = append(g, row.Greedy)
+		r = append(r, row.Random)
+	}
+	t := experiments.RuntimeTable(
+		fmt.Sprintf("Stage 1 runtime for %s traces (paper Fig. 4/5)", d),
+		"GSP", "RSP", taus, g, r)
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	return writeCSV(t, outdir, name)
+}
+
+func stage2Runtime(d experiments.Dataset, scale float64, outdir, name string) error {
+	rows, err := experiments.RunStage2Runtime(d, pricing.C3Large, scale)
+	if err != nil {
+		return err
+	}
+	var taus []int64
+	var c, f []time.Duration
+	for _, row := range rows {
+		taus = append(taus, row.Tau)
+		c = append(c, row.Custom)
+		f = append(f, row.FirstFit)
+	}
+	t := experiments.RuntimeTable(
+		fmt.Sprintf("Stage 2 runtime for %s for c3.large (paper Fig. 6/7)", d),
+		"CustomBinPacking", "FFBinPacking", taus, c, f)
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	return writeCSV(t, outdir, name)
+}
+
+func traceAnalysis(fig string, scale float64, outdir string) error {
+	ta, err := experiments.RunTraceAnalysis(scale)
+	if err != nil {
+		return err
+	}
+	var series []report.Series
+	var title string
+	switch fig {
+	case "8":
+		title = "Fig 8: CCDF of #Followers and #Followings"
+		series = []report.Series{
+			{Name: "followers", Points: ta.FollowersCCDF},
+			{Name: "followings", Points: ta.FollowingsCCDF},
+		}
+	case "9":
+		title = "Fig 9: CCDF of event rate"
+		series = []report.Series{{Name: "event-rate", Points: ta.EventRateCCDF}}
+	case "10":
+		title = "Fig 10: mean event rate vs #followers"
+		series = []report.Series{{Name: "mean-rate", Points: ta.RateVsFollowers}}
+	case "11":
+		title = "Fig 11: CCDF of subscription cardinality"
+		series = []report.Series{{Name: "sc", Points: ta.SCCCDF}}
+	case "12":
+		title = "Fig 12: mean SC vs #followings"
+		series = []report.Series{{Name: "mean-sc", Points: ta.SCVsFollowings}}
+	}
+	// CCDFs have thousands of points; print a decimated view, write the
+	// full series to CSV.
+	decimated := make([]report.Series, len(series))
+	for i, s := range series {
+		decimated[i] = report.Series{Name: s.Name, Points: decimate(s.Points, 25)}
+	}
+	if err := report.RenderSeries(os.Stdout, title+" (decimated)", decimated...); err != nil {
+		return err
+	}
+	if outdir != "" {
+		f, err := os.Create(filepath.Join(outdir, "fig"+fig+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return report.SeriesCSV(f, series...)
+	}
+	return nil
+}
+
+func decimate(pts []stats.Point, max int) []stats.Point {
+	if len(pts) <= max {
+		return pts
+	}
+	out := make([]stats.Point, 0, max)
+	step := float64(len(pts)-1) / float64(max-1)
+	for i := 0; i < max; i++ {
+		out = append(out, pts[int(float64(i)*step)])
+	}
+	return out
+}
+
+func ablation(scale float64, outdir string) error {
+	rows, err := experiments.RunStage2Ablation(experiments.Twitter, pricing.C3Large, 100, scale)
+	if err != nil {
+		return err
+	}
+	t := experiments.AblationTable(experiments.Twitter, 100, rows)
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	return writeCSV(t, outdir, "ablation")
+}
+
+func scaling(outdir string) error {
+	rows, err := experiments.RunScaling(experiments.Twitter, 100, nil)
+	if err != nil {
+		return err
+	}
+	t := experiments.ScalingTable(experiments.Twitter, 100, rows)
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	return writeCSV(t, outdir, "scaling")
+}
+
+func summary(scale float64, outdir string) error {
+	s, err := experiments.RunSummary(scale)
+	if err != nil {
+		return err
+	}
+	t := s.Table()
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	for _, d := range []experiments.Dataset{experiments.Spotify, experiments.Twitter} {
+		fmt.Printf("max full saving on %s: measured %.1f%% (paper: up to %.0f%%)\n",
+			d, s.MaxFullSavings[d]*100, experiments.PaperFullSavings(d)*100)
+	}
+	return writeCSV(t, outdir, "summary")
+}

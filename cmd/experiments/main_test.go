@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"github.com/pubsub-systems/mcss/internal/stats"
+)
+
+func TestRunSingleFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are slow")
+	}
+	outdir := t.TempDir()
+	// A cheap subset covering each driver family; "all" is exercised by
+	// cmd usage and CI-style full runs.
+	figs := []string{"4", "8", "ablation"}
+	for _, fig := range figs {
+		t.Run(fig, func(t *testing.T) {
+			if err := run([]string{"-fig", fig, "-scale", "0.05", "-outdir", outdir}); err != nil {
+				t.Fatalf("run(-fig %s): %v", fig, err)
+			}
+		})
+	}
+	// CSVs were written.
+	entries, err := os.ReadDir(outdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Error("no CSVs written")
+	}
+	for _, e := range entries {
+		fi, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", e.Name())
+		}
+	}
+}
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "99z"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	pts := make([]stats.Point, 100)
+	for i := range pts {
+		pts[i] = stats.Point{X: float64(i), Y: float64(i)}
+	}
+	out := decimate(pts, 10)
+	if len(out) != 10 {
+		t.Fatalf("len = %d, want 10", len(out))
+	}
+	if out[0].X != 0 || out[9].X != 99 {
+		t.Errorf("endpoints = %v..%v, want 0..99", out[0].X, out[9].X)
+	}
+	// Short inputs pass through.
+	short := decimate(pts[:5], 10)
+	if len(short) != 5 {
+		t.Errorf("short len = %d, want 5", len(short))
+	}
+}

@@ -1,0 +1,180 @@
+// Command mcss solves the Minimum Cost Subscriber Satisfaction problem for
+// a pub/sub workload and prints the resulting allocation and cost report.
+//
+// The workload comes either from a trace file (-trace, written by
+// cmd/tracegen or traceio.Save) or from a built-in synthetic dataset
+// (-dataset twitter|spotify with -scale).
+//
+// Examples:
+//
+//	mcss -dataset twitter -scale 0.1 -tau 100 -instance c3.large
+//	mcss -trace trace.gz -tau 10 -stage1 rsp -stage2 ffbp
+//	mcss -dataset spotify -tau 1000 -capacity 250000000 -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	mcss "github.com/pubsub-systems/mcss"
+	"github.com/pubsub-systems/mcss/internal/experiments"
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mcss:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mcss", flag.ContinueOnError)
+	var (
+		tracePath = fs.String("trace", "", "workload trace file (see cmd/tracegen)")
+		dataset   = fs.String("dataset", "", "synthetic dataset: twitter or spotify")
+		scale     = fs.Float64("scale", 0.1, "synthetic dataset scale factor")
+		tau       = fs.Int64("tau", 100, "satisfaction threshold τ (events/hour)")
+		instance  = fs.String("instance", "c3.large", "EC2 instance type")
+		capacity  = fs.Int64("capacity", 0, "per-VM capacity override in bytes/hour (0 = calibrated)")
+		msgBytes  = fs.Int64("message-bytes", 200, "notification size in bytes")
+		stage1    = fs.String("stage1", "gsp", "stage 1 algorithm: gsp or rsp")
+		stage2    = fs.String("stage2", "cbp", "stage 2 algorithm: cbp or ffbp")
+		opts      = fs.String("opts", "all", "CBP optimizations: all, none, or comma list of expensive,mostfree,cost")
+		verify    = fs.Bool("verify", false, "verify the allocation postconditions")
+		showVMs   = fs.Int("show-vms", 0, "print the first N VM placements")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w, err := loadWorkload(*tracePath, *dataset, *scale)
+	if err != nil {
+		return err
+	}
+
+	it, ok := mcss.InstanceByName(*instance)
+	if !ok {
+		return fmt.Errorf("unknown instance type %q", *instance)
+	}
+	var model mcss.Model
+	if *capacity > 0 {
+		model = mcss.NewModel(it)
+		model.CapacityOverrideBytesPerHour = *capacity
+	} else {
+		model = experiments.ModelFor(it, w)
+	}
+
+	cfg := mcss.SolverConfig{
+		Tau:          *tau,
+		MessageBytes: *msgBytes,
+		Model:        model,
+	}
+	switch strings.ToLower(*stage1) {
+	case "gsp":
+		cfg.Stage1 = mcss.Stage1Greedy
+	case "rsp":
+		cfg.Stage1 = mcss.Stage1Random
+	default:
+		return fmt.Errorf("unknown stage1 %q (want gsp or rsp)", *stage1)
+	}
+	switch strings.ToLower(*stage2) {
+	case "cbp":
+		cfg.Stage2 = mcss.Stage2Custom
+	case "ffbp":
+		cfg.Stage2 = mcss.Stage2First
+	default:
+		return fmt.Errorf("unknown stage2 %q (want cbp or ffbp)", *stage2)
+	}
+	cfg.Opts, err = parseOpts(*opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload: %d topics, %d subscribers, %d pairs\n",
+		w.NumTopics(), w.NumSubscribers(), w.NumPairs())
+	fmt.Printf("config: τ=%d, %s (BC=%d bytes/h), stage1=%v stage2=%v opts=%v\n",
+		cfg.Tau, it.Name, model.CapacityBytesPerHour(), cfg.Stage1, cfg.Stage2, cfg.Opts)
+
+	res, err := mcss.Solve(w, cfg)
+	if err != nil {
+		return err
+	}
+	lb, err := mcss.LowerBound(w, cfg)
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable("solution",
+		"metric", "value")
+	t.AddRow("VMs", res.Allocation.NumVMs())
+	t.AddRow("bandwidth (bytes/h)", res.Allocation.TotalBytesPerHour())
+	t.AddRow("transfer over rental (GB)", float64(res.Allocation.TransferBytes(model))/float64(pricing.GB))
+	t.AddRow("selected pairs", res.Selection.NumPairs())
+	t.AddRow("total cost", res.Cost(model).String())
+	t.AddRow("lower bound cost", lb.Cost.String())
+	t.AddRow("over lower bound", fmt.Sprintf("%.1f%%", 100*(float64(res.Cost(model))/float64(lb.Cost)-1)))
+	t.AddRow("stage 1 time", res.Stage1Time.String())
+	t.AddRow("stage 2 time", res.Stage2Time.String())
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	if *verify {
+		if err := mcss.Verify(w, res.Selection, res.Allocation, cfg); err != nil {
+			return fmt.Errorf("verification FAILED: %w", err)
+		}
+		fmt.Println("verification: OK (satisfaction, capacity, accounting)")
+	}
+
+	for i, vm := range res.Allocation.VMs {
+		if i >= *showVMs {
+			break
+		}
+		fmt.Printf("vm %d: %d topics, %d pairs, %d bytes/h (%.0f%% full)\n",
+			vm.ID, len(vm.Placements), vm.NumPairs(), vm.BytesPerHour(),
+			100*float64(vm.BytesPerHour())/float64(model.CapacityBytesPerHour()))
+	}
+	return nil
+}
+
+func loadWorkload(tracePath, dataset string, scale float64) (*mcss.Workload, error) {
+	switch {
+	case tracePath != "":
+		return mcss.LoadTrace(tracePath)
+	case strings.EqualFold(dataset, "twitter"):
+		return mcss.GenerateTwitter(mcss.DefaultTwitterTrace().Scale(scale))
+	case strings.EqualFold(dataset, "spotify"):
+		return mcss.GenerateSpotify(mcss.DefaultSpotifyTrace().Scale(scale))
+	case dataset == "":
+		return nil, fmt.Errorf("need -trace or -dataset")
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want twitter or spotify)", dataset)
+	}
+}
+
+func parseOpts(s string) (mcss.OptFlags, error) {
+	switch strings.ToLower(s) {
+	case "all":
+		return mcss.OptAll, nil
+	case "none", "":
+		return 0, nil
+	}
+	var f mcss.OptFlags
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(strings.ToLower(part)) {
+		case "expensive":
+			f |= mcss.OptExpensiveTopicFirst
+		case "mostfree":
+			f |= mcss.OptMostFreeVM
+		case "cost":
+			f |= mcss.OptCostBased
+		default:
+			return 0, fmt.Errorf("unknown optimization %q", part)
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	mcss "github.com/pubsub-systems/mcss"
+)
+
+func TestParseOpts(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    mcss.OptFlags
+		wantErr bool
+	}{
+		{"all", mcss.OptAll, false},
+		{"none", 0, false},
+		{"", 0, false},
+		{"expensive", mcss.OptExpensiveTopicFirst, false},
+		{"mostfree", mcss.OptMostFreeVM, false},
+		{"cost", mcss.OptCostBased, false},
+		{"expensive,cost", mcss.OptExpensiveTopicFirst | mcss.OptCostBased, false},
+		{"Expensive, MostFree", mcss.OptExpensiveTopicFirst | mcss.OptMostFreeVM, false},
+		{"bogus", 0, true},
+		{"expensive,bogus", 0, true},
+	}
+	for _, tc := range tests {
+		got, err := parseOpts(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("parseOpts(%q) err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("parseOpts(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestLoadWorkloadDispatch(t *testing.T) {
+	if _, err := loadWorkload("", "", 1); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := loadWorkload("", "mars", 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	w, err := loadWorkload("", "spotify", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumSubscribers() == 0 {
+		t.Error("empty spotify workload")
+	}
+
+	// Round-trip through a trace file.
+	path := filepath.Join(t.TempDir(), "t.gz")
+	if err := mcss.SaveTrace(w, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := loadWorkload(path, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumPairs() != w.NumPairs() {
+		t.Error("trace round trip changed pairs")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	err := run([]string{
+		"-dataset", "twitter", "-scale", "0.01", "-tau", "50",
+		"-stage1", "gsp", "-stage2", "cbp", "-opts", "all", "-verify",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	bad := [][]string{
+		{"-dataset", "twitter", "-scale", "0.01", "-instance", "m9.huge"},
+		{"-dataset", "twitter", "-scale", "0.01", "-stage1", "xxx"},
+		{"-dataset", "twitter", "-scale", "0.01", "-stage2", "xxx"},
+		{"-dataset", "twitter", "-scale", "0.01", "-opts", "xxx"},
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Command simulate solves MCSS for a workload, replays it through the
+// discrete-event pub/sub simulator, and reports empirical satisfaction,
+// traffic, and latency — optionally injecting a VM crash and repairing it
+// with the online provisioner.
+//
+// Examples:
+//
+//	simulate -dataset spotify -scale 0.02 -tau 50 -hours 2
+//	simulate -dataset twitter -scale 0.01 -tau 10 -hours 1 -poisson
+//	simulate -trace t.gz -tau 100 -crash-vm 0 -crash-at 0.5 -repair
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	mcss "github.com/pubsub-systems/mcss"
+	"github.com/pubsub-systems/mcss/internal/experiments"
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/satisfy"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	var (
+		tracePath = fs.String("trace", "", "workload trace file")
+		dataset   = fs.String("dataset", "", "synthetic dataset: twitter or spotify")
+		scale     = fs.Float64("scale", 0.02, "synthetic dataset scale factor")
+		tau       = fs.Int64("tau", 50, "satisfaction threshold τ (events/hour)")
+		hours     = fs.Float64("hours", 2, "virtual simulation horizon")
+		poisson   = fs.Bool("poisson", false, "Poisson arrivals instead of fixed spacing")
+		seed      = fs.Int64("seed", 1, "Poisson seed")
+		maxEvents = fs.Int64("max-events", 5_000_000, "event cap")
+		crashVM   = fs.Int("crash-vm", -1, "VM to crash (-1 = none)")
+		crashAt   = fs.Float64("crash-at", 0.5, "crash time in virtual hours")
+		repair    = fs.Bool("repair", false, "repair the crash with the online provisioner and re-simulate")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w, err := loadWorkload(*tracePath, *dataset, *scale)
+	if err != nil {
+		return err
+	}
+	model := experiments.ModelFor(pricing.C3Large, w)
+	cfg := mcss.DefaultConfig(*tau, model)
+
+	prov, err := mcss.NewProvisioner(w, cfg)
+	if err != nil {
+		return err
+	}
+	alloc := prov.Allocation()
+	u := alloc.ComputeUtilization()
+	fmt.Printf("workload: %d topics / %d subscribers / %d pairs\n",
+		w.NumTopics(), w.NumSubscribers(), w.NumPairs())
+	fmt.Printf("allocation: %d VMs, mean fill %.0f%%, incoming share %.1f%%, %d split topics\n",
+		alloc.NumVMs(), u.MeanFill*100, u.IncomingShare*100, u.SplitTopics)
+
+	simCfg := mcss.SimConfig{
+		DurationHours: *hours,
+		MessageBytes:  cfg.MessageBytes,
+		MaxEvents:     *maxEvents,
+		Poisson:       *poisson,
+		PoissonSeed:   *seed,
+	}
+	if *crashVM >= 0 {
+		simCfg.Crashes = []mcss.Crash{{VM: *crashVM, AtHour: *crashAt}}
+	}
+
+	start := time.Now()
+	sim, err := mcss.Simulate(w, alloc, simCfg)
+	if err != nil {
+		return err
+	}
+	printSim(w, sim, *tau)
+	fmt.Printf("(simulated in %s)\n", time.Since(start).Round(time.Millisecond))
+
+	if *crashVM >= 0 && *repair {
+		stats, err := prov.RepairCrash(*crashVM)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nrepair: re-homed %d pairs onto %d-VM fleet (%d new)\n",
+			stats.PairsRehomed, stats.VMsAfter, stats.NewVMs)
+		simCfg.Crashes = nil
+		sim, err = mcss.Simulate(w, prov.Allocation(), simCfg)
+		if err != nil {
+			return err
+		}
+		printSim(w, sim, *tau)
+	}
+	return nil
+}
+
+func printSim(w *mcss.Workload, sim *mcss.SimResult, tau int64) {
+	m := satisfy.Measure(w, perHour(sim), tau)
+	fmt.Printf("simulated %v h: %d publications, %d deliveries, %d dropped\n",
+		sim.DurationHours, sim.Events, sim.Deliveries, sim.DroppedDeliveries)
+	fmt.Printf("satisfaction: %d/%d subscribers (mean ratio %.3f, min %.3f)\n",
+		m.Satisfied, m.Total, m.MeanRatio, m.MinRatio)
+	if sim.MaxLatencyNanos > 0 {
+		fmt.Printf("latency: mean %s, max %s\n",
+			time.Duration(sim.MeanLatencyNanos()), time.Duration(sim.MaxLatencyNanos))
+	}
+}
+
+// perHour converts cumulative delivered counts into events/hour for the
+// satisfaction metrics (floor effects make this slightly conservative).
+func perHour(sim *mcss.SimResult) []int64 {
+	out := make([]int64, len(sim.Delivered))
+	for v, d := range sim.Delivered {
+		out[v] = int64(float64(d) / sim.DurationHours)
+	}
+	return out
+}
+
+func loadWorkload(tracePath, dataset string, scale float64) (*mcss.Workload, error) {
+	switch {
+	case tracePath != "":
+		return mcss.LoadTrace(tracePath)
+	case strings.EqualFold(dataset, "twitter"):
+		return mcss.GenerateTwitter(mcss.DefaultTwitterTrace().Scale(scale))
+	case strings.EqualFold(dataset, "spotify"):
+		return mcss.GenerateSpotify(mcss.DefaultSpotifyTrace().Scale(scale))
+	case dataset == "":
+		return nil, fmt.Errorf("need -trace or -dataset")
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+
+	mcss "github.com/pubsub-systems/mcss"
+)
+
+func TestRunHealthy(t *testing.T) {
+	err := run([]string{"-dataset", "spotify", "-scale", "0.01", "-tau", "50", "-hours", "1"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunPoisson(t *testing.T) {
+	err := run([]string{"-dataset", "spotify", "-scale", "0.01", "-tau", "50", "-hours", "1", "-poisson", "-seed", "3"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunCrashAndRepair(t *testing.T) {
+	err := run([]string{
+		"-dataset", "spotify", "-scale", "0.01", "-tau", "50", "-hours", "1",
+		"-crash-vm", "0", "-crash-at", "0.5", "-repair",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	bad := [][]string{
+		{},                  // no source
+		{"-dataset", "???"}, // unknown dataset
+		{"-dataset", "spotify", "-scale", "0.01", "-crash-vm", "9999"}, // unknown VM
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestPerHour(t *testing.T) {
+	sim := &mcss.SimResult{Delivered: []int64{20, 5}, DurationHours: 2}
+	got := perHour(sim)
+	if got[0] != 10 || got[1] != 2 {
+		t.Errorf("perHour = %v, want [10 2]", got)
+	}
+}

@@ -1,0 +1,97 @@
+// Command tracegen synthesizes pub/sub workload traces with the
+// distributional shape of the MCSS paper's Spotify and Twitter datasets and
+// writes them in the traceio v1 format (gzip when the output ends in .gz).
+//
+// Examples:
+//
+//	tracegen -dataset twitter -scale 0.5 -out twitter.trace.gz
+//	tracegen -dataset spotify -seed 99 -out spotify.trace
+//	tracegen -dataset random -topics 100 -subscribers 500 -out small.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	mcss "github.com/pubsub-systems/mcss"
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		dataset = fs.String("dataset", "twitter", "dataset: twitter, spotify, or random")
+		scale   = fs.Float64("scale", 1.0, "scale factor for twitter/spotify")
+		seed    = fs.Int64("seed", 0, "random seed (0 = dataset default)")
+		out     = fs.String("out", "", "output path (required; .gz enables compression)")
+		topics  = fs.Int("topics", 100, "topic count (random dataset)")
+		subs    = fs.Int("subscribers", 500, "subscriber count (random dataset)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("need -out")
+	}
+
+	var (
+		w   *mcss.Workload
+		err error
+	)
+	switch strings.ToLower(*dataset) {
+	case "twitter":
+		cfg := mcss.DefaultTwitterTrace().Scale(*scale)
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		w, err = mcss.GenerateTwitter(cfg)
+	case "spotify":
+		cfg := mcss.DefaultSpotifyTrace().Scale(*scale)
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		w, err = mcss.GenerateSpotify(cfg)
+	case "random":
+		w, err = mcss.GenerateRandom(mcss.RandomTraceConfig{
+			Topics: *topics, Subscribers: *subs, MaxFollowings: 5, MaxRate: 1000, Seed: *seed,
+		})
+	default:
+		return fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	if err != nil {
+		return err
+	}
+	if err := w.Validate(); err != nil {
+		return fmt.Errorf("generated workload invalid: %w", err)
+	}
+	if err := mcss.SaveTrace(w, *out); err != nil {
+		return err
+	}
+
+	var maxRate, maxFollowers int64
+	for t := 0; t < w.NumTopics(); t++ {
+		if r := w.Rate(workload.TopicID(t)); r > maxRate {
+			maxRate = r
+		}
+		if f := int64(w.Followers(workload.TopicID(t))); f > maxFollowers {
+			maxFollowers = f
+		}
+	}
+	fmt.Printf("wrote %s: %d topics, %d subscribers, %d pairs\n",
+		*out, w.NumTopics(), w.NumSubscribers(), w.NumPairs())
+	fmt.Printf("total event rate %d events/h, max topic rate %d, max followers %d\n",
+		w.TotalEventRate(), maxRate, maxFollowers)
+	fmt.Printf("mean followings %.2f, mean followers %.2f\n",
+		float64(w.NumPairs())/float64(w.NumSubscribers()),
+		float64(w.NumPairs())/float64(w.NumTopics()))
+	return nil
+}

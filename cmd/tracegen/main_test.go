@@ -1,0 +1,72 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	mcss "github.com/pubsub-systems/mcss"
+)
+
+func TestRunGeneratesLoadableTraces(t *testing.T) {
+	dir := t.TempDir()
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"twitter gz", []string{"-dataset", "twitter", "-scale", "0.01", "-out", filepath.Join(dir, "tw.trace.gz")}},
+		{"spotify plain", []string{"-dataset", "spotify", "-scale", "0.01", "-out", filepath.Join(dir, "sp.trace")}},
+		{"spotify binary", []string{"-dataset", "spotify", "-scale", "0.01", "-out", filepath.Join(dir, "sp.bin.gz")}},
+		{"random", []string{"-dataset", "random", "-topics", "20", "-subscribers", "50", "-out", filepath.Join(dir, "r.trace")}},
+		{"custom seed", []string{"-dataset", "twitter", "-scale", "0.01", "-seed", "99", "-out", filepath.Join(dir, "tw2.trace")}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(tc.args); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			out := tc.args[len(tc.args)-1]
+			w, err := mcss.LoadTrace(out)
+			if err != nil {
+				t.Fatalf("LoadTrace: %v", err)
+			}
+			if err := w.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	bad := [][]string{
+		{},                             // missing -out
+		{"-out", "x", "-dataset", "?"}, // unknown dataset
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestSeedChangesTrace(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.trace")
+	p2 := filepath.Join(dir, "b.trace")
+	if err := run([]string{"-dataset", "twitter", "-scale", "0.01", "-seed", "1", "-out", p1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dataset", "twitter", "-scale", "0.01", "-seed", "2", "-out", p2}); err != nil {
+		t.Fatal(err)
+	}
+	w1, err := mcss.LoadTrace(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := mcss.LoadTrace(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.NumPairs() == w2.NumPairs() && w1.TotalEventRate() == w2.TotalEventRate() {
+		t.Error("different seeds produced identical trace fingerprints")
+	}
+}

@@ -1,0 +1,60 @@
+// Capacity planner: given one workload, sweep the EC2 instance catalog and
+// report which VM flavor hosts it cheapest — the "tool for pub/sub
+// architects" use case from the paper's introduction. Larger instances
+// halve the fleet but double the hourly price; the winner depends on how
+// well topic groups pack into each capacity.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	mcss "github.com/pubsub-systems/mcss"
+	"github.com/pubsub-systems/mcss/internal/experiments"
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/report"
+)
+
+func main() {
+	w, err := mcss.GenerateTwitter(mcss.DefaultTwitterTrace().Scale(0.08))
+	if err != nil {
+		log.Fatal(err)
+	}
+	const tau = 100
+	fmt.Printf("planning for %d topics / %d subscribers / %d pairs at τ=%d\n\n",
+		w.NumTopics(), w.NumSubscribers(), w.NumPairs(), tau)
+
+	// Calibrate the per-mbps capacity once (on c3.large) so every
+	// instance is judged on the same workload-to-capacity footing.
+	baseModel := experiments.ModelFor(pricing.C3Large, w)
+	perMbps := baseModel.CapacityBytesPerHour() / pricing.C3Large.LinkMbps
+
+	t := report.NewTable("Instance sweep (240 h rental, $0.12/GB transfer)",
+		"instance", "$/h", "capacity B/h", "VMs", "transfer GB", "total cost")
+	type row struct {
+		name string
+		cost mcss.MicroUSD
+	}
+	var best *row
+	for _, it := range mcss.InstanceCatalog() {
+		model := mcss.NewModel(it)
+		model.CapacityOverrideBytesPerHour = perMbps * it.LinkMbps
+		res, err := mcss.Solve(w, mcss.DefaultConfig(tau, model))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cost := res.Cost(model)
+		t.AddRow(it.Name, it.HourlyRate.String(), model.CapacityBytesPerHour(),
+			res.Allocation.NumVMs(),
+			fmt.Sprintf("%.1f", float64(res.Allocation.TransferBytes(model))/float64(pricing.GB)),
+			cost.String())
+		if best == nil || cost < best.cost {
+			best = &row{name: it.Name, cost: cost}
+		}
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncheapest deployment: %s at %v\n", best.name, best.cost)
+}

@@ -1,0 +1,85 @@
+// Failover: simulate a broker VM crash mid-deployment, observe the
+// satisfaction damage with the discrete-event simulator, repair the
+// allocation with the online provisioner (no Stage-1 re-run), and verify
+// service is restored — the dynamic-provisioning direction the paper's §VI
+// sketches as future work.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mcss "github.com/pubsub-systems/mcss"
+)
+
+func main() {
+	w, err := mcss.GenerateSpotify(mcss.DefaultSpotifyTrace().Scale(0.02))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model := mcss.NewModel(mcss.C3Large)
+	model.CapacityOverrideBytesPerHour = 2_000_000
+	cfg := mcss.DefaultConfig(50, model)
+
+	prov, err := mcss.NewProvisioner(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alloc := prov.Allocation()
+	fmt.Printf("initial fleet: %d VMs, cost %v\n", alloc.NumVMs(), prov.Cost())
+
+	// Healthy run: 2 virtual hours, no failures.
+	healthy, err := mcss.Simulate(w, alloc, mcss.SimConfig{
+		DurationHours: 2, MessageBytes: cfg.MessageBytes, MaxEvents: 10_000_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("healthy run: %d events, %d deliveries, 0 dropped\n",
+		healthy.Events, healthy.Deliveries)
+	if err := mcss.CheckSatisfaction(w, healthy, cfg.Tau, 0.9); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("healthy run satisfies every subscriber")
+
+	// Crash the busiest VM one hour in.
+	victim := 0
+	for _, vm := range alloc.VMs {
+		if vm.NumPairs() > alloc.VMs[victim].NumPairs() {
+			victim = vm.ID
+		}
+	}
+	crashed, err := mcss.Simulate(w, alloc, mcss.SimConfig{
+		DurationHours: 2, MessageBytes: cfg.MessageBytes, MaxEvents: 10_000_000,
+		Crashes: []mcss.Crash{{VM: victim, AtHour: 1.0}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncrash of VM %d at t=1h: %d deliveries dropped\n",
+		victim, crashed.DroppedDeliveries)
+	if err := mcss.CheckSatisfaction(w, crashed, cfg.Tau, 0.9); err != nil {
+		fmt.Println("satisfaction broken as expected:", err)
+	}
+
+	// Repair: re-home the failed VM's placements onto survivors/new VMs.
+	stats, err := prov.RepairCrash(victim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrepair: re-homed %d pairs, deployed %d new VMs, fleet now %d\n",
+		stats.PairsRehomed, stats.NewVMs, stats.VMsAfter)
+
+	repaired, err := mcss.Simulate(w, prov.Allocation(), mcss.SimConfig{
+		DurationHours: 2, MessageBytes: cfg.MessageBytes, MaxEvents: 10_000_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mcss.CheckSatisfaction(w, repaired, cfg.Tau, 0.9); err != nil {
+		log.Fatal("repair did not restore satisfaction: ", err)
+	}
+	fmt.Println("repaired fleet satisfies every subscriber again")
+	fmt.Printf("post-repair cost: %v\n", prov.Cost())
+}

@@ -1,0 +1,73 @@
+// Quickstart: build a small social pub/sub workload by hand, solve MCSS,
+// and inspect the allocation — the minimal end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mcss "github.com/pubsub-systems/mcss"
+)
+
+func main() {
+	// A toy social network: two artists with followers and a friend feed.
+	// Rates are notification events per hour.
+	b := mcss.NewWorkloadBuilder().
+		AddTopic("taylor", 120). // posts often
+		AddTopic("miles", 40).
+		AddTopic("carol", 6)
+	for i := 0; i < 30; i++ {
+		user := fmt.Sprintf("user-%02d", i)
+		b.AddSubscription(user, "taylor")
+		if i%2 == 0 {
+			b.AddSubscription(user, "miles")
+		}
+		if i%6 == 0 {
+			b.AddSubscription(user, "carol")
+		}
+	}
+	w, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d topics, %d subscribers, %d pairs\n",
+		w.NumTopics(), w.NumSubscribers(), w.NumPairs())
+
+	// Price the deployment on c3.large VMs. The honest 64 mbps capacity
+	// dwarfs this toy workload, so cap VMs at 150 KB/hour to see packing
+	// in action (one "taylor" pair plus its incoming stream needs 48 KB/h).
+	model := mcss.NewModel(mcss.C3Large)
+	model.CapacityOverrideBytesPerHour = 150_000
+
+	// τ = 40: each subscriber is satisfied by 40 notifications per hour.
+	// Followers of the quieter "miles" feed (40 ev/h) are satisfied by it
+	// alone, so GSP drops their expensive "taylor" pairs entirely.
+	cfg := mcss.DefaultConfig(40, model)
+	res, err := mcss.Solve(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("selected %d of %d pairs (GSP drops deliveries beyond τ)\n",
+		res.Selection.NumPairs(), w.NumPairs())
+	fmt.Printf("fleet: %d VMs, %d bytes/hour total\n",
+		res.Allocation.NumVMs(), res.Allocation.TotalBytesPerHour())
+	fmt.Printf("cost for the 240h rental: %v\n", res.Cost(model))
+
+	lb, err := mcss.LowerBound(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lower bound: %v (%d VMs)\n", lb.Cost, lb.VMs)
+
+	for _, vm := range res.Allocation.VMs {
+		fmt.Printf("  vm %d: %2d pairs across %d topics, %6d bytes/h\n",
+			vm.ID, vm.NumPairs(), len(vm.Placements), vm.BytesPerHour())
+	}
+
+	// Check the postconditions — satisfaction, capacity, accounting.
+	if err := mcss.Verify(w, res.Selection, res.Allocation, cfg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified: every subscriber satisfied within VM capacities")
+}

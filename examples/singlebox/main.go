@@ -1,0 +1,69 @@
+// Single box: the pre-cloud analysis the MCSS paper generalizes (its
+// reference [9]): given ONE pub/sub engine with a fixed bandwidth budget,
+// how many subscribers can be satisfied? Sweep the budget, find the point
+// where a single machine stops being enough, and hand the workload to the
+// multi-VM MCSS solver — the motivating arc of the paper's introduction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	mcss "github.com/pubsub-systems/mcss"
+	"github.com/pubsub-systems/mcss/internal/report"
+)
+
+func main() {
+	w, err := mcss.GenerateTwitter(mcss.DefaultTwitterTrace().Scale(0.05))
+	if err != nil {
+		log.Fatal(err)
+	}
+	const (
+		tau = 100
+		msg = 200
+	)
+	fmt.Printf("workload: %d topics / %d subscribers / %d pairs, τ=%d\n\n",
+		w.NumTopics(), w.NumSubscribers(), w.NumPairs(), tau)
+
+	need := mcss.MinBudgetToSatisfyAll(w, tau, msg)
+	fmt.Printf("a single engine needs %.2f MB/hour to satisfy everyone\n\n",
+		float64(need)/1e6)
+
+	t := report.NewTable("Single-engine satisfaction vs bandwidth budget (paper ref [9])",
+		"budget MB/h", "satisfied", "of", "fraction")
+	for _, f := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
+		budget := int64(float64(need) * f)
+		res, err := mcss.MaximizeSatisfied(w, tau, budget, msg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(
+			fmt.Sprintf("%.2f", float64(budget)/1e6),
+			len(res.Satisfied), w.NumSubscribers(),
+			fmt.Sprintf("%.1f%%", 100*float64(len(res.Satisfied))/float64(w.NumSubscribers())),
+		)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// The punchline: one 64 mbps c3.large cannot carry this workload, so
+	// provisioning becomes the multi-VM MCSS problem.
+	capacity := mcss.C3Large.CapacityBytesPerHour()
+	fmt.Printf("\none honest c3.large carries %.2f MB/hour", float64(capacity)/1e6)
+	if need > capacity {
+		fmt.Println(" — not enough; this is where MCSS takes over:")
+	} else {
+		fmt.Println(" — enough at this scaled-down size, but a full-size trace is not")
+	}
+
+	model := mcss.NewModel(mcss.C3Large)
+	model.CapacityOverrideBytesPerHour = need / 20 // a 20-VM-class fleet
+	res, err := mcss.Solve(w, mcss.DefaultConfig(tau, model))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MCSS fleet: %d VMs, total cost %v\n",
+		res.Allocation.NumVMs(), res.Cost(model))
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+// BFDBinPacking is a best-fit-decreasing baseline packer: pairs are sorted
+// by topic rate (non-increasing) and each is placed on the deployed VM with
+// the least free capacity that still fits it. It is not part of the paper's
+// ladder — the paper compares against first-fit — but BFD is the classic
+// stronger bin-packing heuristic, so it quantifies how much of CBP's
+// advantage comes from topic grouping rather than from better item
+// ordering alone (see BenchmarkAblationBestFit).
+//
+// Like FFBP it works at pair granularity and therefore still splits topics
+// across VMs and pays duplicated incoming streams.
+func BFDBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
+	bc := cfg.Model.CapacityBytesPerHour()
+	msg := cfg.MessageBytes
+
+	type item struct {
+		pair workload.Pair
+		rb   int64
+	}
+	items := make([]item, 0, sel.NumPairs())
+	var err error
+	sel.Pairs(func(p workload.Pair) bool {
+		rb := sel.w.Rate(p.Topic) * msg
+		if 2*rb > bc {
+			err = ErrInfeasible
+			return false
+		}
+		items = append(items, item{pair: p, rb: rb})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(items, func(i, j int) bool {
+		if items[i].rb != items[j].rb {
+			return items[i].rb > items[j].rb
+		}
+		if items[i].pair.Topic != items[j].pair.Topic {
+			return items[i].pair.Topic < items[j].pair.Topic
+		}
+		return items[i].pair.Sub < items[j].pair.Sub
+	})
+
+	var vms []*vmState
+	one := make([]workload.SubID, 1)
+	for _, it := range items {
+		var best *vmState
+		var bestFree int64
+		for _, b := range vms {
+			delta := b.deltaFor(it.pair.Topic, it.rb)
+			if delta <= b.free && (best == nil || b.free < bestFree) {
+				best, bestFree = b, b.free
+			}
+		}
+		if best == nil {
+			best = newVMState(len(vms), bc)
+			vms = append(vms, best)
+		}
+		one[0] = it.pair.Sub
+		best.place(it.pair.Topic, it.rb, one)
+	}
+	return finishAllocation(vms, cfg), nil
+}

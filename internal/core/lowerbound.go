@@ -1,0 +1,47 @@
+package core
+
+import (
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+// Bound is the per-instance lower bound of Alg. 5 / Theorem A.1.
+type Bound struct {
+	// OutBytesPerHour is the lower bound on outgoing bandwidth:
+	// Σ_v max(τ_v, min_{t∈T_v} ev_t) converted to bytes.
+	OutBytesPerHour int64
+	// VMs is the lower bound on |B|: ⌈OutBytesPerHour / BC⌉.
+	VMs int
+	// Cost is C1(VMs) + C2(OutBytesPerHour × hours).
+	Cost pricing.MicroUSD
+}
+
+// LowerBound computes the paper's lower bound on the MCSS objective for the
+// given instance (Alg. 5): each subscriber needs at least
+// max(τ_v, min_{t∈T_v} ev_t) delivered events — τ_v if topics can be
+// combined to reach it exactly, and at least the smallest subscribed topic's
+// rate when every single topic already overshoots τ_v. Dividing the summed
+// bandwidth by BC bounds the VM count. The bound ignores incoming bandwidth
+// and packing fragmentation, so it is not necessarily tight.
+func LowerBound(w *workload.Workload, cfg Config) (Bound, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return Bound{}, err
+	}
+	var events int64
+	for v := 0; v < w.NumSubscribers(); v++ {
+		tauV := w.TauV(workload.SubID(v), cfg.Tau)
+		if m := w.MinRate(workload.SubID(v)); m > tauV {
+			tauV = m
+		}
+		events += tauV
+	}
+	bytesPerHour := events * cfg.MessageBytes
+	bc := cfg.Model.CapacityBytesPerHour()
+	vms := int(ceilDiv(bytesPerHour, bc))
+	return Bound{
+		OutBytesPerHour: bytesPerHour,
+		VMs:             vms,
+		Cost:            cfg.Model.TotalCost(vms, cfg.Model.TransferBytes(bytesPerHour)),
+	}, nil
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+// Solve runs the two-stage MCSS heuristic on the workload under the given
+// configuration and returns the selection, the allocation, and per-stage
+// wall times.
+func Solve(w *workload.Workload, cfg Config) (*Result, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	sel := runStage1(w, cfg)
+	t1 := time.Since(start)
+
+	start = time.Now()
+	alloc, err := runStage2(sel, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t2 := time.Since(start)
+
+	return &Result{
+		Selection:  sel,
+		Allocation: alloc,
+		Stage1Time: t1,
+		Stage2Time: t2,
+	}, nil
+}
+
+// VerifyAllocation checks the solver's postconditions against the original
+// workload and configuration:
+//
+//  1. satisfaction — every subscriber's allocated pairs deliver ≥ τ_v;
+//  2. capacity — every VM's accounted bandwidth is within BC (unless
+//     LenientFirstFit permitted the paper's literal overshoot);
+//  3. accounting — each VM's Out/InBytesPerHour match its placements, a
+//     topic appears at most once per VM, and the total pair count matches
+//     the selection;
+//  4. consistency — every placed pair was selected, and every selected pair
+//     is placed at least once.
+//
+// It returns nil when all hold. This is the oracle used by integration and
+// property tests.
+func VerifyAllocation(w *workload.Workload, sel *Selection, alloc *Allocation, cfg Config) error {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return err
+	}
+	bc := cfg.Model.CapacityBytesPerHour()
+
+	// Delivered rate per subscriber from distinct (t,v) placements.
+	delivered := make([]int64, w.NumSubscribers())
+	type pairKey struct {
+		t workload.TopicID
+		v workload.SubID
+	}
+	placedPairs := make(map[pairKey]int, sel.NumPairs())
+	var totalPlaced int64
+
+	for _, vm := range alloc.VMs {
+		var out, in int64
+		seenTopics := make(map[workload.TopicID]bool, len(vm.Placements))
+		for _, p := range vm.Placements {
+			if seenTopics[p.Topic] {
+				return fmt.Errorf("vm %d: topic %d appears in multiple placements", vm.ID, p.Topic)
+			}
+			seenTopics[p.Topic] = true
+			rb := w.Rate(p.Topic) * cfg.MessageBytes
+			in += rb
+			out += rb * int64(len(p.Subs))
+			for _, v := range p.Subs {
+				k := pairKey{p.Topic, v}
+				if placedPairs[k] == 0 {
+					delivered[v] += w.Rate(p.Topic)
+				}
+				placedPairs[k]++
+				totalPlaced++
+			}
+		}
+		if out != vm.OutBytesPerHour || in != vm.InBytesPerHour {
+			return fmt.Errorf("vm %d: accounted bw (out=%d,in=%d) != recomputed (out=%d,in=%d)",
+				vm.ID, vm.OutBytesPerHour, vm.InBytesPerHour, out, in)
+		}
+		if !cfg.LenientFirstFit && vm.BytesPerHour() > bc {
+			return fmt.Errorf("vm %d: bandwidth %d exceeds capacity %d", vm.ID, vm.BytesPerHour(), bc)
+		}
+	}
+
+	if totalPlaced != sel.NumPairs() {
+		return fmt.Errorf("placed %d pair instances, selection has %d pairs", totalPlaced, sel.NumPairs())
+	}
+	// Every selected pair must be placed exactly once, and nothing else.
+	var bad error
+	sel.Pairs(func(p workload.Pair) bool {
+		k := pairKey{p.Topic, p.Sub}
+		if placedPairs[k] != 1 {
+			bad = fmt.Errorf("pair (t=%d,v=%d) placed %d times, want 1", p.Topic, p.Sub, placedPairs[k])
+			return false
+		}
+		delete(placedPairs, k)
+		return true
+	})
+	if bad != nil {
+		return bad
+	}
+	if len(placedPairs) != 0 {
+		return fmt.Errorf("%d placed pairs were never selected", len(placedPairs))
+	}
+
+	for v := 0; v < w.NumSubscribers(); v++ {
+		tauV := w.TauV(workload.SubID(v), cfg.Tau)
+		if delivered[v] < tauV {
+			return fmt.Errorf("subscriber %d delivered %d events/h, needs %d", v, delivered[v], tauV)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+// Selection is Stage 1's output: for every subscriber, the chosen subset of
+// their topic subscriptions. It offers both the subscriber-major pair order
+// (what FFBP consumes) and a topic-grouped view (what CBP consumes).
+type Selection struct {
+	w *workload.Workload
+
+	// Subscriber-major CSR of selected topics.
+	subOff    []int64
+	subTopics []workload.TopicID
+
+	// Topic-grouped CSR of selected subscribers, derived lazily.
+	topicOff  []int64
+	topicSubs []workload.SubID
+}
+
+// Workload returns the workload the selection was made from.
+func (s *Selection) Workload() *workload.Workload { return s.w }
+
+// NumPairs reports |S|, the number of selected pairs.
+func (s *Selection) NumPairs() int64 { return int64(len(s.subTopics)) }
+
+// SelectedTopics returns the selected topics of subscriber v. The slice
+// aliases internal storage and must not be modified.
+func (s *Selection) SelectedTopics(v workload.SubID) []workload.TopicID {
+	return s.subTopics[s.subOff[v]:s.subOff[v+1]]
+}
+
+// SelectedRate reports the delivered event rate Σ_{t selected for v} ev_t.
+func (s *Selection) SelectedRate(v workload.SubID) int64 {
+	var sum int64
+	for _, t := range s.SelectedTopics(v) {
+		sum += s.w.Rate(t)
+	}
+	return sum
+}
+
+// OutgoingRate reports Σ over selected pairs of ev_t (events/hour): the
+// outgoing event volume the allocation will carry.
+func (s *Selection) OutgoingRate() int64 {
+	var sum int64
+	for _, t := range s.subTopics {
+		sum += s.w.Rate(t)
+	}
+	return sum
+}
+
+// SelectedSubscribers returns the selected subscribers of topic t, building
+// the topic-grouped view on first use. The slice aliases internal storage
+// and must not be modified.
+func (s *Selection) SelectedSubscribers(t workload.TopicID) []workload.SubID {
+	s.buildTopicView()
+	return s.topicSubs[s.topicOff[t]:s.topicOff[t+1]]
+}
+
+// Pairs invokes fn for every selected pair in subscriber-major order,
+// stopping early if fn returns false.
+func (s *Selection) Pairs(fn func(workload.Pair) bool) {
+	for v := 0; v+1 < len(s.subOff); v++ {
+		for _, t := range s.subTopics[s.subOff[v]:s.subOff[v+1]] {
+			if !fn(workload.Pair{Topic: t, Sub: workload.SubID(v)}) {
+				return
+			}
+		}
+	}
+}
+
+func (s *Selection) buildTopicView() {
+	if s.topicOff != nil {
+		return
+	}
+	numT := s.w.NumTopics()
+	counts := make([]int64, numT+1)
+	for _, t := range s.subTopics {
+		counts[t+1]++
+	}
+	for i := 1; i <= numT; i++ {
+		counts[i] += counts[i-1]
+	}
+	s.topicOff = counts
+	s.topicSubs = make([]workload.SubID, len(s.subTopics))
+	next := make([]int64, numT)
+	copy(next, s.topicOff[:numT])
+	for v := 0; v+1 < len(s.subOff); v++ {
+		for _, t := range s.subTopics[s.subOff[v]:s.subOff[v+1]] {
+			s.topicSubs[next[t]] = workload.SubID(v)
+			next[t]++
+		}
+	}
+}
+
+// Satisfied reports whether every subscriber's selected rate meets its
+// threshold τ_v, i.e. the Σ f_v = |V| constraint of the MCSS definition.
+func (s *Selection) Satisfied(tau int64) bool {
+	return s.FirstUnsatisfied(tau) < 0
+}
+
+// FirstUnsatisfied returns the smallest subscriber ID whose selected rate is
+// below τ_v, or -1 when all are satisfied.
+func (s *Selection) FirstUnsatisfied(tau int64) workload.SubID {
+	for v := 0; v+1 < len(s.subOff); v++ {
+		if s.SelectedRate(workload.SubID(v)) < s.w.TauV(workload.SubID(v), tau) {
+			return workload.SubID(v)
+		}
+	}
+	return -1
+}
+
+// GreedySelectPairs implements the paper's GSP (Alg. 1 + Alg. 2). For each
+// subscriber it selects pairs by maximum benefit/cost ratio
+// min(1, ev_t/rem_v) / (2·ev_t) until τ_v is reached.
+//
+// The implementation exploits the structure of the ratio rather than
+// re-scanning an array per pick: every not-yet-selected topic with
+// ev_t ≤ rem_v ties at ratio 1/(2·rem_v), and every topic with ev_t > rem_v
+// scores 1/(2·ev_t) — strictly worse than any fitting topic. The greedy
+// therefore (1) takes fitting topics (largest-first is our deterministic
+// tie-break, which also minimizes the pair count), and (2) when no topic
+// fits in the remaining demand, takes the smallest-rate remaining topic and
+// finishes. greedyReference in tests implements Alg. 2 literally and is
+// property-checked to select pairs of identical total bandwidth.
+func GreedySelectPairs(w *workload.Workload, tau int64) *Selection {
+	subOff, subTopics := greedySelectRange(w, 0, w.NumSubscribers(), tau)
+	return &Selection{w: w, subOff: subOff, subTopics: subTopics}
+}
+
+// greedySelectRange runs GSP over subscribers [lo, hi) and returns the
+// CSR fragment (offsets relative to the fragment start).
+func greedySelectRange(w *workload.Workload, lo, hi int, tau int64) ([]int64, []workload.TopicID) {
+	subOff := make([]int64, 1, hi-lo+1)
+	var expect int64
+	if w.NumSubscribers() > 0 {
+		expect = w.NumPairs() * int64(hi-lo) / int64(w.NumSubscribers()) / 2
+	}
+	subTopics := make([]workload.TopicID, 0, expect+1)
+
+	// Scratch reused across subscribers: topics sorted by rate descending.
+	var scratch []rateTopic
+	for v := lo; v < hi; v++ {
+		ts := w.Topics(workload.SubID(v))
+		scratch = scratch[:0]
+		var demand int64
+		for _, t := range ts {
+			r := w.Rate(t)
+			demand += r
+			scratch = append(scratch, rateTopic{rate: r, topic: t})
+		}
+		tauV := tau
+		if demand < tauV {
+			tauV = demand
+		}
+		if tauV == demand {
+			// Everything is needed; skip the sort.
+			start := len(subTopics)
+			for _, rt := range scratch {
+				subTopics = append(subTopics, rt.topic)
+			}
+			sortTopicIDs(subTopics[start:])
+			subOff = append(subOff, int64(len(subTopics)))
+			continue
+		}
+		sort.Slice(scratch, func(i, j int) bool {
+			if scratch[i].rate != scratch[j].rate {
+				return scratch[i].rate > scratch[j].rate
+			}
+			return scratch[i].topic < scratch[j].topic
+		})
+		rem := tauV
+		start := len(subTopics)
+		lastSkipped := -1
+		for i := range scratch {
+			if rem <= 0 {
+				break
+			}
+			if scratch[i].rate <= rem {
+				subTopics = append(subTopics, scratch[i].topic)
+				rem -= scratch[i].rate
+			} else {
+				lastSkipped = i
+			}
+		}
+		if rem > 0 {
+			// No remaining topic fits within rem; all skipped topics
+			// exceed it. The best benefit/cost is the smallest rate,
+			// which (descending order) is the last skipped entry.
+			subTopics = append(subTopics, scratch[lastSkipped].topic)
+		}
+		sortTopicIDs(subTopics[start:])
+		subOff = append(subOff, int64(len(subTopics)))
+	}
+	return subOff, subTopics
+}
+
+type rateTopic struct {
+	rate  int64
+	topic workload.TopicID
+}
+
+func sortTopicIDs(s []workload.TopicID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// RandomSelectPairs implements the paper's naive RSP baseline (Alg. 6): for
+// each subscriber, pairs are taken in input (adjacency) order until τ_v is
+// met, with no regard for bandwidth cost.
+func RandomSelectPairs(w *workload.Workload, tau int64) *Selection {
+	n := w.NumSubscribers()
+	subOff := make([]int64, 1, n+1)
+	subTopics := make([]workload.TopicID, 0, w.NumPairs()/2+1)
+	for v := 0; v < n; v++ {
+		tauV := w.TauV(workload.SubID(v), tau)
+		var got int64
+		for _, t := range w.Topics(workload.SubID(v)) {
+			if got >= tauV {
+				break
+			}
+			subTopics = append(subTopics, t)
+			got += w.Rate(t)
+		}
+		subOff = append(subOff, int64(len(subTopics)))
+	}
+	return &Selection{w: w, subOff: subOff, subTopics: subTopics}
+}
+
+// SelectAllPairs returns the selection containing every pair (the no-τ
+// deployment); useful as an upper baseline and in tests.
+func SelectAllPairs(w *workload.Workload) *Selection {
+	n := w.NumSubscribers()
+	subOff := make([]int64, 1, n+1)
+	subTopics := make([]workload.TopicID, 0, w.NumPairs())
+	for v := 0; v < n; v++ {
+		subTopics = append(subTopics, w.Topics(workload.SubID(v))...)
+		subOff = append(subOff, int64(len(subTopics)))
+	}
+	return &Selection{w: w, subOff: subOff, subTopics: subTopics}
+}
+
+// runStage1 dispatches on the configured algorithm.
+func runStage1(w *workload.Workload, cfg Config) *Selection {
+	switch cfg.Stage1 {
+	case Stage1Random:
+		return RandomSelectPairs(w, cfg.Tau)
+	default:
+		return GreedySelectPairs(w, cfg.Tau)
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+// GreedySelectPairsParallel is GreedySelectPairs sharded across worker
+// goroutines. Per-subscriber selection is independent, so the result is
+// bit-identical to the serial algorithm; only wall-clock time changes.
+// workers ≤ 1 (or a workload too small to shard) falls back to the serial
+// path; workers ≤ 0 uses GOMAXPROCS.
+//
+// The paper's §IV-F motivates this: re-provisioning is meant to run
+// periodically, and Stage 1 dominates the solve time on large traces.
+func GreedySelectPairsParallel(w *workload.Workload, tau int64, workers int) *Selection {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := w.NumSubscribers()
+	if workers <= 1 || n < 2*workers {
+		return GreedySelectPairs(w, tau)
+	}
+
+	type fragment struct {
+		subOff    []int64
+		subTopics []workload.TopicID
+	}
+	frags := make([]fragment, workers)
+	var wg sync.WaitGroup
+	per := (n + workers - 1) / workers
+	for k := 0; k < workers; k++ {
+		lo := k * per
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			frags[k] = fragment{subOff: []int64{0}}
+			continue
+		}
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			off, topics := greedySelectRange(w, lo, hi, tau)
+			frags[k] = fragment{subOff: off, subTopics: topics}
+		}(k, lo, hi)
+	}
+	wg.Wait()
+
+	var totalPairs int64
+	for _, f := range frags {
+		totalPairs += int64(len(f.subTopics))
+	}
+	subOff := make([]int64, 1, n+1)
+	subTopics := make([]workload.TopicID, 0, totalPairs)
+	for _, f := range frags {
+		base := int64(len(subTopics))
+		subTopics = append(subTopics, f.subTopics...)
+		for _, off := range f.subOff[1:] {
+			subOff = append(subOff, base+off)
+		}
+	}
+	return &Selection{w: w, subOff: subOff, subTopics: subTopics}
+}

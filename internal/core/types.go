@@ -1,0 +1,258 @@
+// Package core implements the MCSS (Minimum Cost Subscriber Satisfaction)
+// heuristic from the ICDCS 2014 paper "Cost-Effective Resource Allocation
+// for Deploying Pub/Sub on Cloud": a two-stage solver that first selects a
+// bandwidth-minimal subset of topic–subscriber pairs satisfying every
+// subscriber (Stage 1) and then packs the selection onto virtual machines of
+// bounded bandwidth capacity (Stage 2), minimizing rental plus transfer cost.
+//
+// Both of the paper's Stage-1 algorithms (GreedySelectPairs and the naive
+// RandomSelectPairs baseline), both Stage-2 algorithms (First-Fit bin
+// packing and CustomBinPacking with its four incremental optimizations), and
+// the per-instance lower bound (Alg. 5) are provided. See DESIGN.md for the
+// mapping from the paper's pseudocode to this package.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+// Stage1Algo selects which pair-selection algorithm Stage 1 runs.
+type Stage1Algo int
+
+const (
+	// Stage1Greedy is the paper's GreedySelectPairs (GSP, Alg. 2):
+	// benefit/cost-ratio greedy selection per subscriber.
+	Stage1Greedy Stage1Algo = iota
+	// Stage1Random is the paper's RandomSelectPairs baseline (RSP,
+	// Alg. 6): pairs taken in arbitrary (input) order until satisfied.
+	Stage1Random
+)
+
+// String implements fmt.Stringer.
+func (a Stage1Algo) String() string {
+	switch a {
+	case Stage1Greedy:
+		return "GSP"
+	case Stage1Random:
+		return "RSP"
+	default:
+		return fmt.Sprintf("Stage1Algo(%d)", int(a))
+	}
+}
+
+// Stage2Algo selects which allocation algorithm Stage 2 runs.
+type Stage2Algo int
+
+const (
+	// Stage2FirstFit is the paper's FFBinPacking baseline (FFBP, Alg. 3):
+	// pair-at-a-time first-fit.
+	Stage2FirstFit Stage2Algo = iota
+	// Stage2Custom is the paper's CustomBinPacking (CBP, Alg. 4); its
+	// optimizations are toggled by OptFlags.
+	Stage2Custom
+)
+
+// String implements fmt.Stringer.
+func (a Stage2Algo) String() string {
+	switch a {
+	case Stage2FirstFit:
+		return "FFBP"
+	case Stage2Custom:
+		return "CBP"
+	default:
+		return fmt.Sprintf("Stage2Algo(%d)", int(a))
+	}
+}
+
+// OptFlags toggles CustomBinPacking's incremental optimizations, matching
+// the ladder of the paper's §IV-D. Stage2Custom with zero flags is rung (b):
+// grouping of pairs by topic, which is inherent to CBP.
+type OptFlags uint8
+
+const (
+	// OptExpensiveTopicFirst is rung (c): allocate topics in
+	// non-increasing order of their total selected event volume.
+	OptExpensiveTopicFirst OptFlags = 1 << iota
+	// OptMostFreeVM is rung (d): when distributing a topic's pairs among
+	// already-deployed VMs, pick the VM with the most free capacity first.
+	OptMostFreeVM
+	// OptCostBased is rung (e): decide between distributing over existing
+	// VMs and deploying fresh VMs by comparing modeled costs
+	// (CheaperToDistribute, Alg. 7).
+	OptCostBased
+
+	// OptAll enables every optimization.
+	OptAll = OptExpensiveTopicFirst | OptMostFreeVM | OptCostBased
+)
+
+// String renders the enabled flags.
+func (f OptFlags) String() string {
+	if f == 0 {
+		return "group-only"
+	}
+	s := ""
+	add := func(name string) {
+		if s != "" {
+			s += "+"
+		}
+		s += name
+	}
+	if f&OptExpensiveTopicFirst != 0 {
+		add("expensive-first")
+	}
+	if f&OptMostFreeVM != 0 {
+		add("most-free-vm")
+	}
+	if f&OptCostBased != 0 {
+		add("cost-based")
+	}
+	return s
+}
+
+// Config parameterizes one MCSS solve.
+type Config struct {
+	// Tau is the satisfaction threshold τ in events per hour; each
+	// subscriber v must receive at least τ_v = min(τ, Σ_{t∈T_v} ev_t).
+	Tau int64
+	// MessageBytes is the size of one event notification. The paper uses
+	// 200 bytes for both traces.
+	MessageBytes int64
+	// Model supplies the VM capacity BC and the cost functions C1/C2.
+	Model pricing.Model
+	// Stage1 and Stage2 pick the algorithms; zero values are the paper's
+	// recommended GSP + FFBP... note the recommended full solution is
+	// GSP + CBP with OptAll, which is what DefaultConfig returns.
+	Stage1 Stage1Algo
+	Stage2 Stage2Algo
+	// Opts toggles CBP optimizations (ignored by FFBP).
+	Opts OptFlags
+	// LenientFirstFit reproduces the paper's literal Alg. 3 capacity test
+	// (`ev_t ≤ BC − bw_b`, which ignores the incoming increment when a
+	// topic first lands on a VM) instead of the exact delta test. With it
+	// set, per-VM bandwidth may exceed BC by up to one topic rate.
+	LenientFirstFit bool
+}
+
+// DefaultConfig returns the paper's full solution: GSP + CBP with all
+// optimizations, 200-byte messages, and the given pricing model.
+func DefaultConfig(tau int64, m pricing.Model) Config {
+	return Config{
+		Tau:          tau,
+		MessageBytes: 200,
+		Model:        m,
+		Stage1:       Stage1Greedy,
+		Stage2:       Stage2Custom,
+		Opts:         OptAll,
+	}
+}
+
+// normalize fills defaulted fields and validates.
+func (c Config) normalize() (Config, error) {
+	if c.MessageBytes == 0 {
+		c.MessageBytes = 200
+	}
+	if c.MessageBytes < 0 {
+		return c, fmt.Errorf("core: negative MessageBytes %d", c.MessageBytes)
+	}
+	if c.Tau <= 0 {
+		return c, fmt.Errorf("core: Tau must be positive, got %d", c.Tau)
+	}
+	if c.Model.CapacityBytesPerHour() <= 0 {
+		return c, errors.New("core: pricing model has no positive VM capacity")
+	}
+	return c, nil
+}
+
+// Errors returned by the solver.
+var (
+	// ErrInfeasible reports that some selected topic cannot fit even a
+	// single pair (incoming + one outgoing stream) within BC.
+	ErrInfeasible = errors.New("core: topic rate exceeds VM capacity; instance infeasible")
+)
+
+// TopicPlacement records that a set of subscribers of one topic is served
+// from one VM.
+type TopicPlacement struct {
+	Topic workload.TopicID
+	Subs  []workload.SubID
+}
+
+// VM is one allocated virtual machine with its placements and bandwidth
+// accounting. Rates are bytes per hour.
+type VM struct {
+	// ID is the deployment index (0 = first deployed).
+	ID int
+	// Placements lists the topic groups served by this VM, in placement
+	// order. A topic appears at most once per VM.
+	Placements []TopicPlacement
+	// OutBytesPerHour is the outgoing notification traffic:
+	// Σ over placed pairs of ev_t · MessageBytes.
+	OutBytesPerHour int64
+	// InBytesPerHour is the incoming publication traffic:
+	// Σ over distinct placed topics of ev_t · MessageBytes.
+	InBytesPerHour int64
+}
+
+// BytesPerHour is the VM's total bandwidth consumption bw_b.
+func (vm *VM) BytesPerHour() int64 { return vm.OutBytesPerHour + vm.InBytesPerHour }
+
+// NumPairs reports how many topic–subscriber pairs this VM serves.
+func (vm *VM) NumPairs() int {
+	n := 0
+	for _, p := range vm.Placements {
+		n += len(p.Subs)
+	}
+	return n
+}
+
+// Allocation is Stage 2's output: the deployed VMs.
+type Allocation struct {
+	// VMs in deployment order.
+	VMs []*VM
+	// CapacityBytesPerHour is the BC the allocation was packed against.
+	CapacityBytesPerHour int64
+	// MessageBytes echoes the config.
+	MessageBytes int64
+}
+
+// NumVMs reports |B|.
+func (a *Allocation) NumVMs() int { return len(a.VMs) }
+
+// TotalBytesPerHour reports Σ_b bw_b.
+func (a *Allocation) TotalBytesPerHour() int64 {
+	var sum int64
+	for _, vm := range a.VMs {
+		sum += vm.BytesPerHour()
+	}
+	return sum
+}
+
+// TransferBytes reports the total transfer volume C2 bills for under the
+// given model: Σ_b bw_b × rental hours.
+func (a *Allocation) TransferBytes(m pricing.Model) int64 {
+	return m.TransferBytes(a.TotalBytesPerHour())
+}
+
+// Cost evaluates the paper's objective C1(|B|) + C2(Σ bw_b) under the given
+// pricing model.
+func (a *Allocation) Cost(m pricing.Model) pricing.MicroUSD {
+	return m.TotalCost(a.NumVMs(), a.TransferBytes(m))
+}
+
+// Result bundles a full solve.
+type Result struct {
+	Selection  *Selection
+	Allocation *Allocation
+	// Stage1Time and Stage2Time are wall-clock durations of the stages,
+	// reported for the paper's Figs. 4–7 runtime comparisons.
+	Stage1Time time.Duration
+	Stage2Time time.Duration
+}
+
+// Cost evaluates the solution cost under model m.
+func (r *Result) Cost(m pricing.Model) pricing.MicroUSD { return r.Allocation.Cost(m) }

@@ -1,0 +1,67 @@
+package core
+
+import "sort"
+
+// Utilization summarizes how efficiently an allocation uses its fleet —
+// the packing-quality diagnostics behind the paper's VM-count results.
+type Utilization struct {
+	// MeanFill and MinFill/MaxFill are bw_b/BC across VMs (0..1].
+	MeanFill, MinFill, MaxFill float64
+	// MedianFill is the middle VM's fill.
+	MedianFill float64
+	// WastedBytesPerHour is Σ_b (BC − bw_b): capacity rented but unused.
+	WastedBytesPerHour int64
+	// IncomingShare is Σ in / Σ (in+out): the fraction of bandwidth spent
+	// re-receiving publications, i.e. the price of splitting topics
+	// across VMs (0 when the allocation is empty).
+	IncomingShare float64
+	// SplitTopics counts topics served by more than one VM.
+	SplitTopics int
+	// MaxVMsPerTopic is the worst topic's VM spread.
+	MaxVMsPerTopic int
+}
+
+// ComputeUtilization derives packing diagnostics from an allocation.
+func (a *Allocation) ComputeUtilization() Utilization {
+	u := Utilization{}
+	if len(a.VMs) == 0 || a.CapacityBytesPerHour <= 0 {
+		return u
+	}
+	fills := make([]float64, 0, len(a.VMs))
+	var in, out int64
+	hosts := make(map[int32]int)
+	for _, vm := range a.VMs {
+		fill := float64(vm.BytesPerHour()) / float64(a.CapacityBytesPerHour)
+		fills = append(fills, fill)
+		free := a.CapacityBytesPerHour - vm.BytesPerHour()
+		if free > 0 {
+			u.WastedBytesPerHour += free
+		}
+		in += vm.InBytesPerHour
+		out += vm.OutBytesPerHour
+		for _, p := range vm.Placements {
+			hosts[int32(p.Topic)]++
+		}
+	}
+	sort.Float64s(fills)
+	u.MinFill = fills[0]
+	u.MaxFill = fills[len(fills)-1]
+	u.MedianFill = fills[len(fills)/2]
+	var sum float64
+	for _, f := range fills {
+		sum += f
+	}
+	u.MeanFill = sum / float64(len(fills))
+	if in+out > 0 {
+		u.IncomingShare = float64(in) / float64(in+out)
+	}
+	for _, n := range hosts {
+		if n > 1 {
+			u.SplitTopics++
+		}
+		if n > u.MaxVMsPerTopic {
+			u.MaxVMsPerTopic = n
+		}
+	}
+	return u
+}

@@ -1,0 +1,343 @@
+// Package dynamic implements the on-line re-provisioning loop the MCSS
+// paper sketches as future work (§VI): a Provisioner owns the current
+// workload and allocation, absorbs workload deltas (rate changes, new
+// topics, subscriptions and unsubscriptions), re-solves periodically, and
+// reports migration churn; it can also repair an allocation after a broker
+// VM failure without re-running pair selection.
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+// Delta describes a batch of workload changes to absorb before the next
+// re-allocation.
+type Delta struct {
+	// NewTopics appends topics with the given event rates; they receive
+	// IDs following the existing ones, in order.
+	NewTopics []int64
+	// NewSubscribers appends this many subscribers (initially without
+	// subscriptions); they receive IDs following the existing ones.
+	NewSubscribers int
+	// RateChanges overrides topic event rates.
+	RateChanges map[workload.TopicID]int64
+	// Subscribe adds topic–subscriber pairs (may reference new IDs).
+	Subscribe []workload.Pair
+	// Unsubscribe removes pairs; absent pairs are ignored.
+	Unsubscribe []workload.Pair
+}
+
+// MigrationStats quantifies the churn of one re-allocation.
+type MigrationStats struct {
+	// PairsMoved counts selected pairs whose primary host VM changed
+	// (including pairs newly selected or dropped by Stage 1).
+	PairsMoved int64
+	// PairsKept counts selected pairs still served by the same VM index.
+	PairsKept int64
+	// VMsBefore and VMsAfter are the fleet sizes around the event.
+	VMsBefore, VMsAfter int
+	// CostBefore and CostAfter evaluate the objective around the event.
+	CostBefore, CostAfter pricing.MicroUSD
+}
+
+// RepairStats quantifies a crash repair.
+type RepairStats struct {
+	// PairsRehomed counts pairs that lived on the failed VM.
+	PairsRehomed int64
+	// NewVMs counts VMs deployed by the repair.
+	NewVMs int
+	// VMsAfter is the fleet size after repair.
+	VMsAfter int
+}
+
+// Provisioner owns a workload and keeps an allocation current across
+// deltas and failures. It is not safe for concurrent use.
+type Provisioner struct {
+	cfg core.Config
+	w   *workload.Workload
+	res *core.Result
+}
+
+// New solves the initial allocation.
+func New(w *workload.Workload, cfg core.Config) (*Provisioner, error) {
+	res, err := core.Solve(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Provisioner{cfg: cfg, w: w, res: res}, nil
+}
+
+// Workload returns the current workload.
+func (p *Provisioner) Workload() *workload.Workload { return p.w }
+
+// Allocation returns the current allocation.
+func (p *Provisioner) Allocation() *core.Allocation { return p.res.Allocation }
+
+// Selection returns the current Stage-1 selection.
+func (p *Provisioner) Selection() *core.Selection { return p.res.Selection }
+
+// Cost evaluates the current allocation under the provisioner's model.
+func (p *Provisioner) Cost() pricing.MicroUSD { return p.res.Cost(p.cfg.Model) }
+
+// Update applies the delta, re-solves from scratch (the paper's suggested
+// periodic re-allocation), and reports migration churn relative to the
+// previous allocation.
+func (p *Provisioner) Update(d Delta) (MigrationStats, error) {
+	next, err := applyDelta(p.w, d)
+	if err != nil {
+		return MigrationStats{}, err
+	}
+	res, err := core.Solve(next, p.cfg)
+	if err != nil {
+		return MigrationStats{}, err
+	}
+	stats := migrationBetween(p.res.Allocation, res.Allocation)
+	stats.VMsBefore = p.res.Allocation.NumVMs()
+	stats.VMsAfter = res.Allocation.NumVMs()
+	stats.CostBefore = p.res.Cost(p.cfg.Model)
+	stats.CostAfter = res.Cost(p.cfg.Model)
+	p.w = next
+	p.res = res
+	return stats, nil
+}
+
+// ErrUnknownVM reports a repair target outside the fleet.
+var ErrUnknownVM = errors.New("dynamic: unknown VM")
+
+// RepairCrash removes the given VM from the allocation and re-homes its
+// placements onto surviving VMs (most-free-first, respecting capacity) or
+// fresh VMs, without re-running Stage 1. VM IDs are re-densified.
+func (p *Provisioner) RepairCrash(vmID int) (RepairStats, error) {
+	alloc := p.res.Allocation
+	idx := -1
+	for i, vm := range alloc.VMs {
+		if vm.ID == vmID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return RepairStats{}, fmt.Errorf("%w: %d", ErrUnknownVM, vmID)
+	}
+	failed := alloc.VMs[idx]
+	survivors := make([]*core.VM, 0, len(alloc.VMs)-1)
+	survivors = append(survivors, alloc.VMs[:idx]...)
+	survivors = append(survivors, alloc.VMs[idx+1:]...)
+
+	bc := alloc.CapacityBytesPerHour
+	msg := alloc.MessageBytes
+	stats := RepairStats{}
+
+	// Re-home groups, biggest volume first (the CBP heuristic).
+	groups := make([]core.TopicPlacement, len(failed.Placements))
+	copy(groups, failed.Placements)
+	sort.SliceStable(groups, func(i, j int) bool {
+		wi := p.w.Rate(groups[i].Topic) * int64(len(groups[i].Subs))
+		wj := p.w.Rate(groups[j].Topic) * int64(len(groups[j].Subs))
+		if wi != wj {
+			return wi > wj
+		}
+		return groups[i].Topic < groups[j].Topic
+	})
+	var newVMs []*core.VM
+	for _, g := range groups {
+		stats.PairsRehomed += int64(len(g.Subs))
+		remaining := g.Subs
+		rb := p.w.Rate(g.Topic) * msg
+		for len(remaining) > 0 {
+			vm, hasTopic := mostFreeFit(survivors, newVMs, g.Topic, rb, bc)
+			if vm == nil {
+				vm = &core.VM{}
+				newVMs = append(newVMs, vm)
+				stats.NewVMs++
+				hasTopic = false
+			}
+			free := bc - vm.BytesPerHour()
+			if !hasTopic {
+				free -= rb
+			}
+			k := free / rb
+			if k <= 0 {
+				// Even a fresh VM cannot host a pair.
+				return RepairStats{}, core.ErrInfeasible
+			}
+			if k > int64(len(remaining)) {
+				k = int64(len(remaining))
+			}
+			placeOn(vm, g.Topic, rb, remaining[:k], hasTopic)
+			remaining = remaining[k:]
+		}
+	}
+
+	repaired := &core.Allocation{
+		VMs:                  append(survivors, newVMs...),
+		CapacityBytesPerHour: bc,
+		MessageBytes:         msg,
+	}
+	for i, vm := range repaired.VMs {
+		vm.ID = i
+	}
+	stats.VMsAfter = repaired.NumVMs()
+	p.res = &core.Result{
+		Selection:  p.res.Selection,
+		Allocation: repaired,
+		Stage1Time: p.res.Stage1Time,
+		Stage2Time: p.res.Stage2Time,
+	}
+	return stats, nil
+}
+
+// mostFreeFit returns the VM (among survivors then newVMs) with the most
+// free capacity that can host at least one more pair of the topic, plus
+// whether it already hosts the topic. It returns nil when none fits.
+func mostFreeFit(survivors, newVMs []*core.VM, t workload.TopicID, rb, bc int64) (*core.VM, bool) {
+	var best *core.VM
+	bestHas := false
+	var bestFree int64 = -1
+	consider := func(vm *core.VM) {
+		free := bc - vm.BytesPerHour()
+		has := vmHasTopic(vm, t)
+		need := rb
+		if !has {
+			need = 2 * rb
+		}
+		if free >= need && free > bestFree {
+			best, bestHas, bestFree = vm, has, free
+		}
+	}
+	for _, vm := range survivors {
+		consider(vm)
+	}
+	for _, vm := range newVMs {
+		consider(vm)
+	}
+	return best, bestHas
+}
+
+func vmHasTopic(vm *core.VM, t workload.TopicID) bool {
+	for _, p := range vm.Placements {
+		if p.Topic == t {
+			return true
+		}
+	}
+	return false
+}
+
+func placeOn(vm *core.VM, t workload.TopicID, rb int64, subs []workload.SubID, hasTopic bool) {
+	if hasTopic {
+		for i := range vm.Placements {
+			if vm.Placements[i].Topic == t {
+				vm.Placements[i].Subs = append(vm.Placements[i].Subs, subs...)
+				break
+			}
+		}
+	} else {
+		cp := make([]workload.SubID, len(subs))
+		copy(cp, subs)
+		vm.Placements = append(vm.Placements, core.TopicPlacement{Topic: t, Subs: cp})
+		vm.InBytesPerHour += rb
+	}
+	vm.OutBytesPerHour += rb * int64(len(subs))
+}
+
+// migrationBetween diffs primary pair hosts by VM position.
+func migrationBetween(before, after *core.Allocation) MigrationStats {
+	type key struct {
+		t workload.TopicID
+		v workload.SubID
+	}
+	host := func(a *core.Allocation) map[key]int {
+		m := make(map[key]int)
+		for i, vm := range a.VMs {
+			for _, p := range vm.Placements {
+				for _, v := range p.Subs {
+					k := key{p.Topic, v}
+					if _, ok := m[k]; !ok {
+						m[k] = i
+					}
+				}
+			}
+		}
+		return m
+	}
+	hb, ha := host(before), host(after)
+	var stats MigrationStats
+	for k, vm := range ha {
+		if old, ok := hb[k]; ok && old == vm {
+			stats.PairsKept++
+		} else {
+			stats.PairsMoved++
+		}
+		delete(hb, k)
+	}
+	// Pairs present before but dropped now also count as moved.
+	stats.PairsMoved += int64(len(hb))
+	return stats
+}
+
+// applyDelta materializes a new workload with the delta applied. Topics
+// orphaned by unsubscriptions are retained (IDs stay stable); subscribers
+// may end up with empty interests, which the solver treats as trivially
+// satisfied.
+func applyDelta(w *workload.Workload, d Delta) (*workload.Workload, error) {
+	numT := w.NumTopics() + len(d.NewTopics)
+	numV := w.NumSubscribers() + d.NewSubscribers
+
+	rates := make([]int64, numT)
+	copy(rates, w.Rates())
+	copy(rates[w.NumTopics():], d.NewTopics)
+	for t, r := range d.RateChanges {
+		if int(t) < 0 || int(t) >= numT {
+			return nil, fmt.Errorf("dynamic: rate change for unknown topic %d", t)
+		}
+		if r <= 0 {
+			return nil, fmt.Errorf("dynamic: rate for topic %d must be positive, got %d", t, r)
+		}
+		rates[t] = r
+	}
+
+	interests := make([]map[workload.TopicID]bool, numV)
+	for v := 0; v < w.NumSubscribers(); v++ {
+		set := make(map[workload.TopicID]bool, w.Followings(workload.SubID(v)))
+		for _, t := range w.Topics(workload.SubID(v)) {
+			set[t] = true
+		}
+		interests[v] = set
+	}
+	for v := w.NumSubscribers(); v < numV; v++ {
+		interests[v] = make(map[workload.TopicID]bool)
+	}
+	for _, pr := range d.Subscribe {
+		if int(pr.Sub) < 0 || int(pr.Sub) >= numV {
+			return nil, fmt.Errorf("dynamic: subscribe references unknown subscriber %d", pr.Sub)
+		}
+		if int(pr.Topic) < 0 || int(pr.Topic) >= numT {
+			return nil, fmt.Errorf("dynamic: subscribe references unknown topic %d", pr.Topic)
+		}
+		interests[pr.Sub][pr.Topic] = true
+	}
+	for _, pr := range d.Unsubscribe {
+		if int(pr.Sub) >= 0 && int(pr.Sub) < numV {
+			delete(interests[pr.Sub], pr.Topic)
+		}
+	}
+
+	subOff := make([]int64, 1, numV+1)
+	var subTopics []workload.TopicID
+	for _, set := range interests {
+		start := len(subTopics)
+		for t := range set {
+			subTopics = append(subTopics, t)
+		}
+		seg := subTopics[start:]
+		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+		subOff = append(subOff, int64(len(subTopics)))
+	}
+	return workload.FromCSR(rates, subOff, subTopics, nil, nil)
+}

@@ -1,0 +1,278 @@
+package dynamic
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/tracegen"
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+func testModel(capacity int64) pricing.Model {
+	m := pricing.NewModel(pricing.C3Large)
+	m.CapacityOverrideBytesPerHour = capacity
+	return m
+}
+
+func testConfig(tau, capacity int64) core.Config {
+	return core.Config{
+		Tau:          tau,
+		MessageBytes: 1,
+		Model:        testModel(capacity),
+		Stage1:       core.Stage1Greedy,
+		Stage2:       core.Stage2Custom,
+		Opts:         core.OptAll,
+	}
+}
+
+func sampleWorkload(t *testing.T, seed int64) *workload.Workload {
+	t.Helper()
+	w, err := tracegen.Random(tracegen.RandomConfig{
+		Topics: 15, Subscribers: 40, MaxFollowings: 4, MaxRate: 50, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewSolvesInitialAllocation(t *testing.T) {
+	w := sampleWorkload(t, 1)
+	p, err := New(w, testConfig(30, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Allocation().NumVMs() == 0 {
+		t.Error("no VMs allocated")
+	}
+	if p.Cost() <= 0 {
+		t.Error("non-positive cost")
+	}
+}
+
+func TestUpdateNoChangeKeepsEverything(t *testing.T) {
+	w := sampleWorkload(t, 2)
+	p, err := New(w, testConfig(30, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.Update(Delta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PairsMoved != 0 {
+		t.Errorf("PairsMoved = %d, want 0 for a no-op delta (deterministic solver)", stats.PairsMoved)
+	}
+	if stats.CostBefore != stats.CostAfter {
+		t.Errorf("cost changed on no-op: %v → %v", stats.CostBefore, stats.CostAfter)
+	}
+}
+
+func TestUpdateAppliesRateChange(t *testing.T) {
+	w := sampleWorkload(t, 3)
+	cfg := testConfig(30, 500)
+	p, err := New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Update(Delta{RateChanges: map[workload.TopicID]int64{0: 123}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Workload().Rate(0); got != 123 {
+		t.Errorf("rate = %d, want 123", got)
+	}
+	// The new allocation must still verify.
+	if err := core.VerifyAllocation(p.Workload(), p.Selection(), p.Allocation(), cfg); err != nil {
+		t.Errorf("VerifyAllocation: %v", err)
+	}
+}
+
+func TestUpdateRejectsBadDelta(t *testing.T) {
+	w := sampleWorkload(t, 4)
+	p, err := New(w, testConfig(30, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Update(Delta{RateChanges: map[workload.TopicID]int64{999: 5}}); err == nil {
+		t.Error("unknown topic rate change accepted")
+	}
+	if _, err := p.Update(Delta{RateChanges: map[workload.TopicID]int64{0: 0}}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := p.Update(Delta{Subscribe: []workload.Pair{{Topic: 999, Sub: 0}}}); err == nil {
+		t.Error("subscribe to unknown topic accepted")
+	}
+	if _, err := p.Update(Delta{Subscribe: []workload.Pair{{Topic: 0, Sub: 999}}}); err == nil {
+		t.Error("subscribe of unknown subscriber accepted")
+	}
+}
+
+func TestUpdateGrowsWorkload(t *testing.T) {
+	w := sampleWorkload(t, 5)
+	cfg := testConfig(30, 500)
+	p, err := New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numT, numV := w.NumTopics(), w.NumSubscribers()
+	newTopic := workload.TopicID(numT)
+	newSub := workload.SubID(numV)
+	stats, err := p.Update(Delta{
+		NewTopics:      []int64{77},
+		NewSubscribers: 1,
+		Subscribe: []workload.Pair{
+			{Topic: newTopic, Sub: newSub},
+			{Topic: 0, Sub: newSub},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Workload().NumTopics() != numT+1 || p.Workload().NumSubscribers() != numV+1 {
+		t.Errorf("workload = %d topics / %d subs, want %d/%d",
+			p.Workload().NumTopics(), p.Workload().NumSubscribers(), numT+1, numV+1)
+	}
+	if stats.VMsAfter == 0 {
+		t.Error("no VMs after growth")
+	}
+	if err := core.VerifyAllocation(p.Workload(), p.Selection(), p.Allocation(), cfg); err != nil {
+		t.Errorf("VerifyAllocation: %v", err)
+	}
+}
+
+func TestUpdateUnsubscribe(t *testing.T) {
+	w := sampleWorkload(t, 6)
+	p, err := New(w, testConfig(30, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unsubscribe subscriber 0 from everything.
+	var un []workload.Pair
+	for _, tt := range w.Topics(0) {
+		un = append(un, workload.Pair{Topic: tt, Sub: 0})
+	}
+	if _, err := p.Update(Delta{Unsubscribe: un}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Workload().Followings(0); got != 0 {
+		t.Errorf("subscriber 0 still has %d followings", got)
+	}
+	// Absent pair unsubscribe is a no-op.
+	if _, err := p.Update(Delta{Unsubscribe: []workload.Pair{{Topic: 0, Sub: 0}}}); err != nil {
+		t.Errorf("no-op unsubscribe failed: %v", err)
+	}
+}
+
+func TestRepairCrashRestoresService(t *testing.T) {
+	w := sampleWorkload(t, 7)
+	cfg := testConfig(30, 400)
+	p, err := New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.Allocation().NumVMs()
+	if before < 2 {
+		t.Skipf("need ≥2 VMs, got %d", before)
+	}
+	victim := p.Allocation().VMs[0]
+	victimPairs := int64(victim.NumPairs())
+
+	stats, err := p.RepairCrash(victim.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PairsRehomed != victimPairs {
+		t.Errorf("PairsRehomed = %d, want %d", stats.PairsRehomed, victimPairs)
+	}
+	// The repaired allocation serves every selected pair within capacity.
+	if err := core.VerifyAllocation(p.Workload(), p.Selection(), p.Allocation(), cfg); err != nil {
+		t.Errorf("VerifyAllocation after repair: %v", err)
+	}
+	// VM IDs re-densified.
+	for i, vm := range p.Allocation().VMs {
+		if vm.ID != i {
+			t.Errorf("vm at index %d has ID %d", i, vm.ID)
+		}
+	}
+}
+
+func TestRepairCrashUnknownVM(t *testing.T) {
+	w := sampleWorkload(t, 8)
+	p, err := New(w, testConfig(30, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RepairCrash(12345); !errors.Is(err, ErrUnknownVM) {
+		t.Errorf("err = %v, want ErrUnknownVM", err)
+	}
+}
+
+func TestMigrationStatsAccounting(t *testing.T) {
+	w := sampleWorkload(t, 9)
+	cfg := testConfig(30, 500)
+	p, err := New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doubling a popular topic's rate forces churn.
+	var busiest workload.TopicID
+	for tid := 1; tid < w.NumTopics(); tid++ {
+		if w.Followers(workload.TopicID(tid)) > w.Followers(busiest) {
+			busiest = workload.TopicID(tid)
+		}
+	}
+	stats, err := p.Update(Delta{
+		RateChanges: map[workload.TopicID]int64{busiest: w.Rate(busiest)*3 + 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PairsMoved+stats.PairsKept == 0 {
+		t.Error("no pairs accounted")
+	}
+	if stats.VMsBefore == 0 || stats.VMsAfter == 0 {
+		t.Error("VM counts missing")
+	}
+}
+
+func TestPropertyRepairAlwaysVerifies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, err := tracegen.Random(tracegen.RandomConfig{
+			Topics:        2 + rng.Intn(10),
+			Subscribers:   5 + rng.Intn(30),
+			MaxFollowings: 3,
+			MaxRate:       40,
+			Seed:          rng.Int63(),
+		})
+		if err != nil {
+			return false
+		}
+		var maxRate int64
+		for tid := 0; tid < w.NumTopics(); tid++ {
+			if r := w.Rate(workload.TopicID(tid)); r > maxRate {
+				maxRate = r
+			}
+		}
+		cfg := testConfig(25, 3*maxRate)
+		p, err := New(w, cfg)
+		if err != nil {
+			return false
+		}
+		if p.Allocation().NumVMs() < 2 {
+			return true
+		}
+		victim := p.Allocation().VMs[rng.Intn(p.Allocation().NumVMs())]
+		if _, err := p.RepairCrash(victim.ID); err != nil {
+			return false
+		}
+		return core.VerifyAllocation(p.Workload(), p.Selection(), p.Allocation(), cfg) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package exact solves tiny MCSS instances optimally by exhaustive dynamic
+// programming, and implements the paper's NP-hardness artifact: the
+// reduction from the Partition Problem to DCSS (Theorem II.2).
+//
+// The solver enumerates every subset of topic–subscriber pairs that
+// satisfies all subscribers, and for each, computes the optimal packing cost
+// with a subset-partition DP (f[mask] = min over blocks). Complexity is
+// O(3^P·P); instances are capped at MaxPairs pairs. It exists to validate
+// the heuristic pipeline: the heuristic can never beat it, and on small
+// instances the heuristic-to-optimal ratio is measurable.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+// MaxPairs bounds instance size; 3^14·14 ≈ 7e7 DP steps is the practical
+// ceiling for a unit-test-speed exact solve.
+const MaxPairs = 14
+
+// ErrTooLarge reports an instance beyond MaxPairs pairs.
+var ErrTooLarge = errors.New("exact: instance exceeds MaxPairs topic-subscriber pairs")
+
+// Solution is an optimal MCSS solution.
+type Solution struct {
+	// Cost is the optimal objective C1(|B|) + C2(Σ bw_b).
+	Cost pricing.MicroUSD
+	// VMs is the VM count of the optimal solution.
+	VMs int
+	// BytesPerHour is Σ bw_b of the optimal solution.
+	BytesPerHour int64
+	// Selected is the chosen pair set, in subscriber-major order.
+	Selected []workload.Pair
+}
+
+// Solve computes the optimal MCSS solution. Config semantics match
+// core.Solve (Tau, MessageBytes, Model); the Stage/Opts fields are ignored.
+// It returns ErrTooLarge for instances with more than MaxPairs pairs and
+// core.ErrInfeasible when no feasible solution exists (some mandatory pair
+// cannot fit in a VM).
+func Solve(w *workload.Workload, cfg core.Config) (Solution, error) {
+	if w.NumPairs() > MaxPairs {
+		return Solution{}, fmt.Errorf("%w: %d pairs", ErrTooLarge, w.NumPairs())
+	}
+	if cfg.MessageBytes == 0 {
+		cfg.MessageBytes = 200
+	}
+	if cfg.Tau <= 0 {
+		return Solution{}, errors.New("exact: Tau must be positive")
+	}
+	bc := cfg.Model.CapacityBytesPerHour()
+	if bc <= 0 {
+		return Solution{}, errors.New("exact: model has no positive capacity")
+	}
+
+	// Flatten pairs.
+	type pairInfo struct {
+		pair  workload.Pair
+		rate  int64 // events/hour
+		rb    int64 // bytes/hour
+		topic int   // dense topic index among referenced topics
+	}
+	var pairs []pairInfo
+	topicIdx := make(map[workload.TopicID]int)
+	w.Pairs(func(p workload.Pair) bool {
+		ti, ok := topicIdx[p.Topic]
+		if !ok {
+			ti = len(topicIdx)
+			topicIdx[p.Topic] = ti
+		}
+		pairs = append(pairs, pairInfo{
+			pair:  p,
+			rate:  w.Rate(p.Topic),
+			rb:    w.Rate(p.Topic) * cfg.MessageBytes,
+			topic: ti,
+		})
+		return true
+	})
+	nP := len(pairs)
+	size := 1 << nP
+
+	// Incremental bandwidth and topic-set tables over pair masks.
+	bw := make([]int64, size)        // bytes/hour if the mask shares one VM
+	topicsOf := make([]uint32, size) // bitmask of dense topic indices
+	topicRB := make([]int64, len(topicIdx))
+	for _, pi := range pairs {
+		topicRB[pi.topic] = pi.rb
+	}
+	for m := 1; m < size; m++ {
+		low := m & -m
+		i := bits.TrailingZeros32(uint32(m))
+		rest := m ^ low
+		topicsOf[m] = topicsOf[rest] | 1<<uint(pairs[i].topic)
+		bw[m] = bw[rest] + pairs[i].rb
+		if topicsOf[rest]&(1<<uint(pairs[i].topic)) == 0 {
+			bw[m] += pairs[i].rb // incoming stream, charged once per VM
+		}
+	}
+
+	// Packing DP: cost[m] = optimal packing of exactly the pairs in m.
+	// We track (vms, bwSum) per mask and minimize C1+C2 — both additive
+	// per block since C1 is linear in the VM count.
+	const inf = int64(1) << 62
+	cost := make([]int64, size) // microdollars
+	vms := make([]int, size)
+	bwSum := make([]int64, size)
+	oneVM := int64(cfg.Model.VMCost(1))
+	for m := 1; m < size; m++ {
+		cost[m] = inf
+		low := m & -m
+		// Enumerate submasks of m that contain the lowest pair.
+		for s := m; s > 0; s = (s - 1) & m {
+			if s&low == 0 {
+				continue
+			}
+			if bw[s] > bc {
+				continue
+			}
+			rest := m ^ s
+			if cost[rest] == inf {
+				continue
+			}
+			c := cost[rest] + oneVM + int64(cfg.Model.BandwidthCost(cfg.Model.TransferBytes(bw[s])))
+			if c < cost[m] {
+				cost[m] = c
+				vms[m] = vms[rest] + 1
+				bwSum[m] = bwSum[rest] + bw[s]
+			}
+		}
+	}
+
+	// Satisfaction masks: per subscriber, the pair indices and τ_v.
+	type subNeed struct {
+		mask uint32
+		tauV int64
+	}
+	needs := make([]subNeed, w.NumSubscribers())
+	for i, pi := range pairs {
+		needs[pi.pair.Sub].mask |= 1 << uint(i)
+	}
+	for v := range needs {
+		needs[v].tauV = w.TauV(workload.SubID(v), cfg.Tau)
+	}
+
+	best := inf
+	bestMask := -1
+	for m := 0; m < size; m++ {
+		if cost[m] == inf && m != 0 {
+			continue
+		}
+		ok := true
+		for _, nd := range needs {
+			var got int64
+			sub := uint32(m) & nd.mask
+			for sub != 0 {
+				i := bits.TrailingZeros32(sub)
+				got += pairs[i].rate
+				sub &= sub - 1
+			}
+			if got < nd.tauV {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		c := cost[m]
+		if m == 0 {
+			c = 0
+		}
+		if c < best {
+			best = c
+			bestMask = m
+		}
+	}
+	if bestMask < 0 {
+		return Solution{}, core.ErrInfeasible
+	}
+	sol := Solution{
+		Cost:         pricing.MicroUSD(best),
+		VMs:          vms[bestMask],
+		BytesPerHour: bwSum[bestMask],
+	}
+	for i := 0; i < nP; i++ {
+		if bestMask&(1<<uint(i)) != 0 {
+			sol.Selected = append(sol.Selected, pairs[i].pair)
+		}
+	}
+	return sol, nil
+}
+
+// Decision answers the paper's DCSS decision problem: is a total cost of at
+// most budget achievable?
+func Decision(w *workload.Workload, cfg core.Config, budget pricing.MicroUSD) (bool, error) {
+	sol, err := Solve(w, cfg)
+	if errors.Is(err, core.ErrInfeasible) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return sol.Cost <= budget, nil
+}
+
+// PartitionToDCSS builds the Theorem II.2 reduction: for multiset xs it
+// returns a DCSS instance (workload + config) and the cost threshold such
+// that the instance admits cost ≤ threshold iff xs can be partitioned into
+// two equal-sum halves. Each integer becomes a topic with one dedicated
+// subscriber; BC = Σ xs (each topic consumes 2·x_i of it); C1 counts VMs at
+// one micro-dollar each and C2 = 0; the threshold is 2 VMs.
+func PartitionToDCSS(xs []int64) (*workload.Workload, core.Config, pricing.MicroUSD, error) {
+	if len(xs) == 0 {
+		return nil, core.Config{}, 0, errors.New("exact: empty partition instance")
+	}
+	var sum, max int64
+	for _, x := range xs {
+		if x <= 0 {
+			return nil, core.Config{}, 0, fmt.Errorf("exact: partition inputs must be positive, got %d", x)
+		}
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	rates := make([]int64, len(xs))
+	subOff := make([]int64, len(xs)+1)
+	subTopics := make([]workload.TopicID, len(xs))
+	for i, x := range xs {
+		rates[i] = x
+		subOff[i+1] = int64(i + 1)
+		subTopics[i] = workload.TopicID(i)
+	}
+	w, err := workload.FromCSR(rates, subOff, subTopics, nil, nil)
+	if err != nil {
+		return nil, core.Config{}, 0, err
+	}
+	m := pricing.Model{
+		Instance:                     pricing.InstanceType{Name: "reduction", HourlyRate: 1, LinkMbps: 1},
+		Hours:                        1,
+		PerGB:                        0, // C2(x) = 0
+		CapacityOverrideBytesPerHour: sum,
+	}
+	cfg := core.Config{
+		Tau:          max, // τ = max x_i: every pair mandatory
+		MessageBytes: 1,
+		Model:        m,
+	}
+	return w, cfg, pricing.MicroUSD(2), nil // threshold: 2 VMs at $1e-6 each
+}

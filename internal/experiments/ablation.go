@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/report"
+)
+
+// AblationRow measures one Stage-2 strategy on a fixed GSP selection.
+type AblationRow struct {
+	Strategy    string
+	VMs         int
+	BytesPerH   int64
+	CostUSD     float64
+	SplitTopics int
+	Elapsed     time.Duration
+}
+
+// RunStage2Ablation goes beyond the paper's ladder: it isolates every
+// Stage-2 strategy (first-fit, best-fit-decreasing, each CBP flag alone,
+// and each cumulative combination) on one GSP selection, exposing how much
+// of CBP's win comes from grouping versus item ordering versus VM choice.
+func RunStage2Ablation(d Dataset, instance pricing.InstanceType, tau int64, scale float64) ([]AblationRow, error) {
+	w, err := Generate(d, scale)
+	if err != nil {
+		return nil, err
+	}
+	model := ModelFor(instance, w)
+	sel := core.GreedySelectPairs(w, tau)
+	base := core.Config{Tau: tau, MessageBytes: MessageBytes, Model: model}
+
+	type strat struct {
+		name string
+		run  func() (*core.Allocation, error)
+	}
+	withOpts := func(opts core.OptFlags) func() (*core.Allocation, error) {
+		cfg := base
+		cfg.Opts = opts
+		return func() (*core.Allocation, error) { return core.CustomBinPacking(sel, cfg) }
+	}
+	strategies := []strat{
+		{"FFBP (pair first-fit)", func() (*core.Allocation, error) { return core.FFBinPacking(sel, base) }},
+		{"BFD (pair best-fit-decreasing)", func() (*core.Allocation, error) { return core.BFDBinPacking(sel, base) }},
+		{"CBP group-only", withOpts(0)},
+		{"CBP +expensive-first", withOpts(core.OptExpensiveTopicFirst)},
+		{"CBP +most-free-vm (alone)", withOpts(core.OptMostFreeVM)},
+		{"CBP +cost-based (alone)", withOpts(core.OptCostBased)},
+		{"CBP expensive+most-free", withOpts(core.OptExpensiveTopicFirst | core.OptMostFreeVM)},
+		{"CBP all", withOpts(core.OptAll)},
+	}
+
+	rows := make([]AblationRow, 0, len(strategies))
+	for _, s := range strategies {
+		start := time.Now()
+		alloc, err := s.run()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.name, err)
+		}
+		elapsed := time.Since(start)
+		u := alloc.ComputeUtilization()
+		rows = append(rows, AblationRow{
+			Strategy:    s.name,
+			VMs:         alloc.NumVMs(),
+			BytesPerH:   alloc.TotalBytesPerHour(),
+			CostUSD:     alloc.Cost(model).USD(),
+			SplitTopics: u.SplitTopics,
+			Elapsed:     elapsed,
+		})
+	}
+	return rows, nil
+}
+
+// AblationTable renders the ablation rows.
+func AblationTable(d Dataset, tau int64, rows []AblationRow) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Stage-2 ablation on %s, τ=%d (same GSP selection)", d, tau),
+		"strategy", "VMs", "bytes/h", "cost $", "split topics", "time")
+	for _, r := range rows {
+		t.AddRow(r.Strategy, r.VMs, r.BytesPerH, r.CostUSD, r.SplitTopics,
+			r.Elapsed.Round(time.Microsecond).String())
+	}
+	return t
+}

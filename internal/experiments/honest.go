@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/report"
+)
+
+// HonestCapacityRow contrasts a solve under the paper's literal
+// mbps-derived VM capacity with the calibrated effective capacity.
+type HonestCapacityRow struct {
+	Tau            int64
+	HonestVMs      int
+	HonestCost     pricing.MicroUSD
+	CalibratedVMs  int
+	CalibratedCost pricing.MicroUSD
+}
+
+// RunHonestCapacity solves the dataset under (a) the honest 64 mbps →
+// bytes/hour conversion for c3.large and (b) the calibrated effective
+// capacity used by the figure experiments. It demonstrates DESIGN.md §3's
+// unit-model note empirically: under the honest conversion the entire
+// workload fits in one or two VMs, which cannot reproduce the paper's
+// reported 10²–10³ VM fleets — hence the calibrated capacity.
+func RunHonestCapacity(d Dataset, scale float64) ([]HonestCapacityRow, error) {
+	w, err := Generate(d, scale)
+	if err != nil {
+		return nil, err
+	}
+	honest := pricing.NewModel(pricing.C3Large) // no override: 28.8 GB/hour
+	calibrated := ModelFor(pricing.C3Large, w)
+
+	var rows []HonestCapacityRow
+	for _, tau := range Taus {
+		row := HonestCapacityRow{Tau: tau}
+		hres, err := core.Solve(w, core.Config{
+			Tau: tau, MessageBytes: MessageBytes, Model: honest,
+			Stage1: core.Stage1Greedy, Stage2: core.Stage2Custom, Opts: core.OptAll,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.HonestVMs = hres.Allocation.NumVMs()
+		row.HonestCost = hres.Cost(honest)
+
+		cres, err := core.Solve(w, core.Config{
+			Tau: tau, MessageBytes: MessageBytes, Model: calibrated,
+			Stage1: core.Stage1Greedy, Stage2: core.Stage2Custom, Opts: core.OptAll,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.CalibratedVMs = cres.Allocation.NumVMs()
+		row.CalibratedCost = cres.Cost(calibrated)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// HonestCapacityTable renders the comparison.
+func HonestCapacityTable(d Dataset, rows []HonestCapacityRow) *report.Table {
+	t := report.NewTable(
+		"Honest 64 mbps capacity vs calibrated capacity, "+d.String()+
+			" (see DESIGN.md §3)",
+		"tau", "honest VMs", "honest cost", "calibrated VMs", "calibrated cost")
+	for _, r := range rows {
+		t.AddRow(r.Tau, r.HonestVMs, r.HonestCost.String(), r.CalibratedVMs, r.CalibratedCost.String())
+	}
+	return t
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/report"
+)
+
+// Stage1Savings reports 1 − cost(GSP+FFBP)/cost(RSP+FFBP) for the given τ —
+// the paper's §IV-C Stage-1 comparison.
+func (r *LadderResult) Stage1Savings(tau int64) float64 {
+	var naive, gsp float64
+	for _, row := range r.Rows {
+		if row.Tau != tau {
+			continue
+		}
+		switch row.Rung {
+		case "RSP+FFBP":
+			naive = row.CostUSD
+		case "(a) GSP+FFBP":
+			gsp = row.CostUSD
+		}
+	}
+	if naive == 0 {
+		return 0
+	}
+	return 1 - gsp/naive
+}
+
+// paperStage1Savings records the §IV-C reductions the paper reports for
+// GSP vs RSP (both with FFBP), keyed by dataset, instance link speed, and τ.
+var paperStage1Savings = map[Dataset]map[int64]map[int64]float64{
+	Spotify: {
+		64:  {10: 0.33, 100: 0.276, 1000: 0.109},
+		128: {10: 0.327, 100: 0.176, 1000: 0.108},
+	},
+	Twitter: {
+		64:  {10: 0.71, 100: 0.514, 1000: 0.291},
+		128: {10: 0.70, 100: 0.519, 1000: 0.203},
+	},
+}
+
+// paperFullSavings records the §IV-F headline total savings of the complete
+// solution (GSP+CBP, all optimizations) vs the naive baseline.
+var paperFullSavings = map[Dataset]float64{
+	Spotify: 0.38,
+	Twitter: 0.74,
+}
+
+// SummaryRow pairs one measured data point with the paper's reported value.
+type SummaryRow struct {
+	Dataset     Dataset
+	Instance    string
+	Tau         int64
+	PaperStage1 float64 // paper's GSP-vs-RSP saving
+	MeasStage1  float64
+	MeasFull    float64 // full ladder vs naive
+	OverLB      float64 // full cost over lower bound
+}
+
+// Summary runs all four ladder panels and compares the measured savings
+// against the paper's reported numbers — the data behind EXPERIMENTS.md.
+type Summary struct {
+	Rows []SummaryRow
+	// MaxFullSavings per dataset (across τ and instances), to compare with
+	// the paper's "up to 74%/38%" claims.
+	MaxFullSavings map[Dataset]float64
+	// Panels retains the underlying ladders for rendering.
+	Panels []*LadderResult
+}
+
+// RunSummary executes the four panels of Figs. 2–3 at the given scale.
+func RunSummary(scale float64) (*Summary, error) {
+	s := &Summary{MaxFullSavings: map[Dataset]float64{}}
+	for _, d := range []Dataset{Spotify, Twitter} {
+		for _, inst := range []pricing.InstanceType{pricing.C3Large, pricing.C3XLarge} {
+			panel, err := RunLadder(d, inst, scale)
+			if err != nil {
+				return nil, err
+			}
+			s.Panels = append(s.Panels, panel)
+			for _, tau := range Taus {
+				full := panel.Savings(tau)
+				if full > s.MaxFullSavings[d] {
+					s.MaxFullSavings[d] = full
+				}
+				s.Rows = append(s.Rows, SummaryRow{
+					Dataset:     d,
+					Instance:    inst.Name,
+					Tau:         tau,
+					PaperStage1: paperStage1Savings[d][inst.LinkMbps][tau],
+					MeasStage1:  panel.Stage1Savings(tau),
+					MeasFull:    full,
+					OverLB:      panel.OverLowerBound(tau),
+				})
+			}
+		}
+	}
+	return s, nil
+}
+
+// PaperFullSavings exposes the paper's headline numbers for comparison.
+func PaperFullSavings(d Dataset) float64 { return paperFullSavings[d] }
+
+// Table renders the paper-vs-measured comparison.
+func (s *Summary) Table() *report.Table {
+	t := report.NewTable("Paper vs measured savings (GSP-vs-RSP = Stage 1 only; full = all optimizations)",
+		"dataset", "instance", "tau", "paper stage1", "meas stage1", "meas full", "over LB")
+	pct := func(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+	for _, row := range s.Rows {
+		t.AddRow(row.Dataset.String(), row.Instance, row.Tau,
+			pct(row.PaperStage1), pct(row.MeasStage1), pct(row.MeasFull), pct(row.OverLB))
+	}
+	return t
+}

@@ -1,0 +1,144 @@
+package pubsub
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+func buildCluster(t *testing.T) (*Cluster, *workload.Workload) {
+	t.Helper()
+	w := mustWorkload(t, []int64{10, 20}, [][]workload.TopicID{{0, 1}, {0}, {1}})
+	res, _ := solveFor(t, w, 100, 100_000)
+	c, err := NewCluster(w, res.Allocation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, w
+}
+
+func TestClusterDeliversToAllPairs(t *testing.T) {
+	c, _ := buildCluster(t)
+	c.Start()
+	payload := make([]byte, 8)
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := c.Publish(Message{Topic: 0, Seq: int64(i), Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Publish(Message{Topic: 1, Seq: int64(i), Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Stop()
+
+	// Topic 0 has subscribers {0,1}; topic 1 has {0,2}.
+	if got := c.Delivered(0); got != 2*n {
+		t.Errorf("Delivered(0) = %d, want %d", got, 2*n)
+	}
+	if got := c.Delivered(1); got != n {
+		t.Errorf("Delivered(1) = %d, want %d", got, n)
+	}
+	if got := c.Delivered(2); got != n {
+		t.Errorf("Delivered(2) = %d, want %d", got, n)
+	}
+	if got := c.TotalDelivered(); got != 4*n {
+		t.Errorf("TotalDelivered = %d, want %d", got, 4*n)
+	}
+}
+
+func TestClusterTrafficAccounting(t *testing.T) {
+	c, _ := buildCluster(t)
+	c.Start()
+	payload := make([]byte, 10)
+	if err := c.Publish(Message{Topic: 0, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	var in, out int64
+	for id := range c.brokers {
+		tr := c.VMTraffic(id)
+		in += tr.InBytes
+		out += tr.OutBytes
+	}
+	// One publication: ingress 10 bytes per hosting VM (single VM here),
+	// egress 10 bytes per pair (2 pairs of topic 0).
+	if in != 10 {
+		t.Errorf("in = %d, want 10", in)
+	}
+	if out != 20 {
+		t.Errorf("out = %d, want 20", out)
+	}
+}
+
+func TestClusterPublishBeforeStart(t *testing.T) {
+	c, _ := buildCluster(t)
+	if err := c.Publish(Message{Topic: 0}); err != ErrNotStarted {
+		t.Errorf("err = %v, want ErrNotStarted", err)
+	}
+}
+
+func TestClusterPublishUnknownTopic(t *testing.T) {
+	c, _ := buildCluster(t)
+	c.Start()
+	defer c.Stop()
+	if err := c.Publish(Message{Topic: 99}); err == nil {
+		t.Error("publish to unknown topic accepted")
+	}
+}
+
+func TestClusterConcurrentPublishers(t *testing.T) {
+	c, _ := buildCluster(t)
+	c.Start()
+	payload := make([]byte, 4)
+	const perPublisher = 200
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(topic workload.TopicID) {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				_ = c.Publish(Message{Topic: topic, Seq: int64(i), Payload: payload})
+			}
+		}(workload.TopicID(p % 2))
+	}
+	wg.Wait()
+	c.Stop()
+	// 2 publishers per topic × 200 events. Topic 0 fans out to 2 pairs,
+	// topic 1 to 2 pairs → 1600 total deliveries.
+	if got := c.TotalDelivered(); got != 1600 {
+		t.Errorf("TotalDelivered = %d, want 1600", got)
+	}
+}
+
+func TestClusterStopIdempotentAndRestart(t *testing.T) {
+	c, _ := buildCluster(t)
+	c.Stop() // no-op before start
+	c.Start()
+	c.Start() // idempotent
+	if err := c.Publish(Message{Topic: 0, Payload: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	if got := c.Delivered(0); got != 1 {
+		t.Errorf("Delivered = %d, want 1", got)
+	}
+}
+
+func TestClusterValidatesPlacements(t *testing.T) {
+	w := mustWorkload(t, []int64{10}, [][]workload.TopicID{{0}})
+	bad := &core.Allocation{VMs: []*core.VM{
+		{ID: 0, Placements: []core.TopicPlacement{{Topic: 7, Subs: []workload.SubID{0}}}},
+	}}
+	if _, err := NewCluster(w, bad); err == nil {
+		t.Error("unknown topic placement accepted")
+	}
+	bad2 := &core.Allocation{VMs: []*core.VM{
+		{ID: 0, Placements: []core.TopicPlacement{{Topic: 0, Subs: []workload.SubID{42}}}},
+	}}
+	if _, err := NewCluster(w, bad2); err == nil {
+		t.Error("unknown subscriber placement accepted")
+	}
+}

@@ -1,0 +1,111 @@
+package tracegen
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// aliasTable implements Walker's alias method for O(1) sampling from a
+// discrete distribution with arbitrary non-negative weights. Building is
+// O(n). It is the workhorse behind popularity-weighted topic selection:
+// subscribers pick topics proportionally to a heavy-tailed popularity
+// weight, which is what produces power-law follower distributions.
+type aliasTable struct {
+	prob  []float64
+	alias []int32
+}
+
+var errNoWeights = errors.New("tracegen: alias table needs at least one positive weight")
+
+// newAliasTable builds an alias table over weights. Negative weights are
+// treated as zero. It fails when no weight is positive.
+func newAliasTable(weights []float64) (*aliasTable, error) {
+	n := len(weights)
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return nil, errNoWeights
+	}
+
+	t := &aliasTable{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Scale weights so the mean is exactly 1.
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		scaled[i] = w * float64(n) / total
+	}
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Numerical leftovers get probability 1 of themselves.
+	for _, i := range large {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	for _, i := range small {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	return t, nil
+}
+
+// sample draws one index from the distribution.
+func (t *aliasTable) sample(rng *rand.Rand) int32 {
+	i := int32(rng.Intn(len(t.prob)))
+	if rng.Float64() < t.prob[i] {
+		return i
+	}
+	return t.alias[i]
+}
+
+// boundedPareto samples a discrete power-law value in [min, max] with tail
+// exponent alpha (> 1) by inverse-transform sampling of a continuous bounded
+// Pareto and flooring. Larger alpha means lighter tails.
+func boundedPareto(rng *rand.Rand, min, max int64, alpha float64) int64 {
+	if min >= max {
+		return min
+	}
+	lo, hi := float64(min), float64(max)+1
+	u := rng.Float64()
+	// Inverse CDF of bounded Pareto.
+	a := 1 - u*(1-math.Pow(lo/hi, alpha-1))
+	x := lo / math.Pow(a, 1/(alpha-1))
+	v := int64(x)
+	if v < min {
+		v = min
+	}
+	if v > max {
+		v = max
+	}
+	return v
+}

@@ -1,0 +1,409 @@
+package tracegen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/pubsub-systems/mcss/internal/stats"
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+func TestAliasTableUniform(t *testing.T) {
+	table, err := newAliasTable([]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 4)
+	const n = 40_000
+	for i := 0; i < n; i++ {
+		counts[table.sample(rng)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.25) > 0.02 {
+			t.Errorf("index %d sampled with frequency %v, want ~0.25", i, frac)
+		}
+	}
+}
+
+func TestAliasTableSkewed(t *testing.T) {
+	table, err := newAliasTable([]float64{9, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	count0 := 0
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		if table.sample(rng) == 0 {
+			count0++
+		}
+	}
+	frac := float64(count0) / n
+	if math.Abs(frac-0.9) > 0.02 {
+		t.Errorf("index 0 sampled with frequency %v, want ~0.9", frac)
+	}
+}
+
+func TestAliasTableZeroWeightNeverSampled(t *testing.T) {
+	table, err := newAliasTable([]float64{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10_000; i++ {
+		if table.sample(rng) == 1 {
+			t.Fatal("sampled zero-weight index")
+		}
+	}
+}
+
+func TestAliasTableRejectsAllZero(t *testing.T) {
+	if _, err := newAliasTable([]float64{0, 0}); err == nil {
+		t.Error("expected error for all-zero weights")
+	}
+	if _, err := newAliasTable(nil); err == nil {
+		t.Error("expected error for empty weights")
+	}
+}
+
+func TestAliasTableNegativeTreatedAsZero(t *testing.T) {
+	table, err := newAliasTable([]float64{-5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5_000; i++ {
+		if table.sample(rng) == 0 {
+			t.Fatal("sampled negative-weight index")
+		}
+	}
+}
+
+func TestPropertyAliasTableFrequencies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		weights := make([]float64, n)
+		var total float64
+		for i := range weights {
+			weights[i] = float64(1 + rng.Intn(10))
+			total += weights[i]
+		}
+		table, err := newAliasTable(weights)
+		if err != nil {
+			return false
+		}
+		counts := make([]int, n)
+		const draws = 30_000
+		for i := 0; i < draws; i++ {
+			counts[table.sample(rng)]++
+		}
+		for i := range weights {
+			want := weights[i] / total
+			got := float64(counts[i]) / draws
+			if math.Abs(got-want) > 0.05 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundedParetoBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100_000; i++ {
+		v := boundedPareto(rng, 3, 500, 1.8)
+		if v < 3 || v > 500 {
+			t.Fatalf("sample %d out of [3,500]", v)
+		}
+	}
+}
+
+func TestBoundedParetoDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if v := boundedPareto(rng, 7, 7, 2); v != 7 {
+		t.Errorf("degenerate range sample = %d, want 7", v)
+	}
+	if v := boundedPareto(rng, 7, 3, 2); v != 7 {
+		t.Errorf("inverted range sample = %d, want 7", v)
+	}
+}
+
+func TestBoundedParetoHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 200_000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = float64(boundedPareto(rng, 1, 1_000_000, 2.0))
+	}
+	// Most mass near the minimum, but a real tail.
+	if frac := stats.TailFraction(samples, 1); frac > 0.6 {
+		t.Errorf("P(X>1) = %v, want most mass at 1 for alpha=2", frac)
+	}
+	if frac := stats.TailFraction(samples, 1000); frac == 0 {
+		t.Error("no samples above 1000; tail too light")
+	}
+	// CCDF slope should be roughly -(alpha-1) = -1 in log-log space.
+	ccdf := stats.CCDF(samples)
+	slope, err := stats.LogLogSlope(ccdf[:len(ccdf)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slope > -0.6 || slope < -1.6 {
+		t.Errorf("CCDF slope = %v, want ≈ -1", slope)
+	}
+}
+
+func testScaleTwitter() TwitterConfig {
+	cfg := DefaultTwitterConfig()
+	return cfg.Scale(0.1) // 2k topics, 10k subscribers: fast for tests
+}
+
+func testScaleSpotify() SpotifyConfig {
+	cfg := DefaultSpotifyConfig()
+	return cfg.Scale(0.1)
+}
+
+func TestTwitterGeneratesValidWorkload(t *testing.T) {
+	w, err := Twitter(testScaleTwitter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if w.NumSubscribers() != 10_000 {
+		t.Errorf("NumSubscribers = %d, want 10000", w.NumSubscribers())
+	}
+	if w.NumTopics() == 0 || w.NumTopics() > 2_000 {
+		t.Errorf("NumTopics = %d, want (0, 2000]", w.NumTopics())
+	}
+}
+
+func TestTwitterDeterministic(t *testing.T) {
+	cfg := testScaleTwitter()
+	w1, err := Twitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Twitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.NumPairs() != w2.NumPairs() || w1.NumTopics() != w2.NumTopics() {
+		t.Fatal("same seed produced different shapes")
+	}
+	for v := 0; v < w1.NumSubscribers(); v++ {
+		t1, t2 := w1.Topics(workload.SubID(v)), w2.Topics(workload.SubID(v))
+		if len(t1) != len(t2) {
+			t.Fatalf("subscriber %d interest size differs", v)
+		}
+		for i := range t1 {
+			if t1[i] != t2[i] {
+				t.Fatalf("subscriber %d interest differs at %d", v, i)
+			}
+		}
+	}
+	for tid := 0; tid < w1.NumTopics(); tid++ {
+		if w1.Rate(workload.TopicID(tid)) != w2.Rate(workload.TopicID(tid)) {
+			t.Fatalf("topic %d rate differs", tid)
+		}
+	}
+}
+
+func TestTwitterSeedChangesOutput(t *testing.T) {
+	cfg := testScaleTwitter()
+	w1, _ := Twitter(cfg)
+	cfg.Seed++
+	w2, _ := Twitter(cfg)
+	if w1.NumPairs() == w2.NumPairs() && w1.TotalEventRate() == w2.TotalEventRate() {
+		t.Error("different seeds produced identical workload fingerprint")
+	}
+}
+
+func TestTwitterFollowingsAnomalies(t *testing.T) {
+	w, err := Twitter(testScaleTwitter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	at20, at19 := 0, 0
+	for v := 0; v < w.NumSubscribers(); v++ {
+		switch w.Followings(workload.SubID(v)) {
+		case 20:
+			at20++
+		case 19:
+			at19++
+		}
+	}
+	// The spike at 20 should stick far out of the smooth neighborhood.
+	if at20 < 3*at19+10 {
+		t.Errorf("followings spike at 20 missing: |20|=%d |19|=%d", at20, at19)
+	}
+}
+
+func TestTwitterFollowerDistributionHeavyTailed(t *testing.T) {
+	w, err := Twitter(testScaleTwitter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	followers := make([]float64, w.NumTopics())
+	for tid := range followers {
+		followers[tid] = float64(w.Followers(workload.TopicID(tid)))
+	}
+	mean, _ := stats.Mean(followers)
+	max, _ := stats.Max(followers)
+	if max < 20*mean {
+		t.Errorf("follower max %v vs mean %v: tail too light", max, mean)
+	}
+	ccdf := stats.CCDF(followers)
+	slope, err := stats.LogLogSlope(ccdf[:len(ccdf)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slope >= 0 {
+		t.Errorf("follower CCDF slope = %v, want negative (power-law-ish)", slope)
+	}
+}
+
+func TestTwitterCelebrityDamping(t *testing.T) {
+	cfg := testScaleTwitter()
+	cfg.BotFraction = 0 // isolate the damping effect
+	w, err := Twitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean rate of celebrity topics should fall below the trend of
+	// mid-popularity topics (paper Fig. 10's flattening cloud).
+	var midSum, midN, celebSum, celebN float64
+	for tid := 0; tid < w.NumTopics(); tid++ {
+		f := w.Followers(workload.TopicID(tid))
+		r := float64(w.Rate(workload.TopicID(tid)))
+		perFollower := r / float64(f)
+		switch {
+		case f >= 200 && int64(f) <= cfg.CelebrityFollowers:
+			midSum += perFollower
+			midN++
+		case int64(f) > cfg.CelebrityFollowers:
+			celebSum += perFollower
+			celebN++
+		}
+	}
+	if midN == 0 || celebN == 0 {
+		t.Skip("scaled trace lacks celebrity population; increase scale")
+	}
+	if celebSum/celebN >= midSum/midN {
+		t.Errorf("celebrity rate-per-follower %v ≥ mid-tier %v; damping not visible",
+			celebSum/celebN, midSum/midN)
+	}
+}
+
+func TestSpotifyGeneratesValidWorkload(t *testing.T) {
+	w, err := Spotify(testScaleSpotify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Interest sets are small: mean followings should be modest (the
+	// paper's trace averages ~2.4; we accept a loose band).
+	mean := float64(w.NumPairs()) / float64(w.NumSubscribers())
+	if mean < 1 || mean > 8 {
+		t.Errorf("mean followings = %v, want small (1..8)", mean)
+	}
+}
+
+func TestSpotifyRatesWithinBounds(t *testing.T) {
+	cfg := testScaleSpotify()
+	w, err := Spotify(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid := 0; tid < w.NumTopics(); tid++ {
+		r := w.Rate(workload.TopicID(tid))
+		if r < 1 || r > cfg.MaxRate {
+			t.Fatalf("rate %d out of [1, %d]", r, cfg.MaxRate)
+		}
+	}
+}
+
+func TestSpotifyDeterministic(t *testing.T) {
+	cfg := testScaleSpotify()
+	w1, _ := Spotify(cfg)
+	w2, _ := Spotify(cfg)
+	if w1.NumPairs() != w2.NumPairs() || w1.TotalEventRate() != w2.TotalEventRate() {
+		t.Error("same seed produced different workloads")
+	}
+}
+
+func TestRandomGenerator(t *testing.T) {
+	w, err := Random(RandomConfig{Topics: 50, Subscribers: 200, MaxFollowings: 5, MaxRate: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if w.NumSubscribers() != 200 {
+		t.Errorf("NumSubscribers = %d, want 200", w.NumSubscribers())
+	}
+}
+
+func TestRandomDefaultsApplied(t *testing.T) {
+	w, err := Random(RandomConfig{Topics: 10, Subscribers: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestGeneratorsRejectBadConfig(t *testing.T) {
+	if _, err := Twitter(TwitterConfig{}); err == nil {
+		t.Error("Twitter(zero config) should error")
+	}
+	if _, err := Spotify(SpotifyConfig{}); err == nil {
+		t.Error("Spotify(zero config) should error")
+	}
+	if _, err := Random(RandomConfig{}); err == nil {
+		t.Error("Random(zero config) should error")
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	tw := DefaultTwitterConfig().Scale(0.5)
+	if tw.Topics != 10_000 || tw.Subscribers != 50_000 {
+		t.Errorf("Twitter scale: %d topics %d subs", tw.Topics, tw.Subscribers)
+	}
+	sp := DefaultSpotifyConfig().Scale(2)
+	if sp.Topics != 60_000 || sp.Subscribers != 260_000 {
+		t.Errorf("Spotify scale: %d topics %d subs", sp.Topics, sp.Subscribers)
+	}
+}
+
+func TestPropertyRandomWorkloadsAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		w, err := Random(RandomConfig{
+			Topics:        1 + int(seed%17&0xf),
+			Subscribers:   1 + int(seed%23&0x1f),
+			MaxFollowings: 4,
+			MaxRate:       50,
+			Seed:          seed,
+		})
+		if err != nil {
+			return false
+		}
+		return w.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+package traceio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+// Binary format (version 2): a compact varint encoding for large traces.
+//
+//	magic   "MCSB" (4 bytes) + version byte 0x02
+//	uvarint numTopics, numSubscribers, numPairs
+//	numTopics × uvarint   topic event rates
+//	per subscriber:
+//	    uvarint interest size d
+//	    d × uvarint          delta-encoded topic IDs (first absolute,
+//	                         then gaps; interests are sorted ascending)
+//
+// Delta-encoding the sorted interests keeps popular-ID-heavy social
+// workloads several times smaller than the text format, and varints make
+// the common small-rate/small-gap case one byte.
+
+var binMagic = [5]byte{'M', 'C', 'S', 'B', 2}
+
+// WriteBinary serializes w in the v2 binary format.
+func WriteBinary(w *workload.Workload, out io.Writer) error {
+	bw := bufio.NewWriterSize(out, 1<<20)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := putUvarint(uint64(w.NumTopics())); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(w.NumSubscribers())); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(w.NumPairs())); err != nil {
+		return err
+	}
+	for t := 0; t < w.NumTopics(); t++ {
+		if err := putUvarint(uint64(w.Rate(workload.TopicID(t)))); err != nil {
+			return err
+		}
+	}
+	for v := 0; v < w.NumSubscribers(); v++ {
+		ts := w.Topics(workload.SubID(v))
+		if err := putUvarint(uint64(len(ts))); err != nil {
+			return err
+		}
+		prev := int64(0)
+		for i, t := range ts {
+			var delta int64
+			if i == 0 {
+				delta = int64(t)
+			} else {
+				delta = int64(t) - prev
+				if delta < 0 {
+					return fmt.Errorf("traceio: subscriber %d interests not sorted", v)
+				}
+			}
+			prev = int64(t)
+			if err := putUvarint(uint64(delta)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a v2 binary trace.
+func ReadBinary(in io.Reader) (*workload.Workload, error) {
+	br := bufio.NewReaderSize(in, 1<<20)
+	var magic [5]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("%w: bad binary magic %q", ErrBadFormat, magic[:])
+	}
+	readUvarint := func() (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		return v, nil
+	}
+	numT64, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	numV64, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	numP64, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	const maxReasonable = 1 << 33
+	if numT64 > maxReasonable || numV64 > maxReasonable || numP64 > maxReasonable {
+		return nil, fmt.Errorf("%w: implausible header %d/%d/%d", ErrBadFormat, numT64, numV64, numP64)
+	}
+	numT, numV, numP := int(numT64), int(numV64), int64(numP64)
+
+	// Like the text reader, never trust the header for allocation sizes:
+	// capacities are clamped and the slices grow with the actual stream.
+	rates := make([]int64, 0, clampCap(numT))
+	for t := 0; t < numT; t++ {
+		r, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		rates = append(rates, int64(r))
+	}
+	subOff := make([]int64, 1, clampCap(numV)+1)
+	subTopics := make([]workload.TopicID, 0, clampCap(int(min64(numP, 1<<40))))
+	for v := 0; v < numV; v++ {
+		d, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if int64(d) > numP {
+			return nil, fmt.Errorf("%w: subscriber %d interest size %d exceeds pair count", ErrBadFormat, v, d)
+		}
+		prev := int64(0)
+		for i := uint64(0); i < d; i++ {
+			delta, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			var t int64
+			if i == 0 {
+				t = int64(delta)
+			} else {
+				t = prev + int64(delta)
+			}
+			prev = t
+			subTopics = append(subTopics, workload.TopicID(t))
+		}
+		subOff = append(subOff, int64(len(subTopics)))
+	}
+	if int64(len(subTopics)) != numP {
+		return nil, fmt.Errorf("%w: header says %d pairs, stream has %d", ErrBadFormat, numP, len(subTopics))
+	}
+	return workload.FromCSR(rates, subOff, subTopics, nil, nil)
+}

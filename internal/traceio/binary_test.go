@@ -1,0 +1,195 @@
+package traceio
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"github.com/pubsub-systems/mcss/internal/tracegen"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	w := sample(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(w, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalWorkloads(w, got) {
+		t.Error("binary round trip changed the workload")
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	w, err := tracegen.Twitter(tracegen.DefaultTwitterConfig().Scale(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text, bin bytes.Buffer
+	if err := Write(w, &text); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(w, &bin); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= text.Len() {
+		t.Errorf("binary %d bytes not smaller than text %d", bin.Len(), text.Len())
+	}
+	t.Logf("text %d bytes, binary %d bytes (%.1fx smaller)",
+		text.Len(), bin.Len(), float64(text.Len())/float64(bin.Len()))
+}
+
+func TestBinarySaveLoadVariants(t *testing.T) {
+	w := sample(t)
+	dir := t.TempDir()
+	for _, name := range []string{"t.bin", "t.bin.gz"} {
+		path := filepath.Join(dir, name)
+		if err := Save(w, path); err != nil {
+			t.Fatalf("Save(%s): %v", name, err)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", name, err)
+		}
+		if !equalWorkloads(w, got) {
+			t.Errorf("%s: round trip changed the workload", name)
+		}
+	}
+}
+
+func TestIsBinaryPath(t *testing.T) {
+	tests := []struct {
+		path string
+		want bool
+	}{
+		{"t.bin", true},
+		{"t.bin.gz", true},
+		{"t.txt", false},
+		{"t.txt.gz", false},
+		{"t.gz", false},
+		{"binary.trace", false},
+	}
+	for _, tc := range tests {
+		if got := isBinaryPath(tc.path); got != tc.want {
+			t.Errorf("isBinaryPath(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestReadBinaryRejectsMalformed(t *testing.T) {
+	w := sample(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(w, &buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	tests := []struct {
+		name string
+		in   []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("XXXXX rest")},
+		{"wrong version", append([]byte{'M', 'C', 'S', 'B', 9}, good[5:]...)},
+		{"truncated header", good[:6]},
+		{"truncated body", good[:len(good)/2]},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadBinary(bytes.NewReader(tc.in)); !errors.Is(err, ErrBadFormat) {
+				t.Errorf("err = %v, want ErrBadFormat", err)
+			}
+		})
+	}
+}
+
+func TestReadBinaryRejectsImplausibleHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(binMagic[:])
+	// numTopics = 2^40 — implausible.
+	buf.Write([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01})
+	buf.Write([]byte{0, 0})
+	if _, err := ReadBinary(&buf); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestPropertyBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		w, err := tracegen.Random(tracegen.RandomConfig{
+			Topics:        1 + int(uint64(seed)%13),
+			Subscribers:   1 + int(uint64(seed)%29),
+			MaxFollowings: 4,
+			MaxRate:       100_000,
+			Seed:          seed,
+		})
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(w, &buf); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return equalWorkloads(w, got)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWriteText(b *testing.B) {
+	w, err := tracegen.Twitter(tracegen.DefaultTwitterConfig().Scale(0.02))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(w, &buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteBinary(b *testing.B) {
+	w, err := tracegen.Twitter(tracegen.DefaultTwitterConfig().Scale(0.02))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteBinary(w, &buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadBinary(b *testing.B) {
+	w, err := tracegen.Twitter(tracegen.DefaultTwitterConfig().Scale(0.02))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(w, &buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

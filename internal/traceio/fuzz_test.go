@@ -1,0 +1,90 @@
+package traceio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/pubsub-systems/mcss/internal/tracegen"
+)
+
+// FuzzRead hardens the text parser: any input must either parse into a
+// valid workload or return an error — never panic, never produce a
+// workload that breaks the CSR invariants.
+func FuzzRead(f *testing.F) {
+	w, err := tracegen.Random(tracegen.RandomConfig{
+		Topics: 5, Subscribers: 10, MaxFollowings: 3, MaxRate: 50, Seed: 1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(w, &buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("mcss-trace 1\n0 0 0\n")
+	f.Add("mcss-trace 1\n1 1 1\n5\n0\n")
+	f.Add("mcss-trace 1\n1 1 1\n5\n0 0 0\n")
+	f.Add("garbage")
+	f.Add("mcss-trace 1\n-1 -2 -3\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		got, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Parsed successfully: the workload must be internally
+		// consistent (re-serializable and re-parsable to equal shape).
+		var out bytes.Buffer
+		if err := Write(got, &out); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		back, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if !equalWorkloads(got, back) {
+			t.Fatal("round trip after fuzz parse changed the workload")
+		}
+	})
+}
+
+// FuzzReadBinary does the same for the varint binary parser.
+func FuzzReadBinary(f *testing.F) {
+	w, err := tracegen.Random(tracegen.RandomConfig{
+		Topics: 5, Subscribers: 10, MaxFollowings: 3, MaxRate: 50, Seed: 2,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(w, &buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("MCSB\x02"))
+	f.Add([]byte("MCSB\x02\x00\x00\x00"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		got, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(got, &out); err != nil {
+			// A parsed workload can still have unsorted interests only
+			// if the parser is broken — surface it.
+			t.Fatalf("re-serialize: %v", err)
+		}
+		back, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if !equalWorkloads(got, back) {
+			t.Fatal("round trip after fuzz parse changed the workload")
+		}
+	})
+}

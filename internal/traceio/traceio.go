@@ -1,0 +1,197 @@
+// Package traceio serializes workload traces in a compact line-oriented
+// text format (optionally gzip-compressed), in the spirit of the tweet-rate
+// dump the MCSS paper published alongside its Twitter dataset.
+//
+// Format (version 1):
+//
+//	mcss-trace 1
+//	<numTopics> <numSubscribers> <numPairs>
+//	<rate of topic 0>
+//	...
+//	<rate of topic numTopics-1>
+//	<space-separated topic IDs of subscriber 0>
+//	...
+//	<space-separated topic IDs of subscriber numSubscribers-1>
+//
+// Topic and subscriber identifiers are implicit line positions, which keeps
+// multi-million-pair traces small and diff-friendly. Files ending in ".gz"
+// are transparently (de)compressed.
+package traceio
+
+import (
+	"bufio"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+const magic = "mcss-trace 1"
+
+// ErrBadFormat reports a malformed trace stream.
+var ErrBadFormat = errors.New("traceio: malformed trace")
+
+// Write serializes w to out in the v1 text format.
+func Write(w *workload.Workload, out io.Writer) error {
+	bw := bufio.NewWriterSize(out, 1<<20)
+	if _, err := fmt.Fprintf(bw, "%s\n%d %d %d\n", magic, w.NumTopics(), w.NumSubscribers(), w.NumPairs()); err != nil {
+		return err
+	}
+	for t := 0; t < w.NumTopics(); t++ {
+		bw.WriteString(strconv.FormatInt(w.Rate(workload.TopicID(t)), 10))
+		bw.WriteByte('\n')
+	}
+	for v := 0; v < w.NumSubscribers(); v++ {
+		for i, t := range w.Topics(workload.SubID(v)) {
+			if i > 0 {
+				bw.WriteByte(' ')
+			}
+			bw.WriteString(strconv.FormatInt(int64(t), 10))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// Read parses a v1 trace stream into a Workload.
+func Read(in io.Reader) (*workload.Workload, error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: empty stream", ErrBadFormat)
+	}
+	if got := strings.TrimSpace(sc.Text()); got != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, got)
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: missing header", ErrBadFormat)
+	}
+	var numT, numV int
+	var numP int64
+	if _, err := fmt.Sscanf(sc.Text(), "%d %d %d", &numT, &numV, &numP); err != nil {
+		return nil, fmt.Errorf("%w: header %q: %v", ErrBadFormat, sc.Text(), err)
+	}
+	if numT < 0 || numV < 0 || numP < 0 {
+		return nil, fmt.Errorf("%w: negative counts in header", ErrBadFormat)
+	}
+
+	// Allocations grow with the actual stream, never with the claimed
+	// header counts — a hostile header must not be able to force a huge
+	// up-front allocation (found by FuzzRead).
+	rates := make([]int64, 0, clampCap(numT))
+	for t := 0; t < numT; t++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("%w: truncated at topic %d", ErrBadFormat, t)
+		}
+		r, err := strconv.ParseInt(strings.TrimSpace(sc.Text()), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: topic %d rate: %v", ErrBadFormat, t, err)
+		}
+		rates = append(rates, r)
+	}
+
+	subOff := make([]int64, 1, clampCap(numV)+1)
+	subTopics := make([]workload.TopicID, 0, clampCap(int(min64(numP, 1<<40))))
+	for v := 0; v < numV; v++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("%w: truncated at subscriber %d", ErrBadFormat, v)
+		}
+		for _, f := range strings.Fields(sc.Text()) {
+			t, err := strconv.ParseInt(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("%w: subscriber %d: %v", ErrBadFormat, v, err)
+			}
+			subTopics = append(subTopics, workload.TopicID(t))
+		}
+		subOff = append(subOff, int64(len(subTopics)))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if int64(len(subTopics)) != numP {
+		return nil, fmt.Errorf("%w: header says %d pairs, stream has %d", ErrBadFormat, numP, len(subTopics))
+	}
+	return workload.FromCSR(rates, subOff, subTopics, nil, nil)
+}
+
+// Save writes w to path. A ".gz" suffix enables gzip compression and a
+// ".bin" extension (before any ".gz") selects the v2 binary format, so
+// "trace.bin.gz" is binary+gzip. The file is created or truncated.
+func Save(w *workload.Workload, path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	var out io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		defer func() {
+			if cerr := gz.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		out = gz
+	}
+	if isBinaryPath(path) {
+		return WriteBinary(w, out)
+	}
+	return Write(w, out)
+}
+
+// Load reads a trace from path, transparently decompressing ".gz" files and
+// decoding ".bin" files with the v2 binary format.
+func Load(path string) (*workload.Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var in io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, err
+		}
+		defer gz.Close()
+		in = gz
+	}
+	if isBinaryPath(path) {
+		return ReadBinary(in)
+	}
+	return Read(in)
+}
+
+func isBinaryPath(path string) bool {
+	return strings.HasSuffix(strings.TrimSuffix(path, ".gz"), ".bin")
+}
+
+// clampCap bounds a header-claimed element count to a safe initial slice
+// capacity; the slices still grow to the real size via append.
+func clampCap(n int) int {
+	const maxInitial = 1 << 20
+	if n < 0 {
+		return 0
+	}
+	if n > maxInitial {
+		return maxInitial
+	}
+	return n
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

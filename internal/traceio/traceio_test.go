@@ -1,0 +1,192 @@
+package traceio
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/pubsub-systems/mcss/internal/tracegen"
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+func sample(t *testing.T) *workload.Workload {
+	t.Helper()
+	w, err := tracegen.Random(tracegen.RandomConfig{
+		Topics: 30, Subscribers: 100, MaxFollowings: 5, MaxRate: 500, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func equalWorkloads(a, b *workload.Workload) bool {
+	if a.NumTopics() != b.NumTopics() || a.NumSubscribers() != b.NumSubscribers() || a.NumPairs() != b.NumPairs() {
+		return false
+	}
+	for t := 0; t < a.NumTopics(); t++ {
+		if a.Rate(workload.TopicID(t)) != b.Rate(workload.TopicID(t)) {
+			return false
+		}
+	}
+	for v := 0; v < a.NumSubscribers(); v++ {
+		ta, tb := a.Topics(workload.SubID(v)), b.Topics(workload.SubID(v))
+		if len(ta) != len(tb) {
+			return false
+		}
+		for i := range ta {
+			if ta[i] != tb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	w := sample(t)
+	var buf bytes.Buffer
+	if err := Write(w, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalWorkloads(w, got) {
+		t.Error("round trip changed the workload")
+	}
+}
+
+func TestSaveLoadPlainAndGzip(t *testing.T) {
+	w := sample(t)
+	dir := t.TempDir()
+	for _, name := range []string{"trace.txt", "trace.txt.gz"} {
+		path := filepath.Join(dir, name)
+		if err := Save(w, path); err != nil {
+			t.Fatalf("Save(%s): %v", name, err)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", name, err)
+		}
+		if !equalWorkloads(w, got) {
+			t.Errorf("%s: round trip changed the workload", name)
+		}
+	}
+}
+
+func TestGzipActuallyCompresses(t *testing.T) {
+	w := sample(t)
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "t.txt")
+	zipped := filepath.Join(dir, "t.txt.gz")
+	if err := Save(w, plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(w, zipped); err != nil {
+		t.Fatal(err)
+	}
+	ps, zs := fileSize(t, plain), fileSize(t, zipped)
+	if zs >= ps {
+		t.Errorf("gzip file (%d) not smaller than plain (%d)", zs, ps)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Size()
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad magic", "not-a-trace\n1 1 1\n"},
+		{"bad header", "mcss-trace 1\nx y z\n"},
+		{"negative counts", "mcss-trace 1\n-1 0 0\n"},
+		{"truncated topics", "mcss-trace 1\n2 1 1\n5\n"},
+		{"bad rate", "mcss-trace 1\n1 1 1\nabc\n0\n"},
+		{"truncated subscribers", "mcss-trace 1\n1 2 2\n5\n0\n"},
+		{"bad topic id", "mcss-trace 1\n1 1 1\n5\nzz\n"},
+		{"pair count mismatch", "mcss-trace 1\n1 1 5\n5\n0\n"},
+		{"out of range topic", "mcss-trace 1\n1 1 1\n5\n7\n"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.in)); err == nil {
+				t.Error("malformed input accepted")
+			}
+		})
+	}
+}
+
+func TestReadBadFormatErrorsWrapped(t *testing.T) {
+	_, err := Read(strings.NewReader("garbage\n"))
+	if !errors.Is(err, ErrBadFormat) {
+		t.Errorf("err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestEmptyWorkloadRoundTrip(t *testing.T) {
+	w, err := workload.FromCSR(nil, nil, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(w, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTopics() != 0 || got.NumSubscribers() != 0 {
+		t.Error("empty round trip not empty")
+	}
+}
+
+func TestPropertyRoundTripPreservesWorkload(t *testing.T) {
+	f := func(seed int64) bool {
+		w, err := tracegen.Random(tracegen.RandomConfig{
+			Topics:        1 + int(uint64(seed)%13),
+			Subscribers:   1 + int(uint64(seed)%29),
+			MaxFollowings: 4,
+			MaxRate:       1000,
+			Seed:          seed,
+		})
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := Write(w, &buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return equalWorkloads(w, got)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

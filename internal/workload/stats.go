@@ -1,0 +1,82 @@
+package workload
+
+import "sort"
+
+// Stats is a structural summary of a workload, in the style of the trace
+// characterizations in the MCSS paper's §IV-B and Appendix D.
+type Stats struct {
+	Topics      int
+	Subscribers int
+	Pairs       int64
+
+	// TotalEventRate is Σ_t ev_t (events/hour).
+	TotalEventRate int64
+	// TotalDeliveryRate is Σ_v Σ_{t∈T_v} ev_t (events/hour): what an
+	// unthresholded deployment would deliver.
+	TotalDeliveryRate int64
+
+	// MeanFollowings and MaxFollowings describe interest sizes |T_v|.
+	MeanFollowings float64
+	MaxFollowings  int
+	// MedianFollowings is the 50th percentile of |T_v|.
+	MedianFollowings int
+
+	// MeanFollowers and MaxFollowers describe audience sizes |V_t|.
+	MeanFollowers float64
+	MaxFollowers  int
+
+	// MinRate, MeanRate, MedianRate, MaxRate describe ev_t.
+	MinRate, MaxRate int64
+	MeanRate         float64
+	MedianRate       int64
+	// RateP99 is the 99th-percentile event rate.
+	RateP99 int64
+}
+
+// ComputeStats summarizes the workload. It is O(T + V + P).
+func (w *Workload) ComputeStats() Stats {
+	s := Stats{
+		Topics:      w.NumTopics(),
+		Subscribers: w.NumSubscribers(),
+		Pairs:       w.NumPairs(),
+	}
+	if s.Topics == 0 {
+		return s
+	}
+
+	rates := make([]int64, s.Topics)
+	copy(rates, w.rates)
+	sort.Slice(rates, func(i, j int) bool { return rates[i] < rates[j] })
+	s.MinRate = rates[0]
+	s.MaxRate = rates[len(rates)-1]
+	s.MedianRate = rates[len(rates)/2]
+	s.RateP99 = rates[(len(rates)-1)*99/100]
+	var rateSum int64
+	for _, r := range rates {
+		rateSum += r
+	}
+	s.TotalEventRate = rateSum
+	s.MeanRate = float64(rateSum) / float64(s.Topics)
+	s.TotalDeliveryRate = w.TotalDeliveryRate()
+
+	for t := 0; t < s.Topics; t++ {
+		if f := w.Followers(TopicID(t)); f > s.MaxFollowers {
+			s.MaxFollowers = f
+		}
+	}
+	s.MeanFollowers = float64(s.Pairs) / float64(s.Topics)
+
+	if s.Subscribers > 0 {
+		degs := make([]int, s.Subscribers)
+		for v := 0; v < s.Subscribers; v++ {
+			degs[v] = w.Followings(SubID(v))
+			if degs[v] > s.MaxFollowings {
+				s.MaxFollowings = degs[v]
+			}
+		}
+		sort.Ints(degs)
+		s.MedianFollowings = degs[len(degs)/2]
+		s.MeanFollowings = float64(s.Pairs) / float64(s.Subscribers)
+	}
+	return s
+}

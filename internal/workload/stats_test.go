@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeStatsBasic(t *testing.T) {
+	w := buildSample(t) // t1: 20 ev/h (2 subs), t2: 10 ev/h (3 subs)
+	s := w.ComputeStats()
+
+	if s.Topics != 2 || s.Subscribers != 3 || s.Pairs != 5 {
+		t.Errorf("shape = %d/%d/%d", s.Topics, s.Subscribers, s.Pairs)
+	}
+	if s.TotalEventRate != 30 {
+		t.Errorf("TotalEventRate = %d, want 30", s.TotalEventRate)
+	}
+	if s.TotalDeliveryRate != 70 {
+		t.Errorf("TotalDeliveryRate = %d, want 70", s.TotalDeliveryRate)
+	}
+	if s.MinRate != 10 || s.MaxRate != 20 || s.MedianRate != 20 {
+		t.Errorf("rates = %d/%d/%d", s.MinRate, s.MaxRate, s.MedianRate)
+	}
+	if s.MeanRate != 15 {
+		t.Errorf("MeanRate = %v, want 15", s.MeanRate)
+	}
+	if s.MaxFollowers != 3 || s.MeanFollowers != 2.5 {
+		t.Errorf("followers = %d/%v", s.MaxFollowers, s.MeanFollowers)
+	}
+	if s.MaxFollowings != 2 || s.MedianFollowings != 2 {
+		t.Errorf("followings = %d/%d", s.MaxFollowings, s.MedianFollowings)
+	}
+	want := float64(5) / 3
+	if s.MeanFollowings != want {
+		t.Errorf("MeanFollowings = %v, want %v", s.MeanFollowings, want)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	w, err := FromCSR(nil, nil, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.ComputeStats()
+	if s.Topics != 0 || s.Pairs != 0 || s.MaxRate != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestComputeStatsP99(t *testing.T) {
+	rates := make([]int64, 100)
+	subOff := []int64{0}
+	var subTopics []TopicID
+	for i := range rates {
+		rates[i] = int64(i + 1)
+		subTopics = append(subTopics, TopicID(i))
+		subOff = append(subOff, int64(len(subTopics)))
+	}
+	w, err := FromCSR(rates, subOff, subTopics, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.ComputeStats()
+	if s.RateP99 != 99 {
+		t.Errorf("RateP99 = %d, want 99", s.RateP99)
+	}
+	if s.MaxRate != 100 || s.MinRate != 1 {
+		t.Errorf("min/max = %d/%d", s.MinRate, s.MaxRate)
+	}
+}
+
+func TestPropertyStatsConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randomWorkload(rng, 20, 30, 6)
+		s := w.ComputeStats()
+		if s.MinRate > s.MedianRate || s.MedianRate > s.MaxRate || s.RateP99 > s.MaxRate {
+			return false
+		}
+		if int64(s.MaxFollowings) > s.Pairs || int64(s.MaxFollowers) > s.Pairs {
+			return false
+		}
+		return s.MeanRate >= float64(s.MinRate) && s.MeanRate <= float64(s.MaxRate)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package mcss is a Go implementation of the resource-allocation system
+// from "Cost-Effective Resource Allocation for Deploying Pub/Sub on Cloud"
+// (Setty, Vitenberg, Kreitz, Urdaneta, van Steen — ICDCS 2014).
+//
+// Given a topic-based pub/sub workload driven by social interaction (users
+// both publish, as topics, and follow, as subscribers), the library answers
+// the paper's three questions: the minimum resources needed to satisfy all
+// subscribers, a cost-effective allocation of topic–subscriber pairs onto
+// virtual machines of bounded bandwidth, and the monetary cost of hosting
+// the deployment on an IaaS provider priced like Amazon EC2.
+//
+// The heart of the library is the two-stage MCSS heuristic:
+//
+//	w, _ := mcss.NewWorkloadBuilder().
+//	        AddTopic("artist-1", 120). // events per hour
+//	        AddSubscription("user-1", "artist-1").
+//	        Build()
+//	cfg := mcss.DefaultConfig(100, mcss.NewModel(mcss.C3Large))
+//	res, _ := mcss.Solve(w, cfg)
+//	fmt.Println(res.Allocation.NumVMs(), res.Cost(cfg.Model))
+//
+// Beyond the solver, the module ships every substrate the paper's
+// evaluation needs: synthetic Spotify-like and Twitter-like trace
+// generators, the 2014 EC2 pricing catalog, a per-instance lower bound, an
+// exact solver for small instances, a discrete-event pub/sub simulator with
+// failure injection, a live channel-based broker cluster, and an online
+// re-provisioner. The cmd/experiments binary regenerates every figure of
+// the paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+package mcss
+
+import (
+	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/dynamic"
+	"github.com/pubsub-systems/mcss/internal/exact"
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/pubsub"
+	"github.com/pubsub-systems/mcss/internal/satisfy"
+	"github.com/pubsub-systems/mcss/internal/tracegen"
+	"github.com/pubsub-systems/mcss/internal/traceio"
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+// Workload model.
+type (
+	// Workload is an immutable pub/sub workload: topics with event
+	// rates plus the subscription relation.
+	Workload = workload.Workload
+	// WorkloadBuilder assembles workloads incrementally by name.
+	WorkloadBuilder = workload.Builder
+	// TopicID densely identifies a topic.
+	TopicID = workload.TopicID
+	// SubID densely identifies a subscriber.
+	SubID = workload.SubID
+	// Pair is a topic–subscriber pair, the allocation granularity.
+	Pair = workload.Pair
+)
+
+// NewWorkloadBuilder returns an empty workload builder.
+func NewWorkloadBuilder() *WorkloadBuilder { return workload.NewBuilder() }
+
+// FromCSR builds a workload directly from CSR adjacency; see
+// workload.FromCSR for the exact contract.
+func FromCSR(rates []int64, subOff []int64, subTopics []TopicID, topicNames, subNames []string) (*Workload, error) {
+	return workload.FromCSR(rates, subOff, subTopics, topicNames, subNames)
+}
+
+// Pricing.
+type (
+	// InstanceType is one rentable VM flavor.
+	InstanceType = pricing.InstanceType
+	// Model instantiates the paper's cost functions C1 and C2.
+	Model = pricing.Model
+	// MicroUSD is money in 1e-6 dollars.
+	MicroUSD = pricing.MicroUSD
+)
+
+// The 2014 compute-optimized EC2 catalog the paper evaluates.
+var (
+	C3Large   = pricing.C3Large
+	C3XLarge  = pricing.C3XLarge
+	C32XLarge = pricing.C32XLarge
+	C34XLarge = pricing.C34XLarge
+	C38XLarge = pricing.C38XLarge
+)
+
+// NewModel returns the paper's default pricing model (240 h rental,
+// $0.12/GB transfer) for the instance type.
+func NewModel(it InstanceType) Model { return pricing.NewModel(it) }
+
+// InstanceCatalog lists the known instance types, smallest first.
+func InstanceCatalog() []InstanceType { return pricing.Catalog() }
+
+// InstanceByName looks up an instance type.
+func InstanceByName(name string) (InstanceType, bool) { return pricing.ByName(name) }
+
+// Solver.
+type (
+	// SolverConfig parameterizes one MCSS solve.
+	SolverConfig = core.Config
+	// Result bundles a solve's selection, allocation, and stage times.
+	Result = core.Result
+	// Selection is Stage 1's chosen pair set.
+	Selection = core.Selection
+	// Allocation is Stage 2's packed VM fleet.
+	Allocation = core.Allocation
+	// VM is one allocated broker with placements and accounting.
+	VM = core.VM
+	// TopicPlacement is a topic group served by one VM.
+	TopicPlacement = core.TopicPlacement
+	// Bound is the Alg. 5 lower bound.
+	Bound = core.Bound
+	// OptFlags toggles CustomBinPacking optimizations.
+	OptFlags = core.OptFlags
+	// Stage1Algo selects the pair-selection algorithm.
+	Stage1Algo = core.Stage1Algo
+	// Stage2Algo selects the packing algorithm.
+	Stage2Algo = core.Stage2Algo
+)
+
+// Algorithm selectors and optimization flags (see the paper's §III).
+const (
+	Stage1Greedy = core.Stage1Greedy
+	Stage1Random = core.Stage1Random
+	Stage2Custom = core.Stage2Custom
+	Stage2First  = core.Stage2FirstFit
+
+	OptExpensiveTopicFirst = core.OptExpensiveTopicFirst
+	OptMostFreeVM          = core.OptMostFreeVM
+	OptCostBased           = core.OptCostBased
+	OptAll                 = core.OptAll
+)
+
+// ErrInfeasible reports that a topic cannot fit a single pair within the
+// VM capacity.
+var ErrInfeasible = core.ErrInfeasible
+
+// DefaultConfig returns the paper's full solution (GSP + CBP with all
+// optimizations, 200-byte messages) for the given τ and pricing model.
+func DefaultConfig(tau int64, m Model) SolverConfig { return core.DefaultConfig(tau, m) }
+
+// Solve runs the two-stage MCSS heuristic.
+func Solve(w *Workload, cfg SolverConfig) (*Result, error) { return core.Solve(w, cfg) }
+
+// LowerBound computes the per-instance Alg. 5 lower bound.
+func LowerBound(w *Workload, cfg SolverConfig) (Bound, error) { return core.LowerBound(w, cfg) }
+
+// Verify checks the solver's postconditions (satisfaction, capacity,
+// accounting, consistency) and returns the first violation.
+func Verify(w *Workload, sel *Selection, alloc *Allocation, cfg SolverConfig) error {
+	return core.VerifyAllocation(w, sel, alloc, cfg)
+}
+
+// SolveExact computes the optimal solution for tiny instances (at most
+// ExactMaxPairs pairs); it validates heuristic quality in tests and demos.
+func SolveExact(w *Workload, cfg SolverConfig) (exact.Solution, error) { return exact.Solve(w, cfg) }
+
+// ExactMaxPairs is the exact solver's instance-size cap.
+const ExactMaxPairs = exact.MaxPairs
+
+// Trace generation.
+type (
+	// TwitterTraceConfig parameterizes the Twitter-like generator.
+	TwitterTraceConfig = tracegen.TwitterConfig
+	// SpotifyTraceConfig parameterizes the Spotify-like generator.
+	SpotifyTraceConfig = tracegen.SpotifyConfig
+	// RandomTraceConfig parameterizes the uniform generator.
+	RandomTraceConfig = tracegen.RandomConfig
+)
+
+// DefaultTwitterTrace returns the experiment-scale Twitter-like config.
+func DefaultTwitterTrace() TwitterTraceConfig { return tracegen.DefaultTwitterConfig() }
+
+// DefaultSpotifyTrace returns the experiment-scale Spotify-like config.
+func DefaultSpotifyTrace() SpotifyTraceConfig { return tracegen.DefaultSpotifyConfig() }
+
+// GenerateTwitter synthesizes a Twitter-like workload.
+func GenerateTwitter(cfg TwitterTraceConfig) (*Workload, error) { return tracegen.Twitter(cfg) }
+
+// GenerateSpotify synthesizes a Spotify-like workload.
+func GenerateSpotify(cfg SpotifyTraceConfig) (*Workload, error) { return tracegen.Spotify(cfg) }
+
+// GenerateRandom synthesizes a uniform workload for tests and demos.
+func GenerateRandom(cfg RandomTraceConfig) (*Workload, error) { return tracegen.Random(cfg) }
+
+// Trace persistence.
+
+// SaveTrace writes a workload to path (gzip when it ends in ".gz").
+func SaveTrace(w *Workload, path string) error { return traceio.Save(w, path) }
+
+// LoadTrace reads a workload from path.
+func LoadTrace(path string) (*Workload, error) { return traceio.Load(path) }
+
+// Simulation.
+type (
+	// SimConfig parameterizes the discrete-event simulator.
+	SimConfig = pubsub.SimConfig
+	// SimResult reports a completed simulation.
+	SimResult = pubsub.SimResult
+	// Crash schedules a VM failure during simulation.
+	Crash = pubsub.Crash
+	// Cluster is the live channel-based broker deployment.
+	Cluster = pubsub.Cluster
+	// Message is one publication flowing through a Cluster.
+	Message = pubsub.Message
+)
+
+// Simulate replays the workload against an allocation and reports
+// deliveries, traffic, latency, and drops.
+func Simulate(w *Workload, alloc *Allocation, cfg SimConfig) (*SimResult, error) {
+	return pubsub.Simulate(w, alloc, cfg)
+}
+
+// CheckSatisfaction verifies a simulation delivered enough events to every
+// subscriber.
+func CheckSatisfaction(w *Workload, res *SimResult, tau int64, fraction float64) error {
+	return pubsub.CheckSatisfaction(w, res, tau, fraction)
+}
+
+// NewCluster builds a live broker cluster realizing an allocation.
+func NewCluster(w *Workload, alloc *Allocation) (*Cluster, error) {
+	return pubsub.NewCluster(w, alloc)
+}
+
+// Dynamic re-provisioning.
+type (
+	// Provisioner keeps an allocation current across workload deltas and
+	// failures.
+	Provisioner = dynamic.Provisioner
+	// Delta is a batch of workload changes.
+	Delta = dynamic.Delta
+	// MigrationStats quantifies re-allocation churn.
+	MigrationStats = dynamic.MigrationStats
+	// RepairStats quantifies a crash repair.
+	RepairStats = dynamic.RepairStats
+)
+
+// NewProvisioner solves the initial allocation for online re-provisioning.
+func NewProvisioner(w *Workload, cfg SolverConfig) (*Provisioner, error) {
+	return dynamic.New(w, cfg)
+}
+
+// Satisfaction metrics (the companion INFOCOM'14 framework, paper ref [9]).
+type (
+	// SatisfactionMetrics aggregates per-subscriber satisfaction ratios.
+	SatisfactionMetrics = satisfy.Metrics
+	// SatisfyResult is the outcome of the single-engine capacity-budget
+	// maximization.
+	SatisfyResult = satisfy.Result
+	// Utilization summarizes packing quality of an allocation.
+	Utilization = core.Utilization
+)
+
+// MeasureSatisfaction computes satisfaction metrics for delivered event
+// rates against the workload's thresholds.
+func MeasureSatisfaction(w *Workload, delivered []int64, tau int64) SatisfactionMetrics {
+	return satisfy.Measure(w, delivered, tau)
+}
+
+// MaximizeSatisfied solves the single-engine problem: satisfy as many
+// subscribers as possible within a total bandwidth budget.
+func MaximizeSatisfied(w *Workload, tau, budgetBytesPerHour, messageBytes int64) (*SatisfyResult, error) {
+	return satisfy.MaximizeSatisfied(w, tau, budgetBytesPerHour, messageBytes)
+}
+
+// MinBudgetToSatisfyAll reports the single-engine bandwidth needed to
+// satisfy every subscriber under the Stage-1 greedy selection.
+func MinBudgetToSatisfyAll(w *Workload, tau, messageBytes int64) int64 {
+	return satisfy.MinBudgetToSatisfyAll(w, tau, messageBytes)
+}

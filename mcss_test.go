@@ -1,0 +1,248 @@
+package mcss_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	mcss "github.com/pubsub-systems/mcss"
+)
+
+// buildDemo constructs a small social workload through the public API.
+func buildDemo(t *testing.T) *mcss.Workload {
+	t.Helper()
+	b := mcss.NewWorkloadBuilder().
+		AddTopic("artist-a", 120).
+		AddTopic("artist-b", 40).
+		AddTopic("friend-c", 8)
+	for i := 0; i < 20; i++ {
+		u := fmt.Sprintf("user-%d", i)
+		b.AddSubscription(u, "artist-a")
+		if i%2 == 0 {
+			b.AddSubscription(u, "artist-b")
+		}
+		if i%5 == 0 {
+			b.AddSubscription(u, "friend-c")
+		}
+	}
+	w, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func demoConfig(tau int64) mcss.SolverConfig {
+	m := mcss.NewModel(mcss.C3Large)
+	m.CapacityOverrideBytesPerHour = 60_000 // force a multi-VM fleet
+	return mcss.DefaultConfig(tau, m)
+}
+
+func TestPublicSolveEndToEnd(t *testing.T) {
+	w := buildDemo(t)
+	cfg := demoConfig(50)
+	res, err := mcss.Solve(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allocation.NumVMs() == 0 {
+		t.Fatal("no VMs")
+	}
+	if err := mcss.Verify(w, res.Selection, res.Allocation, cfg); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	lb, err := mcss.LowerBound(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb.Cost > res.Cost(cfg.Model) {
+		t.Errorf("lower bound %v above solution %v", lb.Cost, res.Cost(cfg.Model))
+	}
+}
+
+func TestPublicGeneratorsAndTraceIO(t *testing.T) {
+	tw, err := mcss.GenerateTwitter(mcss.DefaultTwitterTrace().Scale(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := mcss.GenerateSpotify(mcss.DefaultSpotifyTrace().Scale(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tw.NumPairs() == 0 || sp.NumPairs() == 0 {
+		t.Fatal("empty generated traces")
+	}
+	path := filepath.Join(t.TempDir(), "trace.gz")
+	if err := mcss.SaveTrace(tw, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := mcss.LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumPairs() != tw.NumPairs() {
+		t.Errorf("round trip pairs %d != %d", back.NumPairs(), tw.NumPairs())
+	}
+}
+
+func TestPublicSimulation(t *testing.T) {
+	w := buildDemo(t)
+	cfg := demoConfig(50)
+	res, err := mcss.Solve(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := mcss.Simulate(w, res.Allocation, mcss.SimConfig{
+		DurationHours: 2,
+		MessageBytes:  cfg.MessageBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mcss.CheckSatisfaction(w, sim, cfg.Tau, 0.9); err != nil {
+		t.Errorf("CheckSatisfaction: %v", err)
+	}
+}
+
+func TestPublicCluster(t *testing.T) {
+	w := buildDemo(t)
+	cfg := demoConfig(50)
+	res, err := mcss.Solve(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := mcss.NewCluster(w, res.Allocation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	if err := c.Publish(mcss.Message{Topic: 0, Payload: make([]byte, 200)}); err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	if c.TotalDelivered() == 0 {
+		t.Error("no deliveries")
+	}
+}
+
+func TestPublicProvisioner(t *testing.T) {
+	w := buildDemo(t)
+	cfg := demoConfig(50)
+	p, err := mcss.NewProvisioner(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.Update(mcss.Delta{
+		NewSubscribers: 1,
+		Subscribe:      []mcss.Pair{{Topic: 0, Sub: mcss.SubID(w.NumSubscribers())}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.VMsAfter == 0 {
+		t.Error("no VMs after update")
+	}
+}
+
+func TestPublicExact(t *testing.T) {
+	w, err := mcss.NewWorkloadBuilder().
+		AddTopic("a", 5).
+		AddTopic("b", 7).
+		AddSubscription("v", "a").
+		AddSubscription("v", "b").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := demoConfig(6)
+	cfg.MessageBytes = 1
+	sol, err := mcss.SolveExact(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Selected) != 1 {
+		t.Errorf("Selected = %v, want a single pair", sol.Selected)
+	}
+	res, err := mcss.Solve(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost(cfg.Model) < sol.Cost {
+		t.Error("heuristic beat exact")
+	}
+}
+
+func TestInstanceCatalogLookup(t *testing.T) {
+	if len(mcss.InstanceCatalog()) < 2 {
+		t.Fatal("catalog too small")
+	}
+	it, ok := mcss.InstanceByName("c3.large")
+	if !ok || it != mcss.C3Large {
+		t.Errorf("lookup failed: %v %v", it, ok)
+	}
+}
+
+// ExampleSolve demonstrates the minimal end-to-end flow.
+func ExampleSolve() {
+	w, _ := mcss.NewWorkloadBuilder().
+		AddTopic("artist", 60). // 60 events/hour
+		AddSubscription("alice", "artist").
+		AddSubscription("bob", "artist").
+		Build()
+
+	model := mcss.NewModel(mcss.C3Large)
+	cfg := mcss.DefaultConfig(100, model)
+	res, _ := mcss.Solve(w, cfg)
+
+	fmt.Println("VMs:", res.Allocation.NumVMs())
+	fmt.Println("pairs:", res.Selection.NumPairs())
+	// Output:
+	// VMs: 1
+	// pairs: 2
+}
+
+func TestPublicSatisfactionAPI(t *testing.T) {
+	w := buildDemo(t)
+	const tau = 50
+
+	budget := mcss.MinBudgetToSatisfyAll(w, tau, 200)
+	if budget <= 0 {
+		t.Fatal("non-positive budget")
+	}
+	res, err := mcss.MaximizeSatisfied(w, tau, budget, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Satisfied) != w.NumSubscribers() {
+		t.Errorf("at min budget satisfied %d of %d", len(res.Satisfied), w.NumSubscribers())
+	}
+
+	// Half the budget satisfies fewer subscribers.
+	half, err := mcss.MaximizeSatisfied(w, tau, budget/2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(half.Satisfied) >= len(res.Satisfied) {
+		t.Errorf("half budget satisfied %d, want fewer than %d",
+			len(half.Satisfied), len(res.Satisfied))
+	}
+
+	delivered := make([]int64, w.NumSubscribers())
+	m := mcss.MeasureSatisfaction(w, delivered, tau)
+	if m.Satisfied != 0 || m.AllSatisfied() {
+		t.Errorf("zero deliveries metrics = %+v", m)
+	}
+}
+
+func TestPublicUtilization(t *testing.T) {
+	w := buildDemo(t)
+	cfg := demoConfig(50)
+	res, err := mcss.Solve(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var u mcss.Utilization = res.Allocation.ComputeUtilization()
+	if u.MeanFill <= 0 || u.MeanFill > 1 {
+		t.Errorf("MeanFill = %v", u.MeanFill)
+	}
+}
