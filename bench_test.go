@@ -5,7 +5,8 @@
 //	go test -bench=. -benchmem
 //
 // The workload scale is controlled by MCSS_BENCH_SCALE (default 0.15 of the
-// default experiment size, keeping the full suite in the minutes range);
+// default experiment size, keeping the full suite in the minutes range;
+// under -short the default drops to 0.04 so CI stays fast);
 // cmd/experiments runs the same drivers at full scale with table output.
 // Custom metrics: cost_usd, vms, bw_gb are reported per benchmark so the
 // figure's headline numbers appear directly in the benchmark output.
@@ -30,6 +31,11 @@ func benchScale() float64 {
 		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
 			return v
 		}
+	}
+	if testing.Short() {
+		// CI runs with -short: keep the large workloads out of the
+		// benchmark compilation smoke-run.
+		return 0.04
 	}
 	return 0.15
 }

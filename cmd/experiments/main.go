@@ -34,7 +34,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig    = fs.String("fig", "all", "figure: 2a 2b 3a 3b 4 5 6 7 8 9 10 11 12, all, summary, ablation, or scaling")
+		fig    = fs.String("fig", "all", "figure: 2a 2b 3a 3b 4 5 6 7 8 9 10 11 12, all, summary, hetero, ablation, or scaling")
 		scale  = fs.Float64("scale", 1.0, "workload scale factor")
 		outdir = fs.String("outdir", "", "write CSV files to this directory")
 	)
@@ -49,7 +49,7 @@ func run(args []string) error {
 
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
-		figs = []string{"2a", "2b", "3a", "3b", "4", "5", "6", "7", "8", "9", "10", "11", "12", "summary"}
+		figs = []string{"2a", "2b", "3a", "3b", "4", "5", "6", "7", "8", "9", "10", "11", "12", "summary", "hetero"}
 	}
 	for _, f := range figs {
 		start := time.Now()
@@ -83,6 +83,8 @@ func runFig(fig string, scale float64, outdir string) error {
 		return traceAnalysis(fig, scale, outdir)
 	case "summary":
 		return summary(scale, outdir)
+	case "hetero":
+		return hetero(scale, outdir)
 	case "ablation":
 		return ablation(scale, outdir)
 	case "scaling":
@@ -243,6 +245,33 @@ func scaling(outdir string) error {
 		return err
 	}
 	return writeCSV(t, outdir, "scaling")
+}
+
+func hetero(scale float64, outdir string) error {
+	for _, d := range []experiments.Dataset{experiments.Spotify, experiments.Twitter} {
+		res, err := experiments.RunHetero(d, scale)
+		if err != nil {
+			return err
+		}
+		t := res.Table()
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		for _, tau := range experiments.Taus {
+			homo, ok := res.BestHomogeneous(tau)
+			mixed, ok2 := res.Mixed(tau)
+			if !ok || !ok2 {
+				continue
+			}
+			fmt.Printf("τ=%-5d mixed %.2f$ / %d VMs vs best homogeneous (%s) %.2f$ / %d VMs — saves %.3f%%\n",
+				tau, mixed.CostUSD, mixed.VMs, homo.Strategy, homo.CostUSD, homo.VMs,
+				res.Savings(tau)*100)
+		}
+		if err := writeCSV(t, outdir, "hetero-"+d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func summary(scale float64, outdir string) error {

@@ -8,7 +8,8 @@
 // Examples:
 //
 //	mcss -dataset twitter -scale 0.1 -tau 100 -instance c3.large
-//	mcss -trace trace.gz -tau 10 -stage1 rsp -stage2 ffbp
+//	mcss -dataset twitter -scale 0.1 -tau 100 -fleet catalog
+//	mcss -trace trace.gz -tau 10 -fleet c3.large,c3.2xlarge
 //	mcss -dataset spotify -tau 1000 -capacity 250000000 -verify
 package main
 
@@ -39,7 +40,8 @@ func run(args []string) error {
 		scale     = fs.Float64("scale", 0.1, "synthetic dataset scale factor")
 		tau       = fs.Int64("tau", 100, "satisfaction threshold τ (events/hour)")
 		instance  = fs.String("instance", "c3.large", "EC2 instance type")
-		capacity  = fs.Int64("capacity", 0, "per-VM capacity override in bytes/hour (0 = calibrated)")
+		fleetSpec = fs.String("fleet", "", "heterogeneous fleet: 'catalog' or comma list of instance types (empty = single -instance)")
+		capacity  = fs.Int64("capacity", 0, "per-VM capacity override in bytes/hour for -instance, scaled per-mbps across the fleet (0 = calibrated)")
 		msgBytes  = fs.Int64("message-bytes", 200, "notification size in bytes")
 		stage1    = fs.String("stage1", "gsp", "stage 1 algorithm: gsp or rsp")
 		stage2    = fs.String("stage2", "cbp", "stage 2 algorithm: cbp or ffbp")
@@ -67,11 +69,21 @@ func run(args []string) error {
 	} else {
 		model = experiments.ModelFor(it, w)
 	}
+	fleet, err := parseFleet(*fleetSpec)
+	if err != nil {
+		return err
+	}
+	if !fleet.IsZero() {
+		// Put every fleet type on the same bytes-per-mbps scale as the
+		// (possibly calibrated) -instance capacity.
+		fleet = fleet.WithBytesPerMbps(model.CapacityBytesPerHour() / it.LinkMbps)
+	}
 
 	cfg := mcss.SolverConfig{
 		Tau:          *tau,
 		MessageBytes: *msgBytes,
 		Model:        model,
+		Fleet:        fleet,
 	}
 	switch strings.ToLower(*stage1) {
 	case "gsp":
@@ -96,8 +108,13 @@ func run(args []string) error {
 
 	fmt.Printf("workload: %d topics, %d subscribers, %d pairs\n",
 		w.NumTopics(), w.NumSubscribers(), w.NumPairs())
-	fmt.Printf("config: τ=%d, %s (BC=%d bytes/h), stage1=%v stage2=%v opts=%v\n",
-		cfg.Tau, it.Name, model.CapacityBytesPerHour(), cfg.Stage1, cfg.Stage2, cfg.Opts)
+	if fleet.IsZero() {
+		fmt.Printf("config: τ=%d, %s (BC=%d bytes/h), stage1=%v stage2=%v opts=%v\n",
+			cfg.Tau, it.Name, model.CapacityBytesPerHour(), cfg.Stage1, cfg.Stage2, cfg.Opts)
+	} else {
+		fmt.Printf("config: τ=%d, fleet %v, stage1=%v stage2=%v opts=%v\n",
+			cfg.Tau, fleet, cfg.Stage1, cfg.Stage2, cfg.Opts)
+	}
 
 	res, err := mcss.Solve(w, cfg)
 	if err != nil {
@@ -114,6 +131,9 @@ func run(args []string) error {
 	t.AddRow("bandwidth (bytes/h)", res.Allocation.TotalBytesPerHour())
 	t.AddRow("transfer over rental (GB)", float64(res.Allocation.TransferBytes(model))/float64(pricing.GB))
 	t.AddRow("selected pairs", res.Selection.NumPairs())
+	if !fleet.IsZero() {
+		t.AddRow("fleet mix", report.FormatMix(res.Allocation.InstanceMix()))
+	}
 	t.AddRow("total cost", res.Cost(model).String())
 	t.AddRow("lower bound cost", lb.Cost.String())
 	t.AddRow("over lower bound", fmt.Sprintf("%.1f%%", 100*(float64(res.Cost(model))/float64(lb.Cost)-1)))
@@ -134,11 +154,32 @@ func run(args []string) error {
 		if i >= *showVMs {
 			break
 		}
-		fmt.Printf("vm %d: %d topics, %d pairs, %d bytes/h (%.0f%% full)\n",
-			vm.ID, len(vm.Placements), vm.NumPairs(), vm.BytesPerHour(),
-			100*float64(vm.BytesPerHour())/float64(model.CapacityBytesPerHour()))
+		fmt.Printf("vm %d (%s): %d topics, %d pairs, %d bytes/h (%.0f%% full)\n",
+			vm.ID, vm.Instance.Name, len(vm.Placements), vm.NumPairs(), vm.BytesPerHour(),
+			100*float64(vm.BytesPerHour())/float64(vm.CapacityBytesPerHour))
 	}
 	return nil
+}
+
+// parseFleet resolves the -fleet flag: empty → zero fleet (single-instance
+// mode), "catalog" → every known type, else a comma list of type names.
+func parseFleet(spec string) (mcss.Fleet, error) {
+	switch strings.ToLower(strings.TrimSpace(spec)) {
+	case "":
+		return mcss.Fleet{}, nil
+	case "catalog", "all":
+		return mcss.CatalogFleet(), nil
+	}
+	var types []mcss.InstanceType
+	for _, part := range strings.Split(spec, ",") {
+		name := strings.TrimSpace(part)
+		it, ok := mcss.InstanceByName(name)
+		if !ok {
+			return mcss.Fleet{}, fmt.Errorf("unknown instance type %q in -fleet", name)
+		}
+		types = append(types, it)
+	}
+	return mcss.NewFleet(types...)
 }
 
 func loadWorkload(tracePath, dataset string, scale float64) (*mcss.Workload, error) {

@@ -1,0 +1,3 @@
+module github.com/pubsub-systems/mcss
+
+go 1.23

@@ -17,7 +17,8 @@ import (
 // Like FFBP it works at pair granularity and therefore still splits topics
 // across VMs and pays duplicated incoming streams.
 func BFDBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
-	bc := cfg.Model.CapacityBytesPerHour()
+	fleet := cfg.EffectiveFleet()
+	maxCap := fleet.MaxCapacity()
 	msg := cfg.MessageBytes
 
 	type item struct {
@@ -28,7 +29,7 @@ func BFDBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
 	var err error
 	sel.Pairs(func(p workload.Pair) bool {
 		rb := sel.w.Rate(p.Topic) * msg
-		if 2*rb > bc {
+		if 2*rb > maxCap {
 			err = ErrInfeasible
 			return false
 		}
@@ -60,11 +61,12 @@ func BFDBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
 			}
 		}
 		if best == nil {
-			best = newVMState(len(vms), bc)
+			ti := pickPairType(fleet, 2*it.rb)
+			best = newVMState(len(vms), fleet.Type(ti), fleet.Capacity(ti))
 			vms = append(vms, best)
 		}
 		one[0] = it.pair.Sub
 		best.place(it.pair.Topic, it.rb, one)
 	}
-	return finishAllocation(vms, cfg), nil
+	return finishAllocation(vms, fleet, cfg), nil
 }

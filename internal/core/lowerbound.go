@@ -1,28 +1,49 @@
 package core
 
 import (
+	"math/bits"
+
 	"github.com/pubsub-systems/mcss/internal/pricing"
 	"github.com/pubsub-systems/mcss/internal/workload"
 )
 
-// Bound is the per-instance lower bound of Alg. 5 / Theorem A.1.
+// Bound is the per-instance lower bound of Alg. 5 / Theorem A.1,
+// generalized to a fleet of instance types.
 type Bound struct {
 	// OutBytesPerHour is the lower bound on outgoing bandwidth:
 	// Σ_v max(τ_v, min_{t∈T_v} ev_t) converted to bytes.
 	OutBytesPerHour int64
-	// VMs is the lower bound on |B|: ⌈OutBytesPerHour / BC⌉.
+	// VMs is the lower bound on |B|: ⌈OutBytesPerHour / max capacity⌉ —
+	// no fleet, mixed or not, can carry the load with fewer VMs.
 	VMs int
-	// Cost is C1(VMs) + C2(OutBytesPerHour × hours).
+	// Cost is the bound on the objective: the larger of the two valid C1
+	// bounds (VMs × the cheapest hourly rate, and the fractional rental
+	// OutBytesPerHour × the fleet's best rate-per-capacity) plus
+	// C2(OutBytesPerHour × hours). For a one-type fleet this reduces to
+	// the paper's C1(VMs) + C2.
 	Cost pricing.MicroUSD
 }
 
-// LowerBound computes the paper's lower bound on the MCSS objective for the
-// given instance (Alg. 5): each subscriber needs at least
+// mulDivFloor computes ⌊a·b/c⌋ for non-negative operands without
+// intermediate overflow, saturating at MaxInt64.
+func mulDivFloor(a, b, c int64) int64 {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	if c <= 0 || hi >= uint64(c) {
+		return int64(^uint64(0) >> 1)
+	}
+	q, _ := bits.Div64(hi, lo, uint64(c))
+	return int64(q)
+}
+
+// LowerBound computes the paper's lower bound on the MCSS objective (Alg. 5)
+// for the config's fleet: each subscriber needs at least
 // max(τ_v, min_{t∈T_v} ev_t) delivered events — τ_v if topics can be
 // combined to reach it exactly, and at least the smallest subscribed topic's
 // rate when every single topic already overshoots τ_v. Dividing the summed
-// bandwidth by BC bounds the VM count. The bound ignores incoming bandwidth
-// and packing fragmentation, so it is not necessarily tight.
+// bandwidth by the largest per-VM capacity bounds the VM count; the rental
+// bound additionally honors the fleet's best price per byte of capacity, so
+// it stays valid for mixed-instance allocations. The bound ignores incoming
+// bandwidth and packing fragmentation, so it is not necessarily tight.
 func LowerBound(w *workload.Workload, cfg Config) (Bound, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
@@ -37,11 +58,28 @@ func LowerBound(w *workload.Workload, cfg Config) (Bound, error) {
 		events += tauV
 	}
 	bytesPerHour := events * cfg.MessageBytes
-	bc := cfg.Model.CapacityBytesPerHour()
-	vms := int(ceilDiv(bytesPerHour, bc))
+	fleet := cfg.Fleet
+	vms := int(ceilDiv(bytesPerHour, fleet.MaxCapacity()))
+
+	// C1 bound 1: at least vms VMs, each at the cheapest hourly rate.
+	countRental := pricing.MicroUSD(int64(vms) * cfg.Model.Hours * int64(fleet.MinHourlyRate()))
+	// C1 bound 2: the fractional relaxation — renting capacity at the
+	// fleet's best rate per byte. min over types of bytes·rate·hours/cap.
+	var fracRental pricing.MicroUSD
+	for i := 0; i < fleet.Len(); i++ {
+		r := int64(cfg.Model.InstanceVMCost(fleet.Type(i), 1))
+		f := pricing.MicroUSD(mulDivFloor(bytesPerHour, r, fleet.Capacity(i)))
+		if i == 0 || f < fracRental {
+			fracRental = f
+		}
+	}
+	rental := countRental
+	if fracRental > rental {
+		rental = fracRental
+	}
 	return Bound{
 		OutBytesPerHour: bytesPerHour,
 		VMs:             vms,
-		Cost:            cfg.Model.TotalCost(vms, cfg.Model.TransferBytes(bytesPerHour)),
+		Cost:            rental + cfg.Model.BandwidthCost(cfg.Model.TransferBytes(bytesPerHour)),
 	}, nil
 }

@@ -38,8 +38,10 @@ func Solve(w *workload.Workload, cfg Config) (*Result, error) {
 // workload and configuration:
 //
 //  1. satisfaction — every subscriber's allocated pairs deliver ≥ τ_v;
-//  2. capacity — every VM's accounted bandwidth is within BC (unless
-//     LenientFirstFit permitted the paper's literal overshoot);
+//  2. capacity — every VM's accounted bandwidth is within its own
+//     instance's capacity BC_b (unless LenientFirstFit permitted the
+//     paper's literal overshoot), and each VM's recorded capacity is
+//     consistent with the fleet it claims to come from;
 //  3. accounting — each VM's Out/InBytesPerHour match its placements, a
 //     topic appears at most once per VM, and the total pair count matches
 //     the selection;
@@ -53,7 +55,7 @@ func VerifyAllocation(w *workload.Workload, sel *Selection, alloc *Allocation, c
 	if err != nil {
 		return err
 	}
-	bc := cfg.Model.CapacityBytesPerHour()
+	fleet := cfg.EffectiveFleet()
 
 	// Delivered rate per subscriber from distinct (t,v) placements.
 	delivered := make([]int64, w.NumSubscribers())
@@ -88,8 +90,23 @@ func VerifyAllocation(w *workload.Workload, sel *Selection, alloc *Allocation, c
 			return fmt.Errorf("vm %d: accounted bw (out=%d,in=%d) != recomputed (out=%d,in=%d)",
 				vm.ID, vm.OutBytesPerHour, vm.InBytesPerHour, out, in)
 		}
-		if !cfg.LenientFirstFit && vm.BytesPerHour() > bc {
-			return fmt.Errorf("vm %d: bandwidth %d exceeds capacity %d", vm.ID, vm.BytesPerHour(), bc)
+		// Each VM is checked against its own instance's capacity. A VM
+		// without a recorded capacity (legacy construction) falls back to
+		// the fleet's capacity for its type, then the model's BC.
+		cap := vm.CapacityBytesPerHour
+		if i := fleet.IndexByName(vm.Instance.Name); i >= 0 {
+			if cap == 0 {
+				cap = fleet.Capacity(i)
+			} else if cap != fleet.Capacity(i) {
+				return fmt.Errorf("vm %d: recorded capacity %d does not match fleet capacity %d for %s",
+					vm.ID, cap, fleet.Capacity(i), vm.Instance.Name)
+			}
+		} else if cap == 0 {
+			cap = cfg.Model.CapacityBytesPerHour()
+		}
+		if !cfg.LenientFirstFit && vm.BytesPerHour() > cap {
+			return fmt.Errorf("vm %d (%s): bandwidth %d exceeds capacity %d",
+				vm.ID, vm.Instance.Name, vm.BytesPerHour(), cap)
 		}
 	}
 

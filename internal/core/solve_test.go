@@ -228,13 +228,29 @@ func TestVerifyAllocationCatchesViolations(t *testing.T) {
 	vm.Placements[0].Subs = append([]workload.SubID{stolen}, vm.Placements[0].Subs...)
 	vm.OutBytesPerHour += rb
 
-	// Tamper: capacity violation.
-	res.Allocation.CapacityBytesPerHour = 1
+	// Tamper: capacity violation — every VM claims a 1-byte/h cap below
+	// its accounted bandwidth, with a config whose fleet matches.
+	saved := make([]int64, len(res.Allocation.VMs))
+	for i, v := range res.Allocation.VMs {
+		saved[i] = v.CapacityBytesPerHour
+		v.CapacityBytesPerHour = 1
+	}
 	small := cfg
 	small.Model.CapacityOverrideBytesPerHour = 1
 	if err := VerifyAllocation(w, res.Selection, res.Allocation, small); err == nil {
 		t.Error("capacity violation passed verification")
 	}
+	for i, v := range res.Allocation.VMs {
+		v.CapacityBytesPerHour = saved[i]
+	}
+
+	// Tamper: a VM whose recorded capacity disagrees with the fleet's
+	// capacity for its instance type.
+	res.Allocation.VMs[0].CapacityBytesPerHour += 7
+	if err := VerifyAllocation(w, res.Selection, res.Allocation, cfg); err == nil {
+		t.Error("fleet-inconsistent capacity passed verification")
+	}
+	res.Allocation.VMs[0].CapacityBytesPerHour -= 7
 }
 
 func TestVMAccessors(t *testing.T) {

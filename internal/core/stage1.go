@@ -19,6 +19,11 @@ type Selection struct {
 	// Topic-grouped CSR of selected subscribers, derived lazily.
 	topicOff  []int64
 	topicSubs []workload.SubID
+
+	// selRates caches Σ_{t selected for v} ev_t per subscriber, built
+	// lazily on first use so Satisfied/FirstUnsatisfied cost O(1) per
+	// query after one O(pairs) pass.
+	selRates []int64
 }
 
 // Workload returns the workload the selection was made from.
@@ -35,11 +40,28 @@ func (s *Selection) SelectedTopics(v workload.SubID) []workload.TopicID {
 
 // SelectedRate reports the delivered event rate Σ_{t selected for v} ev_t.
 func (s *Selection) SelectedRate(v workload.SubID) int64 {
-	var sum int64
-	for _, t := range s.SelectedTopics(v) {
-		sum += s.w.Rate(t)
+	s.buildRates()
+	return s.selRates[v]
+}
+
+// buildRates materializes the per-subscriber selected-rate cache.
+func (s *Selection) buildRates() {
+	if s.selRates != nil {
+		return
 	}
-	return sum
+	n := len(s.subOff) - 1
+	if n < 0 {
+		n = 0
+	}
+	rates := make([]int64, n)
+	for v := 0; v < n; v++ {
+		var sum int64
+		for _, t := range s.subTopics[s.subOff[v]:s.subOff[v+1]] {
+			sum += s.w.Rate(t)
+		}
+		rates[v] = sum
+	}
+	s.selRates = rates
 }
 
 // OutgoingRate reports Σ over selected pairs of ev_t (events/hour): the

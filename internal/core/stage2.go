@@ -15,9 +15,9 @@ type vmState struct {
 	topicIdx map[workload.TopicID]int // topic → index into vm.Placements
 }
 
-func newVMState(id int, capacity int64) *vmState {
+func newVMState(id int, it pricing.InstanceType, capacity int64) *vmState {
 	return &vmState{
-		vm:       &VM{ID: id},
+		vm:       &VM{ID: id, Instance: it, CapacityBytesPerHour: capacity},
 		free:     capacity,
 		topicIdx: make(map[workload.TopicID]int),
 	}
@@ -56,11 +56,11 @@ func (b *vmState) deltaFor(t workload.TopicID, rb int64) int64 {
 	return 2 * rb
 }
 
-func finishAllocation(vms []*vmState, cfg Config) *Allocation {
+func finishAllocation(vms []*vmState, fleet pricing.Fleet, cfg Config) *Allocation {
 	out := &Allocation{
-		VMs:                  make([]*VM, len(vms)),
-		CapacityBytesPerHour: cfg.Model.CapacityBytesPerHour(),
-		MessageBytes:         cfg.MessageBytes,
+		VMs:          make([]*VM, len(vms)),
+		Fleet:        fleet,
+		MessageBytes: cfg.MessageBytes,
 	}
 	for i, b := range vms {
 		out.VMs[i] = b.vm
@@ -68,23 +68,83 @@ func finishAllocation(vms []*vmState, cfg Config) *Allocation {
 	return out
 }
 
+// pickPairType chooses the fleet type for a fresh VM that must host one
+// pair needing `need` bytes/hour: the cheapest hourly rate among the types
+// with enough capacity, ties to the smaller capacity (the fleet is sorted
+// ascending). When no type fits — reachable only in LenientFirstFit mode —
+// it falls back to the largest type, mirroring the paper's literal Alg. 3
+// which deploys regardless and overshoots.
+func pickPairType(f pricing.Fleet, need int64) int {
+	best := -1
+	for i := 0; i < f.Len(); i++ {
+		if f.Capacity(i) < need {
+			continue
+		}
+		if best < 0 || f.Type(i).HourlyRate < f.Type(best).HourlyRate {
+			best = i
+		}
+	}
+	if best < 0 {
+		return f.Len() - 1
+	}
+	return best
+}
+
+// pickDeployType chooses which instance size to deploy next for a topic
+// group with `remaining` pairs of rb bytes/hour each: the type minimizing
+// modeled rental cost per byte served on that VM. A type with capacity c
+// serves k = min(c/rb − 1, remaining) pairs (one rb slot goes to the
+// incoming stream), so the score is rate / (k·rb); rb cancels in the
+// comparison. Large groups therefore favor big instances (the incoming
+// stream amortizes over more pairs) while a short tail favors the cheapest
+// instance that covers it. Types that cannot host even one pair are
+// skipped; the caller guarantees at least one can. Ties go to the lower
+// hourly rate, then the smaller capacity.
+func pickDeployType(f pricing.Fleet, rb, remaining int64) int {
+	best := -1
+	var bestK int64
+	for i := 0; i < f.Len(); i++ {
+		k := f.Capacity(i)/rb - 1
+		if k <= 0 {
+			continue
+		}
+		if k > remaining {
+			k = remaining
+		}
+		if best < 0 {
+			best, bestK = i, k
+			continue
+		}
+		// rate_i/k_i < rate_best/k_best ⇔ rate_i·k_best < rate_best·k_i.
+		li := int64(f.Type(i).HourlyRate) * bestK
+		lb := int64(f.Type(best).HourlyRate) * k
+		if li < lb || (li == lb && f.Type(i).HourlyRate < f.Type(best).HourlyRate) {
+			best, bestK = i, k
+		}
+	}
+	return best
+}
+
 // FFBinPacking implements the paper's Alg. 3: pairs are considered one at a
 // time in selection order and placed on the first already-deployed VM with
-// room, deploying a new VM when none fits.
+// room, deploying a new VM when none fits. With a heterogeneous fleet the
+// fresh VM is the cheapest instance that can host the pair.
 //
 // By default the capacity test uses the true bandwidth delta (outgoing rate
 // plus the incoming rate when the topic first lands on the VM), so that
-// bw_b ≤ BC always holds. Config.LenientFirstFit switches to the paper's
-// literal `ev_t ≤ BC − bw_b` test, which can overshoot BC by one topic rate.
+// bw_b ≤ BC_b always holds. Config.LenientFirstFit switches to the paper's
+// literal `ev_t ≤ BC − bw_b` test, which can overshoot BC_b by one topic
+// rate.
 func FFBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
-	bc := cfg.Model.CapacityBytesPerHour()
+	fleet := cfg.EffectiveFleet()
+	maxCap := fleet.MaxCapacity()
 	msg := cfg.MessageBytes
 	var vms []*vmState
 	var err error
 	one := make([]workload.SubID, 1)
 	sel.Pairs(func(p workload.Pair) bool {
 		rb := sel.w.Rate(p.Topic) * msg
-		if 2*rb > bc && !cfg.LenientFirstFit {
+		if 2*rb > maxCap && !cfg.LenientFirstFit {
 			err = ErrInfeasible
 			return false
 		}
@@ -101,7 +161,12 @@ func FFBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
 				return true
 			}
 		}
-		b := newVMState(len(vms), bc)
+		need := 2 * rb
+		if cfg.LenientFirstFit {
+			need = rb
+		}
+		i := pickPairType(fleet, need)
+		b := newVMState(len(vms), fleet.Type(i), fleet.Capacity(i))
 		b.place(p.Topic, rb, one)
 		vms = append(vms, b)
 		return true
@@ -109,7 +174,7 @@ func FFBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finishAllocation(vms, cfg), nil
+	return finishAllocation(vms, fleet, cfg), nil
 }
 
 // topicGroup is one topic with its selected subscribers, as CBP consumes
@@ -120,13 +185,17 @@ type topicGroup struct {
 	subs  []workload.SubID
 }
 
-// CustomBinPacking implements the paper's Alg. 4 (CBP). Grouping of a
-// topic's pairs is inherent; cfg.Opts toggles the paper's optimizations (c)
-// most-expensive-topic-first, (d) most-free-VM-first, and (e) the
-// cost-model-based decision between distributing over existing VMs and
-// deploying fresh ones (Alg. 7).
+// CustomBinPacking implements the paper's Alg. 4 (CBP) generalized to
+// mixed-instance fleets. Grouping of a topic's pairs is inherent; cfg.Opts
+// toggles the paper's optimizations (c) most-expensive-topic-first, (d)
+// most-free-VM-first, and (e) the cost-model-based decision between
+// distributing over existing VMs and deploying fresh ones (Alg. 7). Every
+// fresh deployment picks its instance size by modeled cost per byte served
+// (see pickDeployType), which is how hot topics land on big instances and
+// the tail on small ones.
 func CustomBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
-	bc := cfg.Model.CapacityBytesPerHour()
+	fleet := cfg.EffectiveFleet()
+	maxCap := fleet.MaxCapacity()
 	msg := cfg.MessageBytes
 
 	groups := buildGroups(sel, msg)
@@ -153,7 +222,7 @@ func CustomBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
 	addBW := func(d int64) { totalBW += d }
 
 	for _, g := range groups {
-		if 2*g.rb > bc {
+		if 2*g.rb > maxCap {
 			return nil, ErrInfeasible
 		}
 		need := g.rb * int64(len(g.subs)+1)
@@ -166,7 +235,7 @@ func CustomBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
 		remaining := g.subs
 		distribute := true
 		if costOpts {
-			distribute = cheaperToDistribute(vms, g, bc, totalBW, cfg.Model)
+			distribute = cheaperToDistribute(vms, g, fleet, totalBW, cfg.Model)
 		}
 		if distribute {
 			for len(remaining) > 0 {
@@ -193,12 +262,15 @@ func CustomBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
 			}
 		}
 		// Leftovers (or the whole group when deploying fresh is cheaper)
-		// go to newly deployed VMs, filled to capacity.
+		// go to newly deployed VMs of the cost-optimal size, filled to
+		// capacity.
 		for len(remaining) > 0 {
-			b := newVMState(len(vms), bc)
+			ti := pickDeployType(fleet, g.rb, int64(len(remaining)))
+			cap := fleet.Capacity(ti)
+			b := newVMState(len(vms), fleet.Type(ti), cap)
 			vms = append(vms, b)
 			cur = b
-			k := bc/g.rb - 1 // one slot of rb is the incoming stream
+			k := cap/g.rb - 1 // one slot of rb is the incoming stream
 			if k > int64(len(remaining)) {
 				k = int64(len(remaining))
 			}
@@ -208,7 +280,7 @@ func CustomBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
 			remaining = remaining[k:]
 		}
 	}
-	return finishAllocation(vms, cfg), nil
+	return finishAllocation(vms, fleet, cfg), nil
 }
 
 // buildGroups collects the selected subscribers per topic, in topic-ID order.
@@ -257,27 +329,49 @@ func pickExistingVM(vms []*vmState, g topicGroup, mostFree bool) *vmState {
 	return nil
 }
 
-// cheaperToDistribute implements Alg. 7: it compares the modeled total cost
-// of (A) deploying fresh VMs for group g against (B) spreading g over the
-// existing VMs (most-free first, leftovers on fresh VMs), and reports
-// whether (B) is strictly cheaper. The simulation never mutates the packer
-// state.
-func cheaperToDistribute(vms []*vmState, g topicGroup, bc, totalBW int64, m pricing.Model) bool {
+// freshPlan simulates packing n pairs of rb bytes/hour onto freshly
+// deployed VMs, each sized by pickDeployType, and reports the total rental
+// cost, the bandwidth added (outgoing pairs plus one incoming stream per
+// VM), and the VM count. It returns ok=false when no fleet type can host a
+// pair.
+func freshPlan(f pricing.Fleet, m pricing.Model, rb, n int64) (rental pricing.MicroUSD, bw int64, count int, ok bool) {
+	for n > 0 {
+		ti := pickDeployType(f, rb, n)
+		if ti < 0 {
+			return 0, 0, 0, false
+		}
+		k := f.Capacity(ti)/rb - 1
+		if k > n {
+			k = n
+		}
+		rental += m.InstanceVMCost(f.Type(ti), 1)
+		bw += rb * (k + 1)
+		count++
+		n -= k
+	}
+	return rental, bw, count, true
+}
+
+// cheaperToDistribute implements Alg. 7 over a heterogeneous fleet: it
+// compares the modeled total cost of (A) deploying fresh, cost-optimally
+// sized VMs for group g against (B) spreading g over the existing VMs
+// (most-free first, leftovers on fresh VMs), and reports whether (B) is
+// strictly cheaper. Rentals of already-deployed VMs are identical on both
+// sides and cancel. The simulation never mutates the packer state.
+func cheaperToDistribute(vms []*vmState, g topicGroup, f pricing.Fleet, totalBW int64, m pricing.Model) bool {
 	n := int64(len(g.subs))
 	if n == 0 {
 		return true
 	}
-	perFresh := bc/g.rb - 1
-	if perFresh <= 0 {
-		// A fresh VM cannot host even one pair; distribution is the
-		// only option (the caller guards 2·rb ≤ BC, so this is
+	// (A) all pairs on fresh VMs.
+	freshRental, freshBW, _, ok := freshPlan(f, m, g.rb, n)
+	if !ok {
+		// No fleet type can host even one pair; distribution is the only
+		// option (the caller guards 2·rb ≤ maxCap, so this is
 		// unreachable, but keep the safe answer).
 		return true
 	}
-	freshVMs := int(ceilDiv(n, perFresh))
-	// (A) all pairs on fresh VMs: n outgoing + one incoming per fresh VM.
-	bwNew := totalBW + g.rb*(n+int64(freshVMs))
-	costNew := m.TotalCost(len(vms)+freshVMs, m.TransferBytes(bwNew))
+	costNew := freshRental + m.BandwidthCost(m.TransferBytes(totalBW+freshBW))
 
 	// (B) simulate distribution over existing VMs, most free first.
 	frees := make([]int64, len(vms))
@@ -288,8 +382,8 @@ func cheaperToDistribute(vms []*vmState, g topicGroup, bc, totalBW int64, m pric
 	var hostedVMs int64 // VMs that newly host the topic (incoming copies)
 	for remaining > 0 {
 		best := -1
-		for i, f := range frees {
-			if f >= 2*g.rb && (best == -1 || f > frees[best]) {
+		for i, fr := range frees {
+			if fr >= 2*g.rb && (best == -1 || fr > frees[best]) {
 				best = i
 			}
 		}
@@ -304,9 +398,9 @@ func cheaperToDistribute(vms []*vmState, g topicGroup, bc, totalBW int64, m pric
 		hostedVMs++
 		remaining -= k
 	}
-	extraVMs := int(ceilDiv(remaining, perFresh))
-	bwDist := totalBW + g.rb*(n+hostedVMs+int64(extraVMs))
-	costDist := m.TotalCost(len(vms)+extraVMs, m.TransferBytes(bwDist))
+	extraRental, extraBW, _, _ := freshPlan(f, m, g.rb, remaining)
+	bwDist := totalBW + g.rb*(n-remaining+hostedVMs) + extraBW
+	costDist := extraRental + m.BandwidthCost(m.TransferBytes(bwDist))
 	return costDist < costNew
 }
 
@@ -317,12 +411,42 @@ func ceilDiv(a, b int64) int64 {
 	return (a + b - 1) / b
 }
 
-// runStage2 dispatches on the configured algorithm.
-func runStage2(sel *Selection, cfg Config) (*Allocation, error) {
+// packStage2 dispatches one packing run on the configured algorithm.
+func packStage2(sel *Selection, cfg Config) (*Allocation, error) {
 	switch cfg.Stage2 {
 	case Stage2Custom:
 		return CustomBinPacking(sel, cfg)
 	default:
 		return FFBinPacking(sel, cfg)
 	}
+}
+
+// runStage2 packs the selection. For a heterogeneous fleet it runs a
+// portfolio: the mixed-fleet greedy plus every single-type restriction of
+// the fleet, returning the cheapest feasible allocation — so by
+// construction the heterogeneous solve never costs more than the best
+// homogeneous choice from the same catalog.
+func runStage2(sel *Selection, cfg Config) (*Allocation, error) {
+	alloc, err := packStage2(sel, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fleet := cfg.EffectiveFleet()
+	if fleet.Len() <= 1 {
+		return alloc, nil
+	}
+	best, bestCost := alloc, alloc.Cost(cfg.Model)
+	for i := 0; i < fleet.Len(); i++ {
+		sub := cfg
+		sub.Fleet = fleet.Single(i)
+		a, err := packStage2(sel, sub)
+		if err != nil {
+			continue // the type is too small for some topic; skip it
+		}
+		if c := a.Cost(cfg.Model); c < bestCost {
+			best, bestCost = a, c
+		}
+	}
+	best.Fleet = fleet
+	return best, nil
 }

@@ -219,7 +219,7 @@ func TestPickExistingVM(t *testing.T) {
 	// (hosting one pair needs 2·5 = 10 free), first-fit returns VM 0 while
 	// most-free returns VM 1.
 	mk := func(free int64) *vmState {
-		b := newVMState(0, free)
+		b := newVMState(0, pricing.C3Large, free)
 		return b
 	}
 	vms := []*vmState{mk(10), mk(55), mk(30)}

@@ -122,8 +122,15 @@ type Config struct {
 	// MessageBytes is the size of one event notification. The paper uses
 	// 200 bytes for both traces.
 	MessageBytes int64
-	// Model supplies the VM capacity BC and the cost functions C1/C2.
+	// Model supplies the rental duration and the cost functions C1/C2,
+	// plus the VM capacity BC for single-type solves.
 	Model pricing.Model
+	// Fleet, when non-empty, lists the instance types Stage 2 may deploy,
+	// each with its own capacity and hourly rate; the packers then choose
+	// which size to deploy next by modeled cost per byte served. The zero
+	// Fleet reproduces the paper's homogeneous setting as the one-type
+	// fleet of Model's instance at Model's effective capacity.
+	Fleet pricing.Fleet
 	// Stage1 and Stage2 pick the algorithms; zero values are the paper's
 	// recommended GSP + FFBP... note the recommended full solution is
 	// GSP + CBP with OptAll, which is what DefaultConfig returns.
@@ -162,11 +169,21 @@ func (c Config) normalize() (Config, error) {
 	if c.Tau <= 0 {
 		return c, fmt.Errorf("core: Tau must be positive, got %d", c.Tau)
 	}
-	if c.Model.CapacityBytesPerHour() <= 0 {
+	if c.Fleet.IsZero() && c.Model.CapacityBytesPerHour() <= 0 {
 		return c, errors.New("core: pricing model has no positive VM capacity")
+	}
+	c.Fleet = c.Model.FleetOr(c.Fleet)
+	for i := 0; i < c.Fleet.Len(); i++ {
+		if c.Fleet.Capacity(i) <= 0 {
+			return c, fmt.Errorf("core: fleet type %q has no positive capacity", c.Fleet.Type(i).Name)
+		}
 	}
 	return c, nil
 }
+
+// EffectiveFleet reports the fleet a solve under this config packs against:
+// Config.Fleet when set, else the one-type fleet of the model's instance.
+func (c Config) EffectiveFleet() pricing.Fleet { return c.Model.FleetOr(c.Fleet) }
 
 // Errors returned by the solver.
 var (
@@ -187,6 +204,13 @@ type TopicPlacement struct {
 type VM struct {
 	// ID is the deployment index (0 = first deployed).
 	ID int
+	// Instance is the VM flavor this broker is deployed on; its hourly
+	// rate is what the VM contributes to C1.
+	Instance pricing.InstanceType
+	// CapacityBytesPerHour is this VM's own bandwidth cap BC_b — the
+	// fleet's effective capacity for Instance, which may be a calibrated
+	// override of the honest mbps-derived value.
+	CapacityBytesPerHour int64
 	// Placements lists the topic groups served by this VM, in placement
 	// order. A topic appears at most once per VM.
 	Placements []TopicPlacement
@@ -201,6 +225,10 @@ type VM struct {
 // BytesPerHour is the VM's total bandwidth consumption bw_b.
 func (vm *VM) BytesPerHour() int64 { return vm.OutBytesPerHour + vm.InBytesPerHour }
 
+// FreeBytesPerHour is the VM's unused capacity BC_b − bw_b (negative only
+// in LenientFirstFit mode).
+func (vm *VM) FreeBytesPerHour() int64 { return vm.CapacityBytesPerHour - vm.BytesPerHour() }
+
 // NumPairs reports how many topic–subscriber pairs this VM serves.
 func (vm *VM) NumPairs() int {
 	n := 0
@@ -210,12 +238,15 @@ func (vm *VM) NumPairs() int {
 	return n
 }
 
-// Allocation is Stage 2's output: the deployed VMs.
+// Allocation is Stage 2's output: the deployed VMs. Capacity is a per-VM
+// property (each VM carries its instance type's cap); there is no single
+// fleet-wide BC once the fleet is heterogeneous.
 type Allocation struct {
 	// VMs in deployment order.
 	VMs []*VM
-	// CapacityBytesPerHour is the BC the allocation was packed against.
-	CapacityBytesPerHour int64
+	// Fleet records the instance catalog the allocation was packed
+	// against, so repairs can deploy matching replacements.
+	Fleet pricing.Fleet
 	// MessageBytes echoes the config.
 	MessageBytes int64
 }
@@ -238,10 +269,36 @@ func (a *Allocation) TransferBytes(m pricing.Model) int64 {
 	return m.TransferBytes(a.TotalBytesPerHour())
 }
 
-// Cost evaluates the paper's objective C1(|B|) + C2(Σ bw_b) under the given
-// pricing model.
+// RentalCost is the heterogeneous C1: Σ over VMs of the VM's own hourly
+// rate over the model's rental duration. A VM without a recorded instance
+// type (legacy construction) falls back to the model's instance.
+func (a *Allocation) RentalCost(m pricing.Model) pricing.MicroUSD {
+	var sum pricing.MicroUSD
+	for _, vm := range a.VMs {
+		it := vm.Instance
+		if it.Name == "" && it.HourlyRate == 0 {
+			it = m.Instance
+		}
+		sum += m.InstanceVMCost(it, 1)
+	}
+	return sum
+}
+
+// Cost evaluates the paper's objective C1 + C2(Σ bw_b) under the given
+// pricing model, with C1 summed per VM so mixed-instance fleets are billed
+// at each VM's own rate.
 func (a *Allocation) Cost(m pricing.Model) pricing.MicroUSD {
-	return m.TotalCost(a.NumVMs(), a.TransferBytes(m))
+	return a.RentalCost(m) + m.BandwidthCost(a.TransferBytes(m))
+}
+
+// InstanceMix counts deployed VMs per instance-type name — the fleet
+// composition report behind the heterogeneous experiments.
+func (a *Allocation) InstanceMix() map[string]int {
+	mix := make(map[string]int)
+	for _, vm := range a.VMs {
+		mix[vm.Instance.Name]++
+	}
+	return mix
 }
 
 // Result bundles a full solve.

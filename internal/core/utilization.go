@@ -21,37 +21,44 @@ type Utilization struct {
 	MaxVMsPerTopic int
 }
 
-// ComputeUtilization derives packing diagnostics from an allocation.
+// ComputeUtilization derives packing diagnostics from an allocation. Each
+// VM's fill is measured against its own instance's capacity, so the metrics
+// stay meaningful for mixed-instance fleets. VMs without a recorded
+// capacity (legacy construction) still count toward the bandwidth and
+// topic-spread metrics; only the fill/waste statistics skip them.
 func (a *Allocation) ComputeUtilization() Utilization {
 	u := Utilization{}
-	if len(a.VMs) == 0 || a.CapacityBytesPerHour <= 0 {
+	if len(a.VMs) == 0 {
 		return u
 	}
 	fills := make([]float64, 0, len(a.VMs))
 	var in, out int64
 	hosts := make(map[int32]int)
 	for _, vm := range a.VMs {
-		fill := float64(vm.BytesPerHour()) / float64(a.CapacityBytesPerHour)
-		fills = append(fills, fill)
-		free := a.CapacityBytesPerHour - vm.BytesPerHour()
-		if free > 0 {
-			u.WastedBytesPerHour += free
-		}
 		in += vm.InBytesPerHour
 		out += vm.OutBytesPerHour
 		for _, p := range vm.Placements {
 			hosts[int32(p.Topic)]++
 		}
+		if vm.CapacityBytesPerHour <= 0 {
+			continue
+		}
+		fills = append(fills, float64(vm.BytesPerHour())/float64(vm.CapacityBytesPerHour))
+		if free := vm.FreeBytesPerHour(); free > 0 {
+			u.WastedBytesPerHour += free
+		}
 	}
-	sort.Float64s(fills)
-	u.MinFill = fills[0]
-	u.MaxFill = fills[len(fills)-1]
-	u.MedianFill = fills[len(fills)/2]
-	var sum float64
-	for _, f := range fills {
-		sum += f
+	if len(fills) > 0 {
+		sort.Float64s(fills)
+		u.MinFill = fills[0]
+		u.MaxFill = fills[len(fills)-1]
+		u.MedianFill = fills[len(fills)/2]
+		var sum float64
+		for _, f := range fills {
+			sum += f
+		}
+		u.MeanFill = sum / float64(len(fills))
 	}
-	u.MeanFill = sum / float64(len(fills))
 	if in+out > 0 {
 		u.IncomingShare = float64(in) / float64(in+out)
 	}

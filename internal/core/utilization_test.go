@@ -10,12 +10,11 @@ import (
 
 func TestComputeUtilizationManual(t *testing.T) {
 	a := &Allocation{
-		CapacityBytesPerHour: 100,
-		MessageBytes:         1,
+		MessageBytes: 1,
 		VMs: []*VM{
-			{ID: 0, InBytesPerHour: 10, OutBytesPerHour: 70,
+			{ID: 0, CapacityBytesPerHour: 100, InBytesPerHour: 10, OutBytesPerHour: 70,
 				Placements: []TopicPlacement{{Topic: 0, Subs: []workload.SubID{0}}}},
-			{ID: 1, InBytesPerHour: 10, OutBytesPerHour: 30,
+			{ID: 1, CapacityBytesPerHour: 100, InBytesPerHour: 10, OutBytesPerHour: 30,
 				Placements: []TopicPlacement{{Topic: 0, Subs: []workload.SubID{1}}}},
 		},
 	}
@@ -40,7 +39,7 @@ func TestComputeUtilizationManual(t *testing.T) {
 }
 
 func TestComputeUtilizationEmpty(t *testing.T) {
-	a := &Allocation{CapacityBytesPerHour: 100}
+	a := &Allocation{}
 	u := a.ComputeUtilization()
 	if u.MeanFill != 0 || u.SplitTopics != 0 {
 		t.Errorf("empty utilization = %+v", u)

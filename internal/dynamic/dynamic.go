@@ -111,8 +111,9 @@ func (p *Provisioner) Update(d Delta) (MigrationStats, error) {
 var ErrUnknownVM = errors.New("dynamic: unknown VM")
 
 // RepairCrash removes the given VM from the allocation and re-homes its
-// placements onto surviving VMs (most-free-first, respecting capacity) or
-// fresh VMs, without re-running Stage 1. VM IDs are re-densified.
+// placements onto surviving VMs (most-free-first, respecting each VM's own
+// capacity) or fresh VMs of the crashed VM's instance type, without
+// re-running Stage 1. VM IDs are re-densified.
 func (p *Provisioner) RepairCrash(vmID int) (RepairStats, error) {
 	alloc := p.res.Allocation
 	idx := -1
@@ -130,7 +131,6 @@ func (p *Provisioner) RepairCrash(vmID int) (RepairStats, error) {
 	survivors = append(survivors, alloc.VMs[:idx]...)
 	survivors = append(survivors, alloc.VMs[idx+1:]...)
 
-	bc := alloc.CapacityBytesPerHour
 	msg := alloc.MessageBytes
 	stats := RepairStats{}
 
@@ -151,14 +151,19 @@ func (p *Provisioner) RepairCrash(vmID int) (RepairStats, error) {
 		remaining := g.Subs
 		rb := p.w.Rate(g.Topic) * msg
 		for len(remaining) > 0 {
-			vm, hasTopic := mostFreeFit(survivors, newVMs, g.Topic, rb, bc)
+			vm, hasTopic := mostFreeFit(survivors, newVMs, g.Topic, rb)
 			if vm == nil {
-				vm = &core.VM{}
+				// Replace capacity like-for-like: the crash repair
+				// deploys the failed broker's own instance type.
+				vm = &core.VM{
+					Instance:             failed.Instance,
+					CapacityBytesPerHour: failed.CapacityBytesPerHour,
+				}
 				newVMs = append(newVMs, vm)
 				stats.NewVMs++
 				hasTopic = false
 			}
-			free := bc - vm.BytesPerHour()
+			free := vm.FreeBytesPerHour()
 			if !hasTopic {
 				free -= rb
 			}
@@ -176,9 +181,9 @@ func (p *Provisioner) RepairCrash(vmID int) (RepairStats, error) {
 	}
 
 	repaired := &core.Allocation{
-		VMs:                  append(survivors, newVMs...),
-		CapacityBytesPerHour: bc,
-		MessageBytes:         msg,
+		VMs:          append(survivors, newVMs...),
+		Fleet:        alloc.Fleet,
+		MessageBytes: msg,
 	}
 	for i, vm := range repaired.VMs {
 		vm.ID = i
@@ -194,14 +199,15 @@ func (p *Provisioner) RepairCrash(vmID int) (RepairStats, error) {
 }
 
 // mostFreeFit returns the VM (among survivors then newVMs) with the most
-// free capacity that can host at least one more pair of the topic, plus
-// whether it already hosts the topic. It returns nil when none fits.
-func mostFreeFit(survivors, newVMs []*core.VM, t workload.TopicID, rb, bc int64) (*core.VM, bool) {
+// free capacity — each measured against its own instance's cap — that can
+// host at least one more pair of the topic, plus whether it already hosts
+// the topic. It returns nil when none fits.
+func mostFreeFit(survivors, newVMs []*core.VM, t workload.TopicID, rb int64) (*core.VM, bool) {
 	var best *core.VM
 	bestHas := false
 	var bestFree int64 = -1
 	consider := func(vm *core.VM) {
-		free := bc - vm.BytesPerHour()
+		free := vm.FreeBytesPerHour()
 		has := vmHasTopic(vm, t)
 		need := rb
 		if !has {

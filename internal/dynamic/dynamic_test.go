@@ -276,3 +276,85 @@ func TestPropertyRepairAlwaysVerifies(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRepairCrashRedeploysCrashedVMType(t *testing.T) {
+	// A hot topic (rate 40, 18 subscribers) that lands on big instances
+	// plus a tail of tiny topics on small ones. Crashing the hot VM must
+	// redeploy capacity of the crashed VM's own instance type, because
+	// the small survivors cannot absorb 80-byte/h pairs.
+	rates := []int64{40}
+	subOff := []int64{0}
+	var subTopics []workload.TopicID
+	for i := 0; i < 18; i++ {
+		subTopics = append(subTopics, 0)
+		subOff = append(subOff, int64(len(subTopics)))
+	}
+	for i := 0; i < 6; i++ {
+		rates = append(rates, 3)
+		subTopics = append(subTopics, workload.TopicID(len(rates)-1))
+		subOff = append(subOff, int64(len(subTopics)))
+	}
+	w, err := workload.FromCSR(rates, subOff, subTopics, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := pricing.NewFleet(
+		pricing.InstanceType{Name: "t.small", HourlyRate: 100, LinkMbps: 1},
+		pricing.InstanceType{Name: "t.large", HourlyRate: 420, LinkMbps: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet = fleet.WithBytesPerMbps(100) // caps 100 and 400
+	cfg := core.Config{
+		Tau:          10_000,
+		MessageBytes: 1,
+		Model:        pricing.Model{Instance: pricing.C3Large, Hours: 1, PerGB: 1000},
+		Fleet:        fleet,
+		Stage1:       core.Stage1Greedy,
+		Stage2:       core.Stage2Custom,
+		Opts:         core.OptExpensiveTopicFirst,
+	}
+	p, err := New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hot *core.VM
+	for _, vm := range p.Allocation().VMs {
+		for _, pl := range vm.Placements {
+			if pl.Topic == 0 {
+				hot = vm
+			}
+		}
+	}
+	if hot == nil {
+		t.Fatal("hot topic not placed")
+	}
+	if hot.Instance.Name != "t.large" {
+		t.Fatalf("hot topic on %s, want t.large", hot.Instance.Name)
+	}
+	stats, err := p.RepairCrash(hot.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NewVMs == 0 {
+		t.Fatal("expected the repair to deploy replacement VMs")
+	}
+	after := p.Allocation()
+	replacements := after.VMs[len(after.VMs)-stats.NewVMs:]
+	for _, vm := range replacements {
+		if vm.Instance.Name != "t.large" || vm.CapacityBytesPerHour != 400 {
+			t.Errorf("replacement VM is %s (cap %d), want the crashed t.large (cap 400)",
+				vm.Instance.Name, vm.CapacityBytesPerHour)
+		}
+	}
+	for _, vm := range after.VMs {
+		if vm.BytesPerHour() > vm.CapacityBytesPerHour {
+			t.Errorf("vm %d (%s) over its own capacity: %d > %d",
+				vm.ID, vm.Instance.Name, vm.BytesPerHour(), vm.CapacityBytesPerHour)
+		}
+	}
+	if err := core.VerifyAllocation(w, p.Selection(), after, cfg); err != nil {
+		t.Errorf("repaired allocation failed verification: %v", err)
+	}
+}

@@ -40,10 +40,13 @@ type Solution struct {
 }
 
 // Solve computes the optimal MCSS solution. Config semantics match
-// core.Solve (Tau, MessageBytes, Model); the Stage/Opts fields are ignored.
-// It returns ErrTooLarge for instances with more than MaxPairs pairs and
-// core.ErrInfeasible when no feasible solution exists (some mandatory pair
-// cannot fit in a VM).
+// core.Solve (Tau, MessageBytes, Model, Fleet); the Stage/Opts fields are
+// ignored. With a multi-type Fleet the packing DP branches over instance
+// choices: every VM (block of pairs) is billed at the cheapest fleet type
+// whose capacity covers the block, so the optimum is taken over
+// mixed-instance deployments too. It returns ErrTooLarge for instances with
+// more than MaxPairs pairs and core.ErrInfeasible when no feasible solution
+// exists (some mandatory pair cannot fit in any VM).
 func Solve(w *workload.Workload, cfg core.Config) (Solution, error) {
 	if w.NumPairs() > MaxPairs {
 		return Solution{}, fmt.Errorf("%w: %d pairs", ErrTooLarge, w.NumPairs())
@@ -54,9 +57,25 @@ func Solve(w *workload.Workload, cfg core.Config) (Solution, error) {
 	if cfg.Tau <= 0 {
 		return Solution{}, errors.New("exact: Tau must be positive")
 	}
-	bc := cfg.Model.CapacityBytesPerHour()
+	fleet := cfg.EffectiveFleet()
+	bc := fleet.MaxCapacity()
 	if bc <= 0 {
 		return Solution{}, errors.New("exact: model has no positive capacity")
+	}
+	// blockRental returns the cheapest one-VM rental able to carry bw
+	// bytes/hour, or -1 when no fleet type fits.
+	blockRental := func(bw int64) int64 {
+		best := int64(-1)
+		for i := 0; i < fleet.Len(); i++ {
+			if fleet.Capacity(i) < bw {
+				continue
+			}
+			r := int64(cfg.Model.InstanceVMCost(fleet.Type(i), 1))
+			if best < 0 || r < best {
+				best = r
+			}
+		}
+		return best
 	}
 
 	// Flatten pairs.
@@ -110,7 +129,6 @@ func Solve(w *workload.Workload, cfg core.Config) (Solution, error) {
 	cost := make([]int64, size) // microdollars
 	vms := make([]int, size)
 	bwSum := make([]int64, size)
-	oneVM := int64(cfg.Model.VMCost(1))
 	for m := 1; m < size; m++ {
 		cost[m] = inf
 		low := m & -m
@@ -126,7 +144,8 @@ func Solve(w *workload.Workload, cfg core.Config) (Solution, error) {
 			if cost[rest] == inf {
 				continue
 			}
-			c := cost[rest] + oneVM + int64(cfg.Model.BandwidthCost(cfg.Model.TransferBytes(bw[s])))
+			rental := blockRental(bw[s])
+			c := cost[rest] + rental + int64(cfg.Model.BandwidthCost(cfg.Model.TransferBytes(bw[s])))
 			if c < cost[m] {
 				cost[m] = c
 				vms[m] = vms[rest] + 1

@@ -324,3 +324,96 @@ func TestHeuristicQualityOnMicroInstances(t *testing.T) {
 		t.Errorf("worst ratio %.3f exceeds 2.0; heuristic regressed", worst)
 	}
 }
+
+func TestExactBranchesOverInstanceChoices(t *testing.T) {
+	// Two mandatory pairs: a hot topic (rate 4, bw 8 with its incoming
+	// stream) and a cold one (rate 1, bw 2). Fleet: small (cap 2, 1 µ$/h)
+	// and large (cap 8, 5 µ$/h), 1 h rental, free transfer. The two pairs
+	// cannot share a VM (bw 10 > 8), so the optimum mixes: large for the
+	// hot pair + small for the cold one = 6 µ$ — versus 10 µ$ when the
+	// DP is restricted to the large type alone.
+	small := pricing.InstanceType{Name: "x.small", HourlyRate: 1, LinkMbps: 1}
+	large := pricing.InstanceType{Name: "x.large", HourlyRate: 5, LinkMbps: 4}
+	fleet, err := pricing.NewFleet(small, large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet = fleet.WithBytesPerMbps(2) // caps 2 and 8
+	w := mustWorkload(t, []int64{4, 1}, [][]workload.TopicID{{0}, {1}})
+	m := pricing.Model{Instance: large, Hours: 1, PerGB: 0}
+
+	mixed, err := Solve(w, core.Config{Tau: 100, MessageBytes: 1, Model: m, Fleet: fleet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.Cost != 6 || mixed.VMs != 2 {
+		t.Errorf("mixed = %d µ$ / %d VMs, want 6 µ$ / 2 VMs", int64(mixed.Cost), mixed.VMs)
+	}
+
+	largeOnly, err := Solve(w, core.Config{Tau: 100, MessageBytes: 1, Model: m, Fleet: fleet.Single(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if largeOnly.Cost != 10 {
+		t.Errorf("large-only = %d µ$, want 10", int64(largeOnly.Cost))
+	}
+	// The small type alone cannot host the hot pair at all.
+	if _, err := Solve(w, core.Config{Tau: 100, MessageBytes: 1, Model: m, Fleet: fleet.Single(0)}); !errors.Is(err, core.ErrInfeasible) {
+		t.Errorf("small-only err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestPropertyHeuristicNeverBeatsExactOnFleet(t *testing.T) {
+	small := pricing.InstanceType{Name: "y.small", HourlyRate: 100, LinkMbps: 1}
+	medium := pricing.InstanceType{Name: "y.medium", HourlyRate: 190, LinkMbps: 2}
+	large := pricing.InstanceType{Name: "y.large", HourlyRate: 420, LinkMbps: 4}
+	f := func(seed int64, tauRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, err := tracegen.Random(tracegen.RandomConfig{
+			Topics:        1 + rng.Intn(3),
+			Subscribers:   1 + rng.Intn(4),
+			MaxFollowings: 1 + rng.Intn(3),
+			MaxRate:       1 + rng.Int63n(50),
+			Seed:          rng.Int63(),
+		})
+		if err != nil || w.NumPairs() > MaxPairs {
+			return true
+		}
+		var maxRate int64
+		for tid := 0; tid < w.NumTopics(); tid++ {
+			if r := w.Rate(workload.TopicID(tid)); r > maxRate {
+				maxRate = r
+			}
+		}
+		fleet, err := pricing.NewFleet(small, medium, large)
+		if err != nil {
+			return false
+		}
+		fleet = fleet.WithBytesPerMbps(maxRate/2 + 1 + rng.Int63n(100))
+		tau := int64(tauRaw%100) + 1
+		cfg := core.Config{
+			Tau:          tau,
+			MessageBytes: 1,
+			Model:        pricing.Model{Instance: small, Hours: 1, PerGB: 1000},
+			Fleet:        fleet,
+			Stage1:       core.Stage1Greedy,
+			Stage2:       core.Stage2Custom,
+			Opts:         core.OptAll,
+		}
+		opt, err := Solve(w, cfg)
+		if errors.Is(err, core.ErrInfeasible) {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		heur, err := core.Solve(w, cfg)
+		if err != nil {
+			return false
+		}
+		return heur.Cost(cfg.Model) >= opt.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

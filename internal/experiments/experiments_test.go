@@ -324,3 +324,51 @@ func TestRunScaling(t *testing.T) {
 		t.Errorf("scaling table wrong:\n%s", out)
 	}
 }
+
+func TestRunHeteroMixedNeverWorseThanBestHomogeneous(t *testing.T) {
+	for _, d := range []Dataset{Spotify, Twitter} {
+		res, err := RunHetero(d, 0.04)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if res.Fleet.Len() != len(pricing.Catalog()) {
+			t.Errorf("%v: fleet has %d types, want the full catalog", d, res.Fleet.Len())
+		}
+		for _, tau := range Taus {
+			mixed, ok := res.Mixed(tau)
+			if !ok {
+				t.Errorf("%v τ=%d: no feasible mixed solve", d, tau)
+				continue
+			}
+			homo, ok := res.BestHomogeneous(tau)
+			if !ok {
+				continue
+			}
+			if mixed.CostUSD > homo.CostUSD+1e-9 {
+				t.Errorf("%v τ=%d: mixed %.4f$ worse than homogeneous %s %.4f$",
+					d, tau, mixed.CostUSD, homo.Strategy, homo.CostUSD)
+			}
+			if res.Savings(tau) < 0 {
+				t.Errorf("%v τ=%d: negative saving %.4f", d, tau, res.Savings(tau))
+			}
+		}
+		if res.Table().NumRows() == 0 {
+			t.Errorf("%v: empty table", d)
+		}
+	}
+}
+
+func TestFleetForScalesWithLinkSpeed(t *testing.T) {
+	w, err := Generate(Twitter, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := FleetFor(w)
+	if f.CapacityOf("c3.xlarge") != 2*f.CapacityOf("c3.large") {
+		t.Errorf("calibrated fleet broke the 2:1 capacity ratio: %d vs %d",
+			f.CapacityOf("c3.xlarge"), f.CapacityOf("c3.large"))
+	}
+	if f.MinCapacity() <= 0 {
+		t.Error("non-positive calibrated capacity")
+	}
+}

@@ -127,13 +127,14 @@ func TestSimulateDeduplicatesMultiVMPairs(t *testing.T) {
 	w := mustWorkload(t, []int64{10}, [][]workload.TopicID{{0}})
 	alloc := &core.Allocation{
 		VMs: []*core.VM{
-			{ID: 0, Placements: []core.TopicPlacement{{Topic: 0, Subs: []workload.SubID{0}}},
+			{ID: 0, CapacityBytesPerHour: 100,
+				Placements:      []core.TopicPlacement{{Topic: 0, Subs: []workload.SubID{0}}},
 				OutBytesPerHour: 10, InBytesPerHour: 10},
-			{ID: 1, Placements: []core.TopicPlacement{{Topic: 0, Subs: []workload.SubID{0}}},
+			{ID: 1, CapacityBytesPerHour: 100,
+				Placements:      []core.TopicPlacement{{Topic: 0, Subs: []workload.SubID{0}}},
 				OutBytesPerHour: 10, InBytesPerHour: 10},
 		},
-		CapacityBytesPerHour: 100,
-		MessageBytes:         1,
+		MessageBytes: 1,
 	}
 	sim, err := Simulate(w, alloc, SimConfig{DurationHours: 1, MessageBytes: 1})
 	if err != nil {

@@ -116,3 +116,28 @@ func TestWriteMarkdown(t *testing.T) {
 		}
 	}
 }
+
+func TestFormatMix(t *testing.T) {
+	if got := FormatMix(nil); got != "(none)" {
+		t.Errorf("FormatMix(nil) = %q", got)
+	}
+	mix := map[string]int{"c3.large": 3, "c3.8xlarge": 7, "": 1}
+	if got, want := FormatMix(mix), "7×c3.8xlarge + 3×c3.large + 1×?"; got != want {
+		t.Errorf("FormatMix = %q, want %q", got, want)
+	}
+}
+
+func TestMixTable(t *testing.T) {
+	tb := MixTable("fleet", map[string]int{"a": 1, "b": 5})
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2", tb.NumRows())
+	}
+	s := tb.String()
+	if !strings.Contains(s, "b") || !strings.Contains(s, "5") {
+		t.Errorf("rendered table missing data: %q", s)
+	}
+	// Largest count first.
+	if strings.Index(s, "b") > strings.Index(s, "a ") {
+		t.Errorf("rows not sorted by count: %q", s)
+	}
+}

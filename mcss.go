@@ -19,13 +19,20 @@
 //	res, _ := mcss.Solve(w, cfg)
 //	fmt.Println(res.Allocation.NumVMs(), res.Cost(cfg.Model))
 //
-// Beyond the solver, the module ships every substrate the paper's
-// evaluation needs: synthetic Spotify-like and Twitter-like trace
-// generators, the 2014 EC2 pricing catalog, a per-instance lower bound, an
-// exact solver for small instances, a discrete-event pub/sub simulator with
-// failure injection, a live channel-based broker cluster, and an online
-// re-provisioner. The cmd/experiments binary regenerates every figure of
-// the paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+// Beyond the paper, the solver packs onto heterogeneous fleets: set
+// SolverConfig.Fleet (e.g. CatalogFleet) and Stage 2 picks which instance
+// size to deploy next by modeled cost per byte served — big instances for
+// hot topics, small ones for the tail — never costing more than the best
+// homogeneous choice from the same fleet.
+//
+// The module also ships every substrate the paper's evaluation needs:
+// synthetic Spotify-like and Twitter-like trace generators, the 2014 EC2
+// pricing catalog, a fleet-aware lower bound, an exact solver for small
+// instances (branching over instance choices), a discrete-event pub/sub
+// simulator with failure injection, a live channel-based broker cluster,
+// and an online re-provisioner. The cmd/experiments binary regenerates
+// every figure of the paper's evaluation plus a homogeneous-vs-
+// heterogeneous comparison; see DESIGN.md and EXPERIMENTS.md.
 package mcss
 
 import (
@@ -70,6 +77,10 @@ type (
 	InstanceType = pricing.InstanceType
 	// Model instantiates the paper's cost functions C1 and C2.
 	Model = pricing.Model
+	// Fleet is an ordered set of instance types with per-type capacities
+	// and hourly rates — the heterogeneous generalization of a single
+	// instance choice. Set SolverConfig.Fleet to let Stage 2 mix sizes.
+	Fleet = pricing.Fleet
 	// MicroUSD is money in 1e-6 dollars.
 	MicroUSD = pricing.MicroUSD
 )
@@ -92,6 +103,15 @@ func InstanceCatalog() []InstanceType { return pricing.Catalog() }
 
 // InstanceByName looks up an instance type.
 func InstanceByName(name string) (InstanceType, bool) { return pricing.ByName(name) }
+
+// NewFleet builds a heterogeneous fleet from the given instance types with
+// their honest mbps-derived capacities.
+func NewFleet(types ...InstanceType) (Fleet, error) { return pricing.NewFleet(types...) }
+
+// CatalogFleet returns the full instance catalog as a fleet — pass it via
+// SolverConfig.Fleet (or DefaultFleetConfig) to let the solver deploy big
+// instances for hot topics and small ones for the tail.
+func CatalogFleet() Fleet { return pricing.CatalogFleet() }
 
 // Solver.
 type (
@@ -137,6 +157,16 @@ var ErrInfeasible = core.ErrInfeasible
 // DefaultConfig returns the paper's full solution (GSP + CBP with all
 // optimizations, 200-byte messages) for the given τ and pricing model.
 func DefaultConfig(tau int64, m Model) SolverConfig { return core.DefaultConfig(tau, m) }
+
+// DefaultFleetConfig is DefaultConfig with a heterogeneous fleet: Stage 2
+// chooses which instance size to deploy next by modeled cost per byte
+// served, and the result never costs more than the best single-type choice
+// from the same fleet.
+func DefaultFleetConfig(tau int64, m Model, f Fleet) SolverConfig {
+	cfg := core.DefaultConfig(tau, m)
+	cfg.Fleet = f
+	return cfg
+}
 
 // Solve runs the two-stage MCSS heuristic.
 func Solve(w *Workload, cfg SolverConfig) (*Result, error) { return core.Solve(w, cfg) }

@@ -246,3 +246,93 @@ func TestPublicUtilization(t *testing.T) {
 		t.Errorf("MeanFill = %v", u.MeanFill)
 	}
 }
+
+// maxTopicRate is a helper for fleet calibration in tests.
+func maxTopicRate(w *mcss.Workload) int64 {
+	var max int64
+	for t := 0; t < w.NumTopics(); t++ {
+		if r := w.Rate(mcss.TopicID(t)); r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// TestHeterogeneousNeverWorseThanBestHomogeneous is the public-API
+// guarantee behind heterogeneous fleets: handing Solve the full C3 catalog
+// as the fleet yields cost no worse than the cheapest single-type solve,
+// on Twitter-like, Spotify-like, and uniform random traces.
+func TestHeterogeneousNeverWorseThanBestHomogeneous(t *testing.T) {
+	twitter, err := mcss.GenerateTwitter(mcss.DefaultTwitterTrace().Scale(0.04))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spotify, err := mcss.GenerateSpotify(mcss.DefaultSpotifyTrace().Scale(0.04))
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := mcss.GenerateRandom(mcss.RandomTraceConfig{
+		Topics: 120, Subscribers: 600, MaxFollowings: 6, MaxRate: 80, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := map[string]*mcss.Workload{
+		"twitter": twitter,
+		"spotify": spotify,
+		"random":  random,
+	}
+	for name, w := range traces {
+		// Calibrate the catalog so c3.large holds a handful of the
+		// hottest topic's pairs; capacities stay proportional to link
+		// speed across the fleet.
+		bpm := maxTopicRate(w) * 200 / 16 // c3.large cap = 4 × hottest topic bw
+		fleet := mcss.CatalogFleet().WithBytesPerMbps(bpm)
+		model := mcss.NewModel(mcss.C3Large)
+
+		mixed, err := mcss.Solve(w, mcss.DefaultFleetConfig(100, model, fleet))
+		if err != nil {
+			t.Fatalf("%s mixed solve: %v", name, err)
+		}
+		mixedCfg := mcss.DefaultFleetConfig(100, model, fleet)
+		if err := mcss.Verify(w, mixed.Selection, mixed.Allocation, mixedCfg); err != nil {
+			t.Errorf("%s mixed verify: %v", name, err)
+		}
+		lb, err := mcss.LowerBound(w, mixedCfg)
+		if err != nil {
+			t.Fatalf("%s lower bound: %v", name, err)
+		}
+		if lb.Cost > mixed.Cost(model) {
+			t.Errorf("%s: lower bound %v above mixed cost %v", name, lb.Cost, mixed.Cost(model))
+		}
+
+		bestHomo := mcss.MicroUSD(0)
+		found := false
+		for _, it := range mcss.InstanceCatalog() {
+			single, err := mcss.NewFleet(it)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := mcss.DefaultFleetConfig(100, model, single.WithBytesPerMbps(bpm))
+			res, err := mcss.Solve(w, cfg)
+			if err != nil {
+				continue // type too small for the hottest topic
+			}
+			if err := mcss.Verify(w, res.Selection, res.Allocation, cfg); err != nil {
+				t.Errorf("%s %s verify: %v", name, it.Name, err)
+			}
+			if c := res.Cost(model); !found || c < bestHomo {
+				bestHomo, found = c, true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: no feasible homogeneous type", name)
+		}
+		if mixed.Cost(model) > bestHomo {
+			t.Errorf("%s: mixed fleet %v costs more than best homogeneous %v",
+				name, mixed.Cost(model), bestHomo)
+		}
+		t.Logf("%s: mixed %v (mix %v) vs best homogeneous %v",
+			name, mixed.Cost(model), mixed.Allocation.InstanceMix(), bestHomo)
+	}
+}
