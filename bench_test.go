@@ -420,3 +420,23 @@ func BenchmarkAblationBestFit(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkDiurnalController runs the full three-strategy diurnal
+// comparison (24-epoch Twitter-like timeline; static peak, oracle, and
+// hysteresis elastic controller) per iteration and reports the headline
+// bills.
+func BenchmarkDiurnalController(b *testing.B) {
+	scale := benchScale()
+	var last *experiments.DiurnalResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunDiurnal(experiments.Twitter, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Hysteresis.TotalCost().USD(), "elastic_usd")
+	b.ReportMetric(last.Static.TotalCost().USD(), "static_usd")
+	b.ReportMetric(last.SavingsVsStatic()*100, "savings_pct")
+	b.ReportMetric(float64(last.Hysteresis.TotalMoved()), "moved_pairs")
+}

@@ -34,7 +34,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig    = fs.String("fig", "all", "figure: 2a 2b 3a 3b 4 5 6 7 8 9 10 11 12, all, summary, hetero, ablation, or scaling")
+		fig    = fs.String("fig", "all", "figure: 2a 2b 3a 3b 4 5 6 7 8 9 10 11 12, all, summary, hetero, diurnal, ablation, or scaling")
 		scale  = fs.Float64("scale", 1.0, "workload scale factor")
 		outdir = fs.String("outdir", "", "write CSV files to this directory")
 	)
@@ -49,7 +49,7 @@ func run(args []string) error {
 
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
-		figs = []string{"2a", "2b", "3a", "3b", "4", "5", "6", "7", "8", "9", "10", "11", "12", "summary", "hetero"}
+		figs = []string{"2a", "2b", "3a", "3b", "4", "5", "6", "7", "8", "9", "10", "11", "12", "summary", "hetero", "diurnal"}
 	}
 	for _, f := range figs {
 		start := time.Now()
@@ -85,6 +85,8 @@ func runFig(fig string, scale float64, outdir string) error {
 		return summary(scale, outdir)
 	case "hetero":
 		return hetero(scale, outdir)
+	case "diurnal":
+		return diurnal(scale, outdir)
 	case "ablation":
 		return ablation(scale, outdir)
 	case "scaling":
@@ -272,6 +274,27 @@ func hetero(scale float64, outdir string) error {
 		}
 	}
 	return nil
+}
+
+func diurnal(scale float64, outdir string) error {
+	res, err := experiments.RunDiurnal(experiments.Twitter, scale)
+	if err != nil {
+		return err
+	}
+	et := res.EpochTable()
+	if err := et.Render(os.Stdout); err != nil {
+		return err
+	}
+	st := res.SummaryTable()
+	if err := st.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("hysteresis saves %.1f%% vs static peak and costs %.1f%% more than the per-epoch oracle\n",
+		res.SavingsVsStatic()*100, res.OverOracle()*100)
+	if err := writeCSV(et, outdir, "diurnal-epochs"); err != nil {
+		return err
+	}
+	return writeCSV(st, outdir, "diurnal-summary")
 }
 
 func summary(scale float64, outdir string) error {

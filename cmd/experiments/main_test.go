@@ -14,7 +14,7 @@ func TestRunSingleFigures(t *testing.T) {
 	outdir := t.TempDir()
 	// A cheap subset covering each driver family; "all" is exercised by
 	// cmd usage and CI-style full runs.
-	figs := []string{"4", "8", "ablation"}
+	figs := []string{"4", "8", "ablation", "diurnal"}
 	for _, fig := range figs {
 		t.Run(fig, func(t *testing.T) {
 			if err := run([]string{"-fig", fig, "-scale", "0.05", "-outdir", outdir}); err != nil {

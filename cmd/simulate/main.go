@@ -3,11 +3,18 @@
 // traffic, and latency — optionally injecting a VM crash and repairing it
 // with the online provisioner.
 //
+// With -timeline (a saved timeline file) or -diurnal (synthesizing a daily
+// cycle from the dataset), it instead drives the elastic controller over
+// the epoch sequence and replays every epoch's allocation through the
+// simulator, verifying each one stays satisfied.
+//
 // Examples:
 //
 //	simulate -dataset spotify -scale 0.02 -tau 50 -hours 2
 //	simulate -dataset twitter -scale 0.01 -tau 10 -hours 1 -poisson
 //	simulate -trace t.gz -tau 100 -crash-vm 0 -crash-at 0.5 -repair
+//	simulate -dataset twitter -scale 0.01 -tau 100 -diurnal -epochs 12
+//	simulate -timeline day.timeline.gz -tau 100
 package main
 
 import (
@@ -44,9 +51,23 @@ func run(args []string) error {
 		crashVM   = fs.Int("crash-vm", -1, "VM to crash (-1 = none)")
 		crashAt   = fs.Float64("crash-at", 0.5, "crash time in virtual hours")
 		repair    = fs.Bool("repair", false, "repair the crash with the online provisioner and re-simulate")
+
+		timelinePath = fs.String("timeline", "", "timeline file: replay epoch-by-epoch through the elastic controller")
+		diurnal      = fs.Bool("diurnal", false, "modulate the dataset into a diurnal timeline and replay it")
+		epochs       = fs.Int("epochs", 24, "diurnal timeline epochs")
+		epochMinutes = fs.Int64("epoch-minutes", 60, "diurnal epoch duration")
+		satisfyFrac  = fs.Float64("satisfy-frac", 0.5, "fraction of τ_v·hours each subscriber must receive in replay")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *timelinePath != "" || *diurnal {
+		return runTimeline(timelineArgs{
+			path: *timelinePath, dataset: *dataset, scale: *scale,
+			tau: *tau, epochs: *epochs, epochMinutes: *epochMinutes,
+			maxEvents: *maxEvents, satisfyFrac: *satisfyFrac,
+		})
 	}
 
 	w, err := loadWorkload(*tracePath, *dataset, *scale)
@@ -123,6 +144,91 @@ func perHour(sim *mcss.SimResult) []int64 {
 		out[v] = int64(float64(d) / sim.DurationHours)
 	}
 	return out
+}
+
+type timelineArgs struct {
+	path, dataset string
+	scale         float64
+	tau           int64
+	epochs        int
+	epochMinutes  int64
+	maxEvents     int64
+	satisfyFrac   float64
+}
+
+// runTimeline drives the elastic controller over a timeline and replays
+// every epoch's allocation through the simulator, failing if any epoch
+// falls short of its satisfaction thresholds.
+func runTimeline(a timelineArgs) error {
+	var (
+		tl  *mcss.Timeline
+		err error
+	)
+	if a.path != "" {
+		tl, err = mcss.LoadTimeline(a.path)
+	} else {
+		var base *mcss.Workload
+		base, err = loadWorkload("", a.dataset, a.scale)
+		if err != nil {
+			return err
+		}
+		// The experiment's modulation (flash crowd included), so replay
+		// exercises the same timeline family -fig diurnal reports on.
+		cfg := experiments.DiurnalModulation()
+		cfg.Epochs = a.epochs
+		cfg.EpochMinutes = a.epochMinutes
+		if cfg.FlashEpoch >= cfg.Epochs {
+			cfg.FlashEpoch = cfg.Epochs / 2
+		}
+		tl, err = mcss.GenerateDiurnal(base, cfg)
+	}
+	if err != nil {
+		return err
+	}
+
+	env, err := tl.Envelope()
+	if err != nil {
+		return err
+	}
+	// The same envelope-calibrated fleet the diurnal experiment sizes
+	// against, so replay verifies what -fig diurnal reports.
+	cfg := mcss.DefaultFleetConfig(a.tau, mcss.NewModel(mcss.C3Large), experiments.FleetFor(env))
+
+	rep, err := mcss.NewElasticController(cfg, mcss.DefaultElasticPolicy()).Run(tl)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("timeline: %d epochs × %d min, %d topics / %d subscribers\n",
+		tl.NumEpochs(), tl.EpochMinutes, tl.Epochs[0].NumTopics(), tl.Epochs[0].NumSubscribers())
+
+	unsatisfied := 0
+	for e, alloc := range rep.Allocations {
+		w := tl.Epochs[e]
+		sim, err := mcss.Simulate(w, alloc, mcss.SimConfig{
+			DurationHours: tl.EpochHours(),
+			MessageBytes:  cfg.MessageBytes,
+			MaxEvents:     a.maxEvents,
+		})
+		if err != nil {
+			return fmt.Errorf("epoch %d: %w", e, err)
+		}
+		m := satisfy.Measure(w, perHour(sim), a.tau)
+		status := "ok"
+		if err := mcss.CheckSatisfaction(w, sim, a.tau, a.satisfyFrac); err != nil {
+			status = "UNSATISFIED"
+			unsatisfied++
+		}
+		ep := rep.Epochs[e]
+		fmt.Printf("epoch %2d: %d active / %d billed VMs, %7d moved, %6d added, %9d deliveries, mean ratio %.3f [%s]\n",
+			e, ep.ActiveVMs, ep.BilledVMs, ep.PairsMoved, ep.AddedPairs, sim.Deliveries, m.MeanRatio, status)
+	}
+	fmt.Printf("bill: total %v (rental %v + transfer %v), %d started VM-hours, %d pairs moved\n",
+		rep.TotalCost(), rep.RentalCost(), rep.TransferCost(), rep.Ledger.StartedHours(), rep.TotalMoved())
+	if unsatisfied > 0 {
+		return fmt.Errorf("%d of %d epochs fell short of satisfaction in replay", unsatisfied, tl.NumEpochs())
+	}
+	fmt.Println("every epoch satisfied under simulation replay")
+	return nil
 }
 
 func loadWorkload(tracePath, dataset string, scale float64) (*mcss.Workload, error) {

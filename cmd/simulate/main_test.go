@@ -1,6 +1,7 @@
 package main
 
 import (
+	"path/filepath"
 	"testing"
 
 	mcss "github.com/pubsub-systems/mcss"
@@ -48,5 +49,37 @@ func TestPerHour(t *testing.T) {
 	got := perHour(sim)
 	if got[0] != 10 || got[1] != 2 {
 		t.Errorf("perHour = %v, want [10 2]", got)
+	}
+}
+
+func TestRunDiurnalTimelineReplay(t *testing.T) {
+	err := run([]string{
+		"-dataset", "twitter", "-scale", "0.005", "-tau", "50",
+		"-diurnal", "-epochs", "4", "-epoch-minutes", "60",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunTimelineFromFile(t *testing.T) {
+	base, err := mcss.GenerateRandom(mcss.RandomTraceConfig{
+		Topics: 30, Subscribers: 150, MaxFollowings: 4, MaxRate: 200, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mcss.DefaultDiurnalTrace()
+	cfg.Epochs, cfg.EpochMinutes = 3, 60
+	tl, err := mcss.GenerateDiurnal(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tiny.timeline")
+	if err := mcss.SaveTimeline(tl, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-timeline", path, "-tau", "40"}); err != nil {
+		t.Fatalf("run: %v", err)
 	}
 }

@@ -1,12 +1,16 @@
 // Command tracegen synthesizes pub/sub workload traces with the
 // distributional shape of the MCSS paper's Spotify and Twitter datasets and
 // writes them in the traceio v1 format (gzip when the output ends in .gz).
+// With -epochs it instead modulates the trace into a diurnal timeline
+// (activity curve, subscriber churn, optional flash crowd) and writes the
+// traceio timeline format for cmd/simulate -timeline.
 //
 // Examples:
 //
 //	tracegen -dataset twitter -scale 0.5 -out twitter.trace.gz
 //	tracegen -dataset spotify -seed 99 -out spotify.trace
 //	tracegen -dataset random -topics 100 -subscribers 500 -out small.trace
+//	tracegen -dataset twitter -scale 0.05 -epochs 24 -flash-epoch 5 -out day.timeline.gz
 package main
 
 import (
@@ -35,6 +39,14 @@ func run(args []string) error {
 		out     = fs.String("out", "", "output path (required; .gz enables compression)")
 		topics  = fs.Int("topics", 100, "topic count (random dataset)")
 		subs    = fs.Int("subscribers", 500, "subscriber count (random dataset)")
+
+		epochs       = fs.Int("epochs", 0, "emit a diurnal timeline with this many epochs (0 = single trace)")
+		epochMinutes = fs.Int64("epoch-minutes", 60, "timeline epoch duration")
+		trough       = fs.Float64("trough", 0.25, "timeline trough-to-peak activity ratio")
+		churn        = fs.Float64("churn", 0.35, "fraction of subscribers asleep at the trough")
+		flashEpoch   = fs.Int("flash-epoch", -1, "epoch of a flash crowd (-1 = none)")
+		flashTopics  = fs.Int("flash-topics", 3, "hottest topics the flash crowd hits")
+		flashFactor  = fs.Float64("flash-factor", 3, "flash crowd rate multiplier")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +84,29 @@ func run(args []string) error {
 	}
 	if err := w.Validate(); err != nil {
 		return fmt.Errorf("generated workload invalid: %w", err)
+	}
+	if *epochs > 0 {
+		cfg := mcss.DefaultDiurnalTrace()
+		cfg.Epochs = *epochs
+		cfg.EpochMinutes = *epochMinutes
+		cfg.TroughRatio = *trough
+		cfg.ChurnFraction = *churn
+		cfg.FlashEpoch = *flashEpoch
+		cfg.FlashTopics = *flashTopics
+		cfg.FlashFactor = *flashFactor
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		tl, err := mcss.GenerateDiurnal(w, cfg)
+		if err != nil {
+			return err
+		}
+		if err := mcss.SaveTimeline(tl, *out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d epochs × %d min over %d topics / %d subscribers (peak epoch %d)\n",
+			*out, tl.NumEpochs(), tl.EpochMinutes, w.NumTopics(), w.NumSubscribers(), tl.PeakEpoch())
+		return nil
 	}
 	if err := mcss.SaveTrace(w, *out); err != nil {
 		return err

@@ -70,3 +70,26 @@ func TestSeedChangesTrace(t *testing.T) {
 		t.Error("different seeds produced identical trace fingerprints")
 	}
 }
+
+func TestRunGeneratesLoadableTimeline(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "day.timeline.gz")
+	err := run([]string{
+		"-dataset", "twitter", "-scale", "0.01",
+		"-epochs", "6", "-epoch-minutes", "30", "-flash-epoch", "2",
+		"-out", out,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	tl, err := mcss.LoadTimeline(out)
+	if err != nil {
+		t.Fatalf("LoadTimeline: %v", err)
+	}
+	if tl.NumEpochs() != 6 || tl.EpochMinutes != 30 {
+		t.Errorf("timeline %d epochs × %d min, want 6 × 30", tl.NumEpochs(), tl.EpochMinutes)
+	}
+	if err := tl.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}

@@ -1,0 +1,100 @@
+// Autoscaler: modulate a Twitter-like trace into a 24-hour diurnal
+// timeline (rate swings, subscriber churn, an early-morning flash crowd),
+// then walk it with the elastic controller three ways — provision-for-peak,
+// per-epoch oracle, and the hysteresis policy — billing every VM per
+// started instance-hour. The hysteresis controller lands between the
+// extremes: far cheaper than static peak provisioning, close to the
+// oracle, with much less migration churn.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mcss "github.com/pubsub-systems/mcss"
+)
+
+func main() {
+	base, err := mcss.GenerateTwitter(mcss.DefaultTwitterTrace().Scale(0.02))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A day of load: peak at 20:00, a 4× trough, a third of subscribers
+	// asleep at night, and a 03:00 flash crowd on the two hottest topics.
+	day := mcss.DefaultDiurnalTrace()
+	day.FlashEpoch, day.FlashTopics, day.FlashFactor = 3, 2, 3
+	tl, err := mcss.GenerateDiurnal(base, day)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Size the fleet against the timeline's envelope so even the flash
+	// crowd fits: a c3.large holds ~1/15 of the peak selection's egress
+	// (≈15 c3.large at peak), but never less than the hottest topic's
+	// ingress plus one egress stream.
+	env, err := tl.Envelope()
+	if err != nil {
+		log.Fatal(err)
+	}
+	const tau, msgBytes = 100, 200
+	var peakRate int64
+	for t := 0; t < env.NumTopics(); t++ {
+		if r := env.Rate(mcss.TopicID(t)); r > peakRate {
+			peakRate = r
+		}
+	}
+	largeCap := mcss.MinBudgetToSatisfyAll(env, tau, msgBytes) / 15
+	if feasible := 2 * peakRate * msgBytes; largeCap < feasible {
+		largeCap = feasible
+	}
+	fleet, err := mcss.NewFleet(mcss.C3Large, mcss.C3XLarge, mcss.C32XLarge)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleet = fleet.WithBytesPerMbps(largeCap / mcss.C3Large.LinkMbps)
+	cfg := mcss.DefaultFleetConfig(tau, mcss.NewModel(mcss.C3Large), fleet)
+
+	oracle, err := mcss.NewElasticController(cfg, mcss.OracleElasticPolicy()).Run(tl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hysteresis, err := mcss.NewElasticController(cfg, mcss.DefaultElasticPolicy()).Run(tl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	static, err := mcss.StaticPeakReport(tl, oracle)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("24 h of diurnal load over %d topics / %d subscribers\n\n",
+		base.NumTopics(), base.NumSubscribers())
+	fmt.Println("hour  activity  static  oracle  elastic(billed)  action")
+	for e, ep := range hysteresis.Epochs {
+		action := "keep"
+		switch {
+		case e == 0:
+			action = "deploy"
+		case ep.Adopted && ep.AcquiredVMs > 0:
+			action = "scale up"
+		case ep.ReleasedVMs > 0:
+			action = "scale down"
+		case ep.Adopted:
+			action = "rebalance"
+		}
+		fmt.Printf("%4d  %8.2f  %6d  %6d  %15d  %s\n",
+			e, day.Activity(float64(e)),
+			static.Epochs[e].BilledVMs, oracle.Epochs[e].BilledVMs, ep.BilledVMs, action)
+	}
+
+	fmt.Println()
+	for _, rep := range []*mcss.ElasticRunReport{static, oracle, hysteresis} {
+		fmt.Printf("%-12s total %8v (rental %8v + transfer %v), %4d started VM-hours, %7d pairs moved\n",
+			rep.Strategy, rep.TotalCost(), rep.RentalCost(), rep.TransferCost(),
+			rep.Ledger.StartedHours(), rep.TotalMoved())
+	}
+	fmt.Printf("\nelastic saves %.1f%% vs static peak and stays within %.0f%% of the oracle\n",
+		(1-float64(hysteresis.TotalCost())/float64(static.TotalCost()))*100,
+		(float64(hysteresis.TotalCost())/float64(oracle.TotalCost())-1)*100)
+}

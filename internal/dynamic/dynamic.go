@@ -29,8 +29,136 @@ type Delta struct {
 	RateChanges map[workload.TopicID]int64
 	// Subscribe adds topic–subscriber pairs (may reference new IDs).
 	Subscribe []workload.Pair
-	// Unsubscribe removes pairs; absent pairs are ignored.
+	// Unsubscribe removes pairs; absent (but in-range) pairs are ignored.
 	Unsubscribe []workload.Pair
+}
+
+// Typed validation errors returned by Delta.Validate (and therefore by
+// Provisioner.Update / Preview before any re-solve runs).
+var (
+	// ErrNegativeRate reports a non-positive event rate in NewTopics or
+	// RateChanges (the paper's model requires ev_t > 0).
+	ErrNegativeRate = errors.New("dynamic: event rate must be positive")
+	// ErrDuplicatePair reports the same pair listed twice in Subscribe or
+	// Unsubscribe, or listed in both at once.
+	ErrDuplicatePair = errors.New("dynamic: duplicate pair in delta")
+	// ErrUnknownReference reports a topic or subscriber ID outside the
+	// workload, including IDs past the range the delta itself creates.
+	ErrUnknownReference = errors.New("dynamic: reference outside the workload")
+	// ErrBadDelta reports a structurally invalid delta (e.g. a negative
+	// subscriber count).
+	ErrBadDelta = errors.New("dynamic: invalid delta")
+)
+
+// Validate checks the delta against a workload with numTopics topics and
+// numSubscribers subscribers: positive rates, no duplicate or conflicting
+// subscribe/unsubscribe pairs, and every reference within the ID range
+// after the delta's own additions. It returns the first violation, wrapping
+// one of the typed errors above.
+func (d Delta) Validate(numTopics, numSubscribers int) error {
+	if numTopics < 0 || numSubscribers < 0 {
+		return fmt.Errorf("%w: negative workload size %d/%d", ErrBadDelta, numTopics, numSubscribers)
+	}
+	if d.NewSubscribers < 0 {
+		return fmt.Errorf("%w: NewSubscribers = %d", ErrBadDelta, d.NewSubscribers)
+	}
+	for i, r := range d.NewTopics {
+		if r <= 0 {
+			return fmt.Errorf("%w: new topic %d has rate %d", ErrNegativeRate, numTopics+i, r)
+		}
+	}
+	numT := numTopics + len(d.NewTopics)
+	numV := numSubscribers + d.NewSubscribers
+	for t, r := range d.RateChanges {
+		if int(t) < 0 || int(t) >= numT {
+			return fmt.Errorf("%w: rate change for topic %d of %d", ErrUnknownReference, t, numT)
+		}
+		if r <= 0 {
+			return fmt.Errorf("%w: rate change for topic %d to %d", ErrNegativeRate, t, r)
+		}
+	}
+	checkPair := func(p workload.Pair, kind string) error {
+		if int(p.Topic) < 0 || int(p.Topic) >= numT {
+			return fmt.Errorf("%w: %s references topic %d of %d", ErrUnknownReference, kind, p.Topic, numT)
+		}
+		if int(p.Sub) < 0 || int(p.Sub) >= numV {
+			return fmt.Errorf("%w: %s references subscriber %d of %d", ErrUnknownReference, kind, p.Sub, numV)
+		}
+		return nil
+	}
+	subs := make(map[workload.Pair]bool, len(d.Subscribe))
+	for _, p := range d.Subscribe {
+		if err := checkPair(p, "subscribe"); err != nil {
+			return err
+		}
+		if subs[p] {
+			return fmt.Errorf("%w: subscribe lists (t=%d, v=%d) twice", ErrDuplicatePair, p.Topic, p.Sub)
+		}
+		subs[p] = true
+	}
+	unsubs := make(map[workload.Pair]bool, len(d.Unsubscribe))
+	for _, p := range d.Unsubscribe {
+		if err := checkPair(p, "unsubscribe"); err != nil {
+			return err
+		}
+		if unsubs[p] {
+			return fmt.Errorf("%w: unsubscribe lists (t=%d, v=%d) twice", ErrDuplicatePair, p.Topic, p.Sub)
+		}
+		if subs[p] {
+			return fmt.Errorf("%w: (t=%d, v=%d) both subscribed and unsubscribed", ErrDuplicatePair, p.Topic, p.Sub)
+		}
+		unsubs[p] = true
+	}
+	return nil
+}
+
+// DeltaBetween computes the Delta that transforms old into next, assuming
+// the shared ID-stability convention: identifiers in next are a superset of
+// old's (counts may only grow). The result round-trips — applying it to old
+// reproduces next's rates and interest sets exactly — which is what lets an
+// elastic controller drive a Provisioner from timeline snapshots.
+func DeltaBetween(old, next *workload.Workload) (Delta, error) {
+	if next.NumTopics() < old.NumTopics() || next.NumSubscribers() < old.NumSubscribers() {
+		return Delta{}, fmt.Errorf("%w: next workload shrinks %d/%d → %d/%d (IDs must be stable)",
+			ErrBadDelta, old.NumTopics(), old.NumSubscribers(), next.NumTopics(), next.NumSubscribers())
+	}
+	var d Delta
+	for t := old.NumTopics(); t < next.NumTopics(); t++ {
+		d.NewTopics = append(d.NewTopics, next.Rate(workload.TopicID(t)))
+	}
+	d.NewSubscribers = next.NumSubscribers() - old.NumSubscribers()
+	for t := 0; t < old.NumTopics(); t++ {
+		id := workload.TopicID(t)
+		if old.Rate(id) != next.Rate(id) {
+			if d.RateChanges == nil {
+				d.RateChanges = make(map[workload.TopicID]int64)
+			}
+			d.RateChanges[id] = next.Rate(id)
+		}
+	}
+	// Interest diffs by sorted merge (both CSRs keep interests ascending).
+	for v := 0; v < next.NumSubscribers(); v++ {
+		id := workload.SubID(v)
+		var a []workload.TopicID // old interests (empty for new subscribers)
+		if v < old.NumSubscribers() {
+			a = old.Topics(id)
+		}
+		b := next.Topics(id)
+		i, j := 0, 0
+		for i < len(a) || j < len(b) {
+			switch {
+			case j >= len(b) || (i < len(a) && a[i] < b[j]):
+				d.Unsubscribe = append(d.Unsubscribe, workload.Pair{Topic: a[i], Sub: id})
+				i++
+			case i >= len(a) || b[j] < a[i]:
+				d.Subscribe = append(d.Subscribe, workload.Pair{Topic: b[j], Sub: id})
+				j++
+			default:
+				i, j = i+1, j+1
+			}
+		}
+	}
+	return d, nil
 }
 
 // MigrationStats quantifies the churn of one re-allocation.
@@ -86,25 +214,52 @@ func (p *Provisioner) Selection() *core.Selection { return p.res.Selection }
 func (p *Provisioner) Cost() pricing.MicroUSD { return p.res.Cost(p.cfg.Model) }
 
 // Update applies the delta, re-solves from scratch (the paper's suggested
-// periodic re-allocation), and reports migration churn relative to the
-// previous allocation.
+// periodic re-allocation), adopts the result, and reports migration churn
+// relative to the previous allocation.
 func (p *Provisioner) Update(d Delta) (MigrationStats, error) {
-	next, err := applyDelta(p.w, d)
+	next, res, stats, err := p.Preview(d)
 	if err != nil {
 		return MigrationStats{}, err
 	}
+	p.Adopt(next, res)
+	return stats, nil
+}
+
+// Preview applies the delta and re-solves without adopting: the provisioner
+// keeps its current workload and allocation so a controller can weigh the
+// candidate (cost, churn) against a hysteresis policy first. Install the
+// candidate with Adopt, or discard it by adopting something else.
+func (p *Provisioner) Preview(d Delta) (*workload.Workload, *core.Result, MigrationStats, error) {
+	next, err := applyDelta(p.w, d)
+	if err != nil {
+		return nil, nil, MigrationStats{}, err
+	}
 	res, err := core.Solve(next, p.cfg)
 	if err != nil {
-		return MigrationStats{}, err
+		return nil, nil, MigrationStats{}, err
 	}
 	stats := migrationBetween(p.res.Allocation, res.Allocation)
 	stats.VMsBefore = p.res.Allocation.NumVMs()
 	stats.VMsAfter = res.Allocation.NumVMs()
 	stats.CostBefore = p.res.Cost(p.cfg.Model)
 	stats.CostAfter = res.Cost(p.cfg.Model)
-	p.w = next
+	return next, res, stats, nil
+}
+
+// Adopt installs a previewed (or externally constructed) workload and
+// solve result as the provisioner's current state.
+func (p *Provisioner) Adopt(w *workload.Workload, res *core.Result) {
+	p.w = w
 	p.res = res
-	return stats, nil
+}
+
+// MigrationBetween diffs primary pair hosts by VM position between two
+// allocations, counting pairs kept on the same VM index versus moved
+// (including pairs newly selected or dropped). Cost and VM-count fields of
+// the result are left zero; callers wanting them filled should go through
+// Preview/Update.
+func MigrationBetween(before, after *core.Allocation) MigrationStats {
+	return migrationBetween(before, after)
 }
 
 // ErrUnknownVM reports a repair target outside the fleet.
@@ -287,11 +442,18 @@ func migrationBetween(before, after *core.Allocation) MigrationStats {
 	return stats
 }
 
-// applyDelta materializes a new workload with the delta applied. Topics
-// orphaned by unsubscriptions are retained (IDs stay stable); subscribers
-// may end up with empty interests, which the solver treats as trivially
-// satisfied.
+// ApplyDelta materializes a new workload with the delta applied (after
+// validating it). Topics orphaned by unsubscriptions are retained (IDs stay
+// stable); subscribers may end up with empty interests, which the solver
+// treats as trivially satisfied.
+func ApplyDelta(w *workload.Workload, d Delta) (*workload.Workload, error) {
+	return applyDelta(w, d)
+}
+
 func applyDelta(w *workload.Workload, d Delta) (*workload.Workload, error) {
+	if err := d.Validate(w.NumTopics(), w.NumSubscribers()); err != nil {
+		return nil, err
+	}
 	numT := w.NumTopics() + len(d.NewTopics)
 	numV := w.NumSubscribers() + d.NewSubscribers
 
@@ -299,12 +461,6 @@ func applyDelta(w *workload.Workload, d Delta) (*workload.Workload, error) {
 	copy(rates, w.Rates())
 	copy(rates[w.NumTopics():], d.NewTopics)
 	for t, r := range d.RateChanges {
-		if int(t) < 0 || int(t) >= numT {
-			return nil, fmt.Errorf("dynamic: rate change for unknown topic %d", t)
-		}
-		if r <= 0 {
-			return nil, fmt.Errorf("dynamic: rate for topic %d must be positive, got %d", t, r)
-		}
 		rates[t] = r
 	}
 
@@ -320,18 +476,10 @@ func applyDelta(w *workload.Workload, d Delta) (*workload.Workload, error) {
 		interests[v] = make(map[workload.TopicID]bool)
 	}
 	for _, pr := range d.Subscribe {
-		if int(pr.Sub) < 0 || int(pr.Sub) >= numV {
-			return nil, fmt.Errorf("dynamic: subscribe references unknown subscriber %d", pr.Sub)
-		}
-		if int(pr.Topic) < 0 || int(pr.Topic) >= numT {
-			return nil, fmt.Errorf("dynamic: subscribe references unknown topic %d", pr.Topic)
-		}
 		interests[pr.Sub][pr.Topic] = true
 	}
 	for _, pr := range d.Unsubscribe {
-		if int(pr.Sub) >= 0 && int(pr.Sub) < numV {
-			delete(interests[pr.Sub], pr.Topic)
-		}
+		delete(interests[pr.Sub], pr.Topic)
 	}
 
 	subOff := make([]int64, 1, numV+1)

@@ -358,3 +358,178 @@ func TestRepairCrashRedeploysCrashedVMType(t *testing.T) {
 		t.Errorf("repaired allocation failed verification: %v", err)
 	}
 }
+
+func TestDeltaValidateTable(t *testing.T) {
+	// Against a 3-topic / 4-subscriber workload.
+	const numT, numV = 3, 4
+	cases := []struct {
+		name string
+		d    Delta
+		want error // nil = valid
+	}{
+		{"empty", Delta{}, nil},
+		{"growth", Delta{NewTopics: []int64{5}, NewSubscribers: 2}, nil},
+		{"rate change", Delta{RateChanges: map[workload.TopicID]int64{2: 9}}, nil},
+		{"subscribe new ids", Delta{
+			NewTopics: []int64{5}, NewSubscribers: 1,
+			Subscribe: []workload.Pair{{Topic: 3, Sub: 4}},
+		}, nil},
+		{"unsubscribe in range", Delta{Unsubscribe: []workload.Pair{{Topic: 0, Sub: 0}}}, nil},
+
+		{"negative new-topic rate", Delta{NewTopics: []int64{0}}, ErrNegativeRate},
+		{"negative rate change", Delta{RateChanges: map[workload.TopicID]int64{0: -3}}, ErrNegativeRate},
+		{"negative subscribers", Delta{NewSubscribers: -1}, ErrBadDelta},
+		{"rate change unknown topic", Delta{RateChanges: map[workload.TopicID]int64{7: 5}}, ErrUnknownReference},
+		{"subscribe past new-topic range", Delta{
+			NewTopics: []int64{5}, Subscribe: []workload.Pair{{Topic: 4, Sub: 0}},
+		}, ErrUnknownReference},
+		{"subscribe past new-sub range", Delta{
+			NewSubscribers: 1, Subscribe: []workload.Pair{{Topic: 0, Sub: 5}},
+		}, ErrUnknownReference},
+		{"subscribe negative sub", Delta{Subscribe: []workload.Pair{{Topic: 0, Sub: -1}}}, ErrUnknownReference},
+		{"unsubscribe unknown topic", Delta{Unsubscribe: []workload.Pair{{Topic: 9, Sub: 0}}}, ErrUnknownReference},
+		{"duplicate subscribe", Delta{
+			Subscribe: []workload.Pair{{Topic: 1, Sub: 1}, {Topic: 1, Sub: 1}},
+		}, ErrDuplicatePair},
+		{"duplicate unsubscribe", Delta{
+			Unsubscribe: []workload.Pair{{Topic: 1, Sub: 1}, {Topic: 1, Sub: 1}},
+		}, ErrDuplicatePair},
+		{"subscribe and unsubscribe conflict", Delta{
+			Subscribe:   []workload.Pair{{Topic: 1, Sub: 1}},
+			Unsubscribe: []workload.Pair{{Topic: 1, Sub: 1}},
+		}, ErrDuplicatePair},
+	}
+	for _, tc := range cases {
+		err := tc.d.Validate(numT, numV)
+		if tc.want == nil {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestApplyDeltaValidates(t *testing.T) {
+	w := sampleWorkload(t, 10)
+	if _, err := ApplyDelta(w, Delta{Unsubscribe: []workload.Pair{{Topic: 9999, Sub: 0}}}); !errors.Is(err, ErrUnknownReference) {
+		t.Errorf("out-of-range unsubscribe: err = %v, want ErrUnknownReference", err)
+	}
+	if _, err := ApplyDelta(w, Delta{NewTopics: []int64{-4}}); !errors.Is(err, ErrNegativeRate) {
+		t.Errorf("negative new topic rate: err = %v, want ErrNegativeRate", err)
+	}
+}
+
+func TestDeltaBetweenRoundTrips(t *testing.T) {
+	old := sampleWorkload(t, 11)
+	// Build a changed successor: shifted rates, a new topic, a new
+	// subscriber, some unsubscriptions.
+	next, err := ApplyDelta(old, Delta{
+		NewTopics:      []int64{123},
+		NewSubscribers: 2,
+		RateChanges:    map[workload.TopicID]int64{0: 77, 3: 1},
+		Subscribe: []workload.Pair{
+			{Topic: workload.TopicID(old.NumTopics()), Sub: workload.SubID(old.NumSubscribers())},
+			{Topic: 1, Sub: workload.SubID(old.NumSubscribers() + 1)},
+		},
+		Unsubscribe: []workload.Pair{{Topic: old.Topics(0)[0], Sub: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DeltaBetween(old, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(old.NumTopics(), old.NumSubscribers()); err != nil {
+		t.Fatalf("DeltaBetween produced an invalid delta: %v", err)
+	}
+	back, err := ApplyDelta(old, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTopics() != next.NumTopics() || back.NumSubscribers() != next.NumSubscribers() {
+		t.Fatalf("round trip shape %d/%d, want %d/%d",
+			back.NumTopics(), back.NumSubscribers(), next.NumTopics(), next.NumSubscribers())
+	}
+	for i := 0; i < next.NumTopics(); i++ {
+		if back.Rate(workload.TopicID(i)) != next.Rate(workload.TopicID(i)) {
+			t.Errorf("rate[%d] = %d, want %d", i, back.Rate(workload.TopicID(i)), next.Rate(workload.TopicID(i)))
+		}
+	}
+	for v := 0; v < next.NumSubscribers(); v++ {
+		a, b := back.Topics(workload.SubID(v)), next.Topics(workload.SubID(v))
+		if len(a) != len(b) {
+			t.Errorf("sub %d has %d interests, want %d", v, len(a), len(b))
+			continue
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("sub %d interest %d = %d, want %d", v, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestDeltaBetweenRejectsShrinking(t *testing.T) {
+	big := sampleWorkload(t, 12)
+	small, err := tracegen.Random(tracegen.RandomConfig{
+		Topics: 3, Subscribers: 5, MaxFollowings: 2, MaxRate: 20, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DeltaBetween(big, small); !errors.Is(err, ErrBadDelta) {
+		t.Errorf("err = %v, want ErrBadDelta", err)
+	}
+}
+
+func TestPreviewDoesNotAdopt(t *testing.T) {
+	w := sampleWorkload(t, 13)
+	cfg := testConfig(30, 500)
+	p, err := New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costBefore := p.Cost()
+	vmsBefore := p.Allocation().NumVMs()
+
+	nextW, res, stats, err := p.Preview(Delta{RateChanges: map[workload.TopicID]int64{0: 450}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Workload() != w || p.Cost() != costBefore || p.Allocation().NumVMs() != vmsBefore {
+		t.Error("Preview mutated the provisioner")
+	}
+	if stats.VMsBefore != vmsBefore {
+		t.Errorf("stats.VMsBefore = %d, want %d", stats.VMsBefore, vmsBefore)
+	}
+	p.Adopt(nextW, res)
+	if p.Workload().Rate(0) != 450 {
+		t.Errorf("after Adopt, rate = %d, want 450", p.Workload().Rate(0))
+	}
+	if err := core.VerifyAllocation(p.Workload(), p.Selection(), p.Allocation(), cfg); err != nil {
+		t.Errorf("adopted state fails verification: %v", err)
+	}
+}
+
+func TestMigrationBetweenExported(t *testing.T) {
+	w := sampleWorkload(t, 14)
+	cfg := testConfig(30, 500)
+	p, err := New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := MigrationBetween(p.Allocation(), p.Allocation())
+	if same.PairsMoved != 0 || same.PairsKept == 0 {
+		t.Errorf("self-diff moved %d / kept %d, want 0 / >0", same.PairsMoved, same.PairsKept)
+	}
+	empty := &core.Allocation{}
+	gone := MigrationBetween(p.Allocation(), empty)
+	if gone.PairsMoved != same.PairsKept {
+		t.Errorf("diff to empty moved %d, want every pair (%d)", gone.PairsMoved, same.PairsKept)
+	}
+}

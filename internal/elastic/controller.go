@@ -1,0 +1,430 @@
+// Package elastic is the autoscaling control plane above the MCSS solver:
+// a Controller walks a timeline of workload snapshots, re-solves each epoch
+// through a dynamic.Provisioner (delta → fleet-aware solve → migration
+// stats), and applies a hysteresis policy that trades rental cost against
+// migration churn — scale up immediately when the kept allocation can no
+// longer serve the epoch, scale down only after a cooldown, and keep the
+// previous placements outright when the fresh solve would migrate more
+// pairs than the per-epoch budget allows. Every acquisition, release, and
+// byte of transfer lands in a BillingLedger that charges per started
+// instance-hour, the granularity at which EC2-style billing actually
+// punishes fleet churn.
+//
+// Three policies span the evaluation space: OraclePolicy re-solves and
+// right-sizes every epoch (per-epoch clairvoyance), DefaultPolicy is the
+// hysteresis controller, and StaticPeakReport derives the
+// provision-for-peak-all-day baseline from an oracle run. The diurnal
+// experiment (cmd/experiments -fig diurnal) compares all three.
+package elastic
+
+import (
+	"fmt"
+
+	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/dynamic"
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/timeline"
+)
+
+// Policy is the hysteresis knob set.
+type Policy struct {
+	// ScaleUpUtilization forces adoption of the fresh solve when the kept
+	// allocation's bandwidth utilization (Σ bw / Σ capacity over active
+	// VMs) exceeds it — the headroom guard that scales up *before* the
+	// next epoch overflows. Zero means any utilization triggers adoption
+	// (no hysteresis; the oracle setting).
+	ScaleUpUtilization float64
+	// ScaleDownCooldownEpochs is how many epochs must pass after the last
+	// acquisition before surplus VMs are released. Holding through short
+	// troughs avoids paying fresh started hours on the rebound.
+	ScaleDownCooldownEpochs int
+	// ScaleDownSavingsFrac is the minimum fractional hourly-rental saving
+	// (surplus rental / billed rental) before surplus VMs are released;
+	// releasing one small VM out of a large fleet is not worth the churn
+	// risk of the rebound.
+	ScaleDownSavingsFrac float64
+	// MaxMigrationsPerEpoch caps pair moves per epoch: when the fresh
+	// solve would move more pairs and the kept allocation still serves
+	// the epoch, the controller keeps the previous placements. Zero means
+	// unlimited.
+	MaxMigrationsPerEpoch int64
+	// HeadroomFrac is the fraction of every VM's capacity the fresh
+	// solves leave free: packing runs against capacity × (1−headroom)
+	// while kept allocations are validated against the full capacity, so
+	// epoch-to-epoch rate drift (diurnal jitter) does not immediately
+	// invalidate a kept allocation. Zero packs to the brim (the oracle
+	// setting — with no keep path, headroom is pure waste).
+	HeadroomFrac float64
+}
+
+// DefaultPolicy returns the hysteresis controller setting used by the
+// diurnal experiments: scale up above 92% (true-capacity) utilization,
+// release surplus only after two calm epochs and only when it saves ≥2% of
+// the hourly rental, unlimited migrations, 15% packing headroom.
+func DefaultPolicy() Policy {
+	return Policy{
+		ScaleUpUtilization:      0.92,
+		ScaleDownCooldownEpochs: 2,
+		ScaleDownSavingsFrac:    0.02,
+		HeadroomFrac:            0.15,
+	}
+}
+
+// OraclePolicy returns the per-epoch clairvoyant setting: always adopt the
+// fresh solve and right-size the fleet immediately.
+func OraclePolicy() Policy { return Policy{} }
+
+// EpochReport records one epoch's control decision and its accounting.
+type EpochReport struct {
+	// Epoch index and start, echoing the timeline.
+	Epoch       int
+	StartMinute int64
+	// Adopted reports whether the fresh solve's placements were installed
+	// (false = previous placements kept).
+	Adopted bool
+	// Forced reports that adoption was mandatory: the kept allocation no
+	// longer satisfied the epoch or breached the utilization guard.
+	Forced bool
+	// AcquiredVMs and ReleasedVMs are this epoch's fleet deltas.
+	AcquiredVMs, ReleasedVMs int
+	// ActiveVMs serve placements; BilledVMs includes surplus VMs held by
+	// the cooldown.
+	ActiveVMs, BilledVMs int
+	// PairsMoved is the churn actually incurred; CandidateMoves is what
+	// adopting the fresh solve would have cost (equal when adopted).
+	PairsMoved, CandidateMoves int64
+	// AddedPairs counts pairs the keep path topped the allocation up with
+	// (zero when the fresh solve was adopted).
+	AddedPairs int64
+	// TransferBytes is the epoch's billed transfer volume.
+	TransferBytes int64
+	// Utilization is the adopted allocation's bandwidth utilization.
+	Utilization float64
+	// ActiveMix counts active VMs per instance-type name.
+	ActiveMix map[string]int
+}
+
+// RunReport is a full controller run: per-epoch decisions, the per-epoch
+// allocations (for simulation replay), and the ledger holding the bill.
+type RunReport struct {
+	Strategy     string
+	EpochMinutes int64
+	Fleet        pricing.Fleet
+	Epochs       []EpochReport
+	// Allocations[e] is the allocation serving epoch e.
+	Allocations []*core.Allocation
+	Ledger      *BillingLedger
+}
+
+// RentalCost, TransferCost, and TotalCost report the run's bill.
+func (r *RunReport) RentalCost() pricing.MicroUSD   { return r.Ledger.RentalCost() }
+func (r *RunReport) TransferCost() pricing.MicroUSD { return r.Ledger.TransferCost() }
+func (r *RunReport) TotalCost() pricing.MicroUSD    { return r.Ledger.TotalCost() }
+
+// TotalMoved sums the churn actually incurred across epochs.
+func (r *RunReport) TotalMoved() int64 {
+	var sum int64
+	for _, e := range r.Epochs {
+		sum += e.PairsMoved
+	}
+	return sum
+}
+
+// MaxBilledVMs reports the largest billed fleet of any epoch.
+func (r *RunReport) MaxBilledVMs() int {
+	max := 0
+	for _, e := range r.Epochs {
+		if e.BilledVMs > max {
+			max = e.BilledVMs
+		}
+	}
+	return max
+}
+
+// Controller walks a timeline under one solver configuration and policy.
+// It is not safe for concurrent use.
+type Controller struct {
+	cfg    core.Config
+	policy Policy
+}
+
+// NewController builds a controller. The config's Fleet (or single-type
+// model) is what every epoch's re-solve packs against.
+func NewController(cfg core.Config, policy Policy) *Controller {
+	return &Controller{cfg: cfg, policy: policy}
+}
+
+// Run walks the timeline epoch by epoch and returns the full report. Epoch
+// 0 is always a fresh solve; each later epoch previews the fresh solve via
+// the provisioner's delta machinery and then lets the policy choose between
+// adopting it and keeping the repriced previous placements.
+func (c *Controller) Run(tl *timeline.Timeline) (*RunReport, error) {
+	if err := tl.Validate(); err != nil {
+		return nil, err
+	}
+	fleet := c.cfg.EffectiveFleet()
+	report := &RunReport{
+		Strategy:     "hysteresis",
+		EpochMinutes: tl.EpochMinutes,
+		Fleet:        fleet,
+	}
+	if c.policy == (Policy{}) {
+		report.Strategy = "oracle"
+	}
+	ledger := NewLedger(c.cfg.Model.PerGB)
+	report.Ledger = ledger
+
+	// Fresh solves pack with headroom; the true fleet bounds validity.
+	solveCfg := c.cfg
+	if c.policy.HeadroomFrac > 0 && c.policy.HeadroomFrac < 1 {
+		solveCfg.Fleet = fleet.WithCapacityScale(1 - c.policy.HeadroomFrac)
+	}
+	prov, err := dynamic.New(tl.Epochs[0], solveCfg)
+	if err != nil {
+		return nil, fmt.Errorf("elastic: epoch 0: %w", err)
+	}
+
+	// held[name] is the billed VM count per type (≥ the active count);
+	// lastAcquire[name] is the most recent epoch that acquired the type
+	// (the scale-down cooldown is per type, so mix churn in one size
+	// cannot starve releases of another).
+	held := make(map[string]int, fleet.Len())
+	lastAcquire := make(map[string]int, fleet.Len())
+
+	for e := 0; e < tl.NumEpochs(); e++ {
+		w := tl.Epochs[e]
+		now := tl.StartMinute(e)
+		ep := EpochReport{Epoch: e, StartMinute: now}
+
+		var adopted *core.Allocation
+		if e == 0 {
+			adopted = prov.Allocation()
+			ep.Adopted, ep.Forced = true, true
+			ep.PairsMoved = countPairs(adopted)
+			ep.CandidateMoves = ep.PairsMoved
+		} else {
+			delta, err := dynamic.DeltaBetween(prov.Workload(), w)
+			if err != nil {
+				return nil, fmt.Errorf("elastic: epoch %d: %w", e, err)
+			}
+			// Preview validates the delta before solving.
+			nextW, fresh, stats, err := prov.Preview(delta)
+			if err != nil {
+				return nil, fmt.Errorf("elastic: epoch %d: %w", e, err)
+			}
+			ep.CandidateMoves = stats.PairsMoved
+
+			// The low-churn alternative: previous placements repriced
+			// under the new snapshot, topped up where falling rates left
+			// subscribers under-served. The oracle setting (zero
+			// utilization guard) never keeps, so skip the work.
+			var kept *core.Allocation
+			var added int64
+			keptOK := false
+			if c.policy.ScaleUpUtilization > 0 {
+				kept, added, keptOK = keepWithTopUp(prov.Allocation(), nextW, c.cfg, solveCfg.EffectiveFleet(), fleet)
+			}
+			forced := !keptOK || utilization(kept, fleet) > c.policy.ScaleUpUtilization
+
+			switch {
+			case forced:
+				ep.Adopted, ep.Forced = true, true
+			case c.policy.MaxMigrationsPerEpoch > 0 && stats.PairsMoved > c.policy.MaxMigrationsPerEpoch:
+				// Over the churn budget: keep the verified placements.
+			default:
+				// Adopt only when the fresh solve clears the savings bar
+				// for this epoch (hourly rental + transfer): marginal
+				// wins are not worth re-homing pairs and thrashing the
+				// instance mix.
+				freshCost := hourlyCost(c.cfg.Model, fresh.Allocation)
+				keptCost := hourlyCost(c.cfg.Model, kept)
+				ep.Adopted = float64(freshCost) < (1-c.policy.ScaleDownSavingsFrac)*float64(keptCost)
+			}
+
+			if ep.Adopted {
+				prov.Adopt(nextW, fresh)
+				adopted = fresh.Allocation
+				ep.PairsMoved = stats.PairsMoved
+			} else {
+				prov.Adopt(nextW, &core.Result{Selection: prov.Selection(), Allocation: kept})
+				adopted = kept
+				ep.AddedPairs = added
+			}
+		}
+
+		// Fleet accounting: acquire shortfalls immediately (correctness),
+		// release surplus only past the cooldown and the savings bar.
+		active := adopted.InstanceMix()
+		for name, n := range active {
+			if short := n - held[name]; short > 0 {
+				it, ok := instanceByName(fleet, name)
+				if !ok {
+					return nil, fmt.Errorf("elastic: epoch %d deploys unknown instance type %q", e, name)
+				}
+				if err := ledger.Acquire(it, short, now); err != nil {
+					return nil, err
+				}
+				held[name] += short
+				ep.AcquiredVMs += short
+				lastAcquire[name] = e
+			}
+		}
+		for name, surplus := range c.releasable(e, lastAcquire, fleet, held, active) {
+			it, _ := instanceByName(fleet, name)
+			if err := ledger.Release(it, surplus, now); err != nil {
+				return nil, err
+			}
+			held[name] -= surplus
+			ep.ReleasedVMs += surplus
+		}
+
+		ep.ActiveVMs = adopted.NumVMs()
+		for _, n := range held {
+			ep.BilledVMs += n
+		}
+		ep.Utilization = utilization(adopted, fleet)
+		ep.ActiveMix = active
+		ep.TransferBytes = adopted.TotalBytesPerHour() * tl.EpochMinutes / 60
+		ledger.AddTransfer(ep.TransferBytes)
+
+		report.Epochs = append(report.Epochs, ep)
+		report.Allocations = append(report.Allocations, adopted)
+	}
+	if err := ledger.Close(tl.HorizonMinutes()); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// releasable applies the scale-down half of the policy and returns the
+// per-type surplus counts to release this epoch: types past their own
+// acquisition cooldown, and only when the combined rental saving clears
+// the savings bar.
+func (c *Controller) releasable(epoch int, lastAcquire map[string]int, fleet pricing.Fleet, held, active map[string]int) map[string]int {
+	out := make(map[string]int)
+	var surplusRental, heldRental pricing.MicroUSD
+	for name, n := range held {
+		it, ok := instanceByName(fleet, name)
+		if !ok {
+			continue
+		}
+		heldRental = heldRental.Add(it.HourlyRate.Mul(int64(n)))
+		s := n - active[name]
+		if s <= 0 {
+			continue
+		}
+		if c.policy.ScaleDownCooldownEpochs > 0 && epoch-lastAcquire[name] <= c.policy.ScaleDownCooldownEpochs {
+			continue
+		}
+		out[name] = s
+		surplusRental = surplusRental.Add(it.HourlyRate.Mul(int64(s)))
+	}
+	if surplusRental == 0 ||
+		(heldRental > 0 && float64(surplusRental) < c.policy.ScaleDownSavingsFrac*float64(heldRental)) {
+		return nil
+	}
+	return out
+}
+
+// StaticPeakReport derives the provision-for-peak baseline from an oracle
+// run over the same timeline: the billed fleet is the per-type maximum over
+// every epoch's right-sized fleet, held for the whole horizon, while each
+// epoch is served by its own oracle placements (so satisfaction is
+// identical — only the billing differs).
+func StaticPeakReport(tl *timeline.Timeline, oracle *RunReport) (*RunReport, error) {
+	if len(oracle.Epochs) != tl.NumEpochs() {
+		return nil, fmt.Errorf("elastic: oracle run covers %d epochs, timeline has %d",
+			len(oracle.Epochs), tl.NumEpochs())
+	}
+	peak := make(map[string]int)
+	for _, ep := range oracle.Epochs {
+		for name, n := range ep.ActiveMix {
+			if n > peak[name] {
+				peak[name] = n
+			}
+		}
+	}
+	ledger := NewLedger(oracle.Ledger.perGB)
+	report := &RunReport{
+		Strategy:     "static-peak",
+		EpochMinutes: tl.EpochMinutes,
+		Fleet:        oracle.Fleet,
+		Ledger:       ledger,
+		Allocations:  oracle.Allocations,
+	}
+	billed := 0
+	for name, n := range peak {
+		it, ok := instanceByName(oracle.Fleet, name)
+		if !ok {
+			return nil, fmt.Errorf("elastic: oracle deployed unknown instance type %q", name)
+		}
+		if err := ledger.Acquire(it, n, 0); err != nil {
+			return nil, err
+		}
+		billed += n
+	}
+	for _, ep := range oracle.Epochs {
+		sp := ep
+		sp.Adopted, sp.Forced = true, false
+		sp.AcquiredVMs, sp.ReleasedVMs = 0, 0
+		if ep.Epoch == 0 {
+			sp.AcquiredVMs = billed
+		}
+		sp.BilledVMs = billed
+		ledger.AddTransfer(ep.TransferBytes)
+		report.Epochs = append(report.Epochs, sp)
+	}
+	if err := ledger.Close(tl.HorizonMinutes()); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// utilization reports Σ bw / Σ true capacity over the allocation's VMs:
+// recorded per-VM capacities may be headroom-derated, so each VM's bound is
+// looked up in the true fleet by instance name.
+func utilization(alloc *core.Allocation, trueFleet pricing.Fleet) float64 {
+	var used, capacity int64
+	for _, vm := range alloc.VMs {
+		used += vm.BytesPerHour()
+		capacity += trueCapacity(vm, trueFleet)
+	}
+	if capacity == 0 {
+		return 0
+	}
+	return float64(used) / float64(capacity)
+}
+
+// trueCapacity resolves a VM's un-derated capacity bound: the true fleet's
+// capacity for its type, falling back to the recorded value.
+func trueCapacity(vm *core.VM, trueFleet pricing.Fleet) int64 {
+	if c := trueFleet.CapacityOf(vm.Instance.Name); c > 0 {
+		return c
+	}
+	return vm.CapacityBytesPerHour
+}
+
+// hourlyCost is the epoch-rate objective the keep-vs-adopt decision
+// compares: active rental per hour plus transfer cost per hour.
+func hourlyCost(m pricing.Model, alloc *core.Allocation) pricing.MicroUSD {
+	var rental pricing.MicroUSD
+	for _, vm := range alloc.VMs {
+		rental = rental.Add(vm.Instance.HourlyRate)
+	}
+	return rental.Add(pricing.BandwidthCost(m.PerGB, alloc.TotalBytesPerHour()))
+}
+
+func countPairs(alloc *core.Allocation) int64 {
+	var n int64
+	for _, vm := range alloc.VMs {
+		n += int64(vm.NumPairs())
+	}
+	return n
+}
+
+func instanceByName(f pricing.Fleet, name string) (pricing.InstanceType, bool) {
+	if i := f.IndexByName(name); i >= 0 {
+		return f.Type(i), true
+	}
+	return pricing.InstanceType{}, false
+}

@@ -1,0 +1,296 @@
+package elastic
+
+import (
+	"testing"
+
+	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/pubsub"
+	"github.com/pubsub-systems/mcss/internal/timeline"
+	"github.com/pubsub-systems/mcss/internal/tracegen"
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+// testTimeline builds a small deterministic diurnal timeline plus the
+// solver config calibrated against its envelope, mirroring the diurnal
+// experiment's setup at test size.
+func testTimeline(t *testing.T, epochs int, epochMinutes int64) (*timeline.Timeline, core.Config) {
+	t.Helper()
+	base, err := tracegen.Random(tracegen.RandomConfig{
+		Topics: 60, Subscribers: 300, MaxFollowings: 5, MaxRate: 200, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := tracegen.DefaultDiurnalConfig()
+	mod.Epochs = epochs
+	mod.EpochMinutes = epochMinutes
+	mod.FlashEpoch, mod.FlashTopics, mod.FlashFactor = epochs/3, 2, 2.5
+	tl, err := tracegen.Diurnal(base, mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := tl.Envelope()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := core.GreedySelectPairs(env, 100)
+	bpm := sel.OutgoingRate() * 200 / 10 / pricing.C3Large.LinkMbps // ~10 c3.large at τ=100
+	fleet := pricing.CatalogFleet().WithBytesPerMbps(bpm)
+	cfg := core.Config{
+		Tau:          100,
+		MessageBytes: 200,
+		Model:        pricing.NewModel(pricing.C3Large),
+		Fleet:        fleet,
+		Stage1:       core.Stage1Greedy,
+		Stage2:       core.Stage2Custom,
+		Opts:         core.OptAll,
+	}
+	return tl, cfg
+}
+
+// assertEpochSatisfied checks the controller's core postcondition directly:
+// the epoch's placements deliver at least τ_v = min(τ, demand) to every
+// subscriber of the epoch snapshot, within each VM's true capacity.
+func assertEpochSatisfied(t *testing.T, e int, w *workload.Workload, alloc *core.Allocation, cfg core.Config, trueFleet pricing.Fleet) {
+	t.Helper()
+	delivered := make([]int64, w.NumSubscribers())
+	for _, vm := range alloc.VMs {
+		var bw int64
+		for _, p := range vm.Placements {
+			rb := w.Rate(p.Topic) * cfg.MessageBytes
+			bw += rb + rb*int64(len(p.Subs))
+			for _, v := range p.Subs {
+				delivered[v] += w.Rate(p.Topic)
+			}
+		}
+		if c := trueCapacity(vm, trueFleet); bw > c {
+			t.Errorf("epoch %d vm %d (%s): bandwidth %d exceeds true capacity %d",
+				e, vm.ID, vm.Instance.Name, bw, c)
+		}
+	}
+	for v := 0; v < w.NumSubscribers(); v++ {
+		if tauV := w.TauV(workload.SubID(v), cfg.Tau); delivered[v] < tauV {
+			t.Errorf("epoch %d subscriber %d delivered %d events/h, needs %d", e, v, delivered[v], tauV)
+		}
+	}
+}
+
+func TestControllerEveryEpochSatisfied(t *testing.T) {
+	tl, cfg := testTimeline(t, 12, 60)
+	fleet := cfg.EffectiveFleet()
+	for _, policy := range []Policy{OraclePolicy(), DefaultPolicy()} {
+		rep, err := NewController(cfg, policy).Run(tl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Allocations) != tl.NumEpochs() || len(rep.Epochs) != tl.NumEpochs() {
+			t.Fatalf("%s: report covers %d/%d epochs, want %d",
+				rep.Strategy, len(rep.Allocations), len(rep.Epochs), tl.NumEpochs())
+		}
+		for e, alloc := range rep.Allocations {
+			assertEpochSatisfied(t, e, tl.Epochs[e], alloc, cfg, fleet)
+		}
+	}
+}
+
+// TestPropertyEveryEpochSatisfiedUnderReplay is the acceptance property:
+// replaying each epoch's allocation through the discrete-event simulator
+// delivers every subscriber its threshold (within the simulator's floor
+// effects).
+func TestPropertyEveryEpochSatisfiedUnderReplay(t *testing.T) {
+	tl, cfg := testTimeline(t, 8, 60)
+	rep, err := NewController(cfg, DefaultPolicy()).Run(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, alloc := range rep.Allocations {
+		w := tl.Epochs[e]
+		sim, err := pubsub.Simulate(w, alloc, pubsub.SimConfig{
+			DurationHours: tl.EpochHours(),
+			MessageBytes:  cfg.MessageBytes,
+			MaxEvents:     5_000_000,
+		})
+		if err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+		if err := pubsub.CheckSatisfaction(w, sim, cfg.Tau, 0.5); err != nil {
+			t.Errorf("epoch %d replay: %v", e, err)
+		}
+	}
+}
+
+func TestControllerCostOrdering(t *testing.T) {
+	tl, cfg := testTimeline(t, 24, 60)
+	oracle, err := NewController(cfg, OraclePolicy()).Run(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyst, err := NewController(cfg, DefaultPolicy()).Run(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := StaticPeakReport(tl, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyst.TotalCost() >= static.TotalCost() {
+		t.Errorf("hysteresis %v not strictly cheaper than static peak %v",
+			hyst.TotalCost(), static.TotalCost())
+	}
+	if oracle.TotalCost() > static.TotalCost() {
+		t.Errorf("oracle %v costs more than static peak %v", oracle.TotalCost(), static.TotalCost())
+	}
+	if float64(hyst.TotalCost()) > 2.5*float64(oracle.TotalCost()) {
+		t.Errorf("hysteresis %v more than 2.5× the oracle %v", hyst.TotalCost(), oracle.TotalCost())
+	}
+	// What the gap buys: the hysteresis controller re-homes fewer pairs.
+	if hyst.TotalMoved() >= oracle.TotalMoved() {
+		t.Errorf("hysteresis moved %d pairs, oracle moved %d — hysteresis must churn less",
+			hyst.TotalMoved(), oracle.TotalMoved())
+	}
+}
+
+func TestControllerMigrationBudgetKeepsPlacements(t *testing.T) {
+	tl, cfg := testTimeline(t, 12, 60)
+	fleet := cfg.EffectiveFleet()
+
+	unlimited := DefaultPolicy()
+	unlimBudget, err := NewController(cfg, unlimited).Run(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := DefaultPolicy()
+	tight.MaxMigrationsPerEpoch = 1 // any re-solve busts the budget
+	budgeted, err := NewController(cfg, tight).Run(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kept := 0
+	for _, ep := range budgeted.Epochs[1:] {
+		if !ep.Adopted {
+			kept++
+			if ep.PairsMoved != 0 {
+				t.Errorf("epoch %d kept placements but reports %d moved pairs", ep.Epoch, ep.PairsMoved)
+			}
+		}
+	}
+	if kept == 0 {
+		t.Error("a 1-pair migration budget never kept placements")
+	}
+	if budgeted.TotalMoved() >= unlimBudget.TotalMoved() {
+		t.Errorf("budgeted controller moved %d pairs, unlimited moved %d — budget must reduce churn",
+			budgeted.TotalMoved(), unlimBudget.TotalMoved())
+	}
+	// Correctness cannot be traded for the budget.
+	for e, alloc := range budgeted.Allocations {
+		assertEpochSatisfied(t, e, tl.Epochs[e], alloc, cfg, fleet)
+	}
+}
+
+func TestStaticPeakHoldsPerTypeMax(t *testing.T) {
+	tl, cfg := testTimeline(t, 10, 60)
+	oracle, err := NewController(cfg, OraclePolicy()).Run(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := StaticPeakReport(tl, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := make(map[string]int)
+	for _, ep := range oracle.Epochs {
+		for name, n := range ep.ActiveMix {
+			if n > peak[name] {
+				peak[name] = n
+			}
+		}
+	}
+	want := 0
+	for _, n := range peak {
+		want += n
+	}
+	for _, ep := range static.Epochs {
+		if ep.BilledVMs != want {
+			t.Errorf("epoch %d bills %d VMs, want the per-type peak %d", ep.Epoch, ep.BilledVMs, want)
+		}
+	}
+	// Static rental must price the peak fleet for the whole horizon.
+	horizonHours := (tl.HorizonMinutes() + 59) / 60
+	var wantRental pricing.MicroUSD
+	for name, n := range peak {
+		i := oracle.Fleet.IndexByName(name)
+		wantRental = wantRental.Add(oracle.Fleet.Type(i).HourlyRate.Mul(int64(n) * horizonHours))
+	}
+	if got := static.RentalCost(); got != wantRental {
+		t.Errorf("static rental = %v, want %v", got, wantRental)
+	}
+}
+
+func TestKeepWithTopUpFallingRates(t *testing.T) {
+	tl, cfg := testTimeline(t, 2, 60)
+	fleet := cfg.EffectiveFleet()
+	res, err := core.Solve(tl.Epochs[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Halve every rate: satisfaction thresholds τ_v fall less than the
+	// selection's delivery (τ caps them), so a top-up is usually needed.
+	rates := make([]int64, tl.Epochs[0].NumTopics())
+	for i, r := range tl.Epochs[0].Rates() {
+		rates[i] = (r + 1) / 2
+	}
+	sub := tl.Epochs[0]
+	subOff := make([]int64, 1, sub.NumSubscribers()+1)
+	var subTopics []workload.TopicID
+	for v := 0; v < sub.NumSubscribers(); v++ {
+		subTopics = append(subTopics, sub.Topics(workload.SubID(v))...)
+		subOff = append(subOff, int64(len(subTopics)))
+	}
+	halved, err := workload.FromCSR(rates, subOff, subTopics, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kept, added, ok := keepWithTopUp(res.Allocation, halved, cfg, fleet, fleet)
+	if !ok {
+		t.Fatal("keepWithTopUp failed on falling rates")
+	}
+	if added == 0 {
+		t.Log("no top-up needed (selection had slack); still validating satisfaction")
+	}
+	assertEpochSatisfied(t, 0, halved, kept, cfg, fleet)
+	// The previous allocation must be untouched (copy-on-write).
+	if err := core.VerifyAllocation(tl.Epochs[0], res.Selection, res.Allocation, cfg); err != nil {
+		t.Errorf("top-up mutated the previous allocation: %v", err)
+	}
+}
+
+func TestKeepWithTopUpRejectsCapacityOvershoot(t *testing.T) {
+	tl, cfg := testTimeline(t, 2, 60)
+	fleet := cfg.EffectiveFleet()
+	res, err := core.Solve(tl.Epochs[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rates way past any headroom must read as a scale-up.
+	rates := make([]int64, tl.Epochs[0].NumTopics())
+	for i, r := range tl.Epochs[0].Rates() {
+		rates[i] = r * 10
+	}
+	sub := tl.Epochs[0]
+	subOff := make([]int64, 1, sub.NumSubscribers()+1)
+	var subTopics []workload.TopicID
+	for v := 0; v < sub.NumSubscribers(); v++ {
+		subTopics = append(subTopics, sub.Topics(workload.SubID(v))...)
+		subOff = append(subOff, int64(len(subTopics)))
+	}
+	spiked, err := workload.FromCSR(rates, subOff, subTopics, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := keepWithTopUp(res.Allocation, spiked, cfg, fleet, fleet); ok {
+		t.Error("keepWithTopUp accepted a 10× rate spike that overflows every VM")
+	}
+}

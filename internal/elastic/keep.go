@@ -1,0 +1,218 @@
+package elastic
+
+import (
+	"sort"
+
+	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+// keepWithTopUp rebuilds the previous epoch's placements under the new
+// workload snapshot and, where falling rates leave subscribers below
+// τ_v = min(τ, demand), tops the allocation up by *adding* pairs instead of
+// migrating existing ones. Pairs whose subscriber no longer follows the
+// topic (churned away in the snapshot) are pruned during the rebuild —
+// stopping a stream to an unsubscribed user is not churn, and keeping it
+// would inflate the kept bill, overstate utilization against the scale-up
+// guard, and let stale deliveries count toward satisfaction. Candidate
+// top-up pairs follow the Stage-1 greedy's minimal-overshoot rule — the
+// largest unplaced rate that still fits the remaining need, and only when
+// none fits the smallest rate that closes it — so a 15-events/hour
+// shortfall never drags in a 100k-events/hour bot topic. Each added pair
+// lands on a VM already hosting the topic (most free first), then on the
+// most-free VM with room for the topic's ingress, then on a fresh VM of
+// the cheapest fitting solve-fleet type.
+//
+// Placements keep the (possibly headroom-derated) solveFleet capacities
+// for packing decisions, while validity — every VM within capacity —
+// is judged against trueFleet, so ordinary rate drift inside the headroom
+// does not invalidate a kept allocation. A true-capacity overshoot from
+// rising rates is not repaired here (that is a scale-up, which the
+// controller hands to the solver), so ok=false in that case.
+//
+// It reports the repriced (and possibly topped-up) allocation, the number
+// of pairs added, and whether the result is valid for the snapshot.
+func keepWithTopUp(prev *core.Allocation, w *workload.Workload, cfg core.Config, solveFleet, trueFleet pricing.Fleet) (*core.Allocation, int64, bool) {
+	msg := cfg.MessageBytes
+	out := &core.Allocation{
+		VMs:          make([]*core.VM, len(prev.VMs)),
+		Fleet:        prev.Fleet,
+		MessageBytes: msg,
+	}
+	delivered := make([]int64, w.NumSubscribers())
+	placed := make(map[workload.Pair]bool)
+	hosts := make(map[workload.TopicID][]*core.VM)
+
+	for i, vm := range prev.VMs {
+		nv := &core.VM{
+			ID:                   vm.ID,
+			Instance:             vm.Instance,
+			CapacityBytesPerHour: vm.CapacityBytesPerHour,
+			Placements:           make([]core.TopicPlacement, 0, len(vm.Placements)),
+		}
+		for _, p := range vm.Placements {
+			if int(p.Topic) >= w.NumTopics() {
+				return nil, 0, false
+			}
+			// Each kept VM gets its own placement slices: top-up appends
+			// to Subs, and the previous allocation must survive untouched
+			// for migration diffing. Subscribers that dropped the topic
+			// are pruned here; a placement with no interested subscribers
+			// left disappears entirely (with its ingress).
+			subs := make([]workload.SubID, 0, len(p.Subs))
+			for _, v := range p.Subs {
+				if follows(w, v, p.Topic) {
+					subs = append(subs, v)
+				}
+			}
+			if len(subs) == 0 {
+				continue
+			}
+			rb := w.Rate(p.Topic) * msg
+			nv.Placements = append(nv.Placements, core.TopicPlacement{Topic: p.Topic, Subs: subs})
+			nv.InBytesPerHour += rb
+			nv.OutBytesPerHour += rb * int64(len(subs))
+			hosts[p.Topic] = append(hosts[p.Topic], nv)
+			// Placements hold each selected pair exactly once (a solver
+			// invariant both re-solving and topping up preserve), so the
+			// delivered sum needs no dedup.
+			for _, v := range subs {
+				if int(v) < len(delivered) {
+					delivered[v] += w.Rate(p.Topic)
+				}
+				placed[workload.Pair{Topic: p.Topic, Sub: v}] = true
+			}
+		}
+		if nv.BytesPerHour() > trueCapacity(nv, trueFleet) {
+			return nil, 0, false // rising rates: a scale-up, not a top-up
+		}
+		out.VMs[i] = nv
+	}
+
+	var added int64
+	var cands []workload.TopicID
+	for v := 0; v < w.NumSubscribers(); v++ {
+		id := workload.SubID(v)
+		need := w.TauV(id, cfg.Tau) - delivered[v]
+		if need <= 0 {
+			continue
+		}
+		cands = cands[:0]
+		for _, t := range w.Topics(id) {
+			if !placed[workload.Pair{Topic: t, Sub: id}] {
+				cands = append(cands, t)
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			ri, rj := w.Rate(cands[i]), w.Rate(cands[j])
+			if ri != rj {
+				return ri < rj
+			}
+			return cands[i] < cands[j]
+		})
+		for need > 0 {
+			t, rest, ok := pickMinimalOvershoot(w, cands, need)
+			if !ok {
+				return nil, 0, false // interests exhausted below τ_v
+			}
+			cands = rest
+			if !placePair(out, hosts, solveFleet, t, id, w.Rate(t)*msg) {
+				return nil, 0, false
+			}
+			placed[workload.Pair{Topic: t, Sub: id}] = true
+			delivered[v] += w.Rate(t)
+			need -= w.Rate(t)
+			added++
+		}
+	}
+	return out, added, true
+}
+
+// follows reports whether v's (ascending) interest list contains t.
+func follows(w *workload.Workload, v workload.SubID, t workload.TopicID) bool {
+	ts := w.Topics(v)
+	i := sort.Search(len(ts), func(i int) bool { return ts[i] >= t })
+	return i < len(ts) && ts[i] == t
+}
+
+// pickMinimalOvershoot chooses the next top-up topic from the rate-
+// ascending candidate list: the largest rate ≤ need (fastest progress with
+// no overshoot), else the smallest rate, which closes the gap with the
+// least excess. It returns the pick and the remaining candidates.
+func pickMinimalOvershoot(w *workload.Workload, cands []workload.TopicID, need int64) (workload.TopicID, []workload.TopicID, bool) {
+	if len(cands) == 0 {
+		return 0, nil, false
+	}
+	// First index with rate > need.
+	i := sort.Search(len(cands), func(i int) bool { return w.Rate(cands[i]) > need })
+	if i > 0 {
+		i-- // largest rate ≤ need
+	}
+	t := cands[i]
+	return t, append(cands[:i], cands[i+1:]...), true
+}
+
+// placePair homes one added pair: a VM already hosting the topic with room
+// for one more egress stream (most free first), else the most-free VM with
+// room for ingress plus egress, else a fresh VM of the cheapest type that
+// fits the topic at all.
+func placePair(out *core.Allocation, hosts map[workload.TopicID][]*core.VM, fleet pricing.Fleet, t workload.TopicID, v workload.SubID, rb int64) bool {
+	var best *core.VM
+	var bestFree int64 = -1
+	for _, vm := range hosts[t] {
+		if free := vm.FreeBytesPerHour(); free >= rb && free > bestFree {
+			best, bestFree = vm, free
+		}
+	}
+	if best != nil {
+		for i := range best.Placements {
+			if best.Placements[i].Topic == t {
+				best.Placements[i].Subs = append(best.Placements[i].Subs, v)
+				break
+			}
+		}
+		best.OutBytesPerHour += rb
+		return true
+	}
+	for _, vm := range out.VMs {
+		if free := vm.FreeBytesPerHour(); free >= 2*rb && free > bestFree {
+			best, bestFree = vm, free
+		}
+	}
+	if best == nil {
+		best = deployCheapestFitting(out, fleet, 2*rb)
+		if best == nil {
+			return false
+		}
+	}
+	best.Placements = append(best.Placements, core.TopicPlacement{Topic: t, Subs: []workload.SubID{v}})
+	best.InBytesPerHour += rb
+	best.OutBytesPerHour += rb
+	hosts[t] = append(hosts[t], best)
+	return true
+}
+
+// deployCheapestFitting appends a fresh VM of the lowest-rate fleet type
+// whose capacity fits the given load, or nil when none does.
+func deployCheapestFitting(out *core.Allocation, fleet pricing.Fleet, load int64) *core.VM {
+	bestIdx := -1
+	for i := 0; i < fleet.Len(); i++ {
+		if fleet.Capacity(i) < load {
+			continue
+		}
+		if bestIdx < 0 || fleet.Type(i).HourlyRate < fleet.Type(bestIdx).HourlyRate {
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return nil
+	}
+	vm := &core.VM{
+		ID:                   len(out.VMs),
+		Instance:             fleet.Type(bestIdx),
+		CapacityBytesPerHour: fleet.Capacity(bestIdx),
+	}
+	out.VMs = append(out.VMs, vm)
+	return vm
+}

@@ -1,0 +1,172 @@
+package elastic
+
+import (
+	"testing"
+
+	"github.com/pubsub-systems/mcss/internal/pricing"
+)
+
+func TestLedgerStartedHourBilling(t *testing.T) {
+	l := NewLedger(pricing.DefaultBandwidthPerGB)
+	it := pricing.C3Large // $0.15/h
+
+	if err := l.Acquire(it, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Release(it, 1, 90); err != nil { // 90 min → 2 started hours
+		t.Fatal(err)
+	}
+	if err := l.Close(240); err != nil { // survivor: 240 min → 4 started hours
+		t.Fatal(err)
+	}
+	if got, want := l.StartedHours(), int64(6); got != want {
+		t.Errorf("StartedHours = %d, want %d", got, want)
+	}
+	if got, want := l.RentalCost(), it.HourlyRate.Mul(6); got != want {
+		t.Errorf("RentalCost = %v, want %v", got, want)
+	}
+}
+
+// TestLedgerHoldingBeatsChurning is the reason the ledger bills per
+// *started* hour: across a 30-minute trough, releasing a VM and
+// re-acquiring one bills two started hours while holding it bills one.
+func TestLedgerHoldingBeatsChurning(t *testing.T) {
+	it := pricing.C3Large
+
+	churn := NewLedger(0)
+	if err := churn.Acquire(it, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := churn.Release(it, 1, 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := churn.Acquire(it, 1, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := churn.Close(90); err != nil {
+		t.Fatal(err)
+	}
+
+	hold := NewLedger(0)
+	if err := hold.Acquire(it, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := hold.Close(90); err != nil {
+		t.Fatal(err)
+	}
+
+	if churn.StartedHours() != 2 || hold.StartedHours() != 2 {
+		t.Fatalf("started hours churn=%d hold=%d, want 2/2 (30 min + 30 min vs 90 min)",
+			churn.StartedHours(), hold.StartedHours())
+	}
+	// Same bill over that horizon — the hour boundary happened to align.
+	// With 20-minute bursts (three per 100-minute window) every burst
+	// starts a fresh hour while the holder's two started hours cover the
+	// whole window.
+	churn2 := NewLedger(0)
+	for _, step := range []struct {
+		acquire bool
+		at      int64
+	}{{true, 0}, {false, 20}, {true, 40}, {false, 60}, {true, 80}} {
+		var err error
+		if step.acquire {
+			err = churn2.Acquire(it, 1, step.at)
+		} else {
+			err = churn2.Release(it, 1, step.at)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := churn2.Close(100); err != nil {
+		t.Fatal(err)
+	}
+	hold2 := NewLedger(0)
+	if err := hold2.Acquire(it, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := hold2.Close(100); err != nil {
+		t.Fatal(err)
+	}
+	if c, h := churn2.StartedHours(), hold2.StartedHours(); c != 3 || h != 2 {
+		t.Errorf("churner billed %d started hours, holder %d — want 3 vs 2", c, h)
+	}
+}
+
+func TestLedgerReleaseLIFO(t *testing.T) {
+	l := NewLedger(0)
+	it := pricing.C3Large
+	if err := l.Acquire(it, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(it, 1, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Release(it, 1, 70); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(120); err != nil {
+		t.Fatal(err)
+	}
+	rentals := l.Rentals()
+	if len(rentals) != 2 {
+		t.Fatalf("got %d rentals, want 2", len(rentals))
+	}
+	// The young rental (started 60) must be the released one.
+	if rentals[1].StartMinute != 60 || rentals[1].EndMinute != 70 {
+		t.Errorf("young rental = %+v, want start 60 end 70", rentals[1])
+	}
+	if rentals[0].StartMinute != 0 || rentals[0].EndMinute != 120 {
+		t.Errorf("old rental = %+v, want start 0 end 120", rentals[0])
+	}
+}
+
+func TestLedgerErrors(t *testing.T) {
+	l := NewLedger(0)
+	it := pricing.C3Large
+	if err := l.Release(it, 1, 0); err == nil {
+		t.Error("releasing with nothing open succeeded")
+	}
+	if err := l.Acquire(it, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(it, 1, 50); err == nil {
+		t.Error("time moved backwards without error")
+	}
+	if err := l.Close(200); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(it, 1, 300); err == nil {
+		t.Error("acquire after Close succeeded")
+	}
+}
+
+func TestLedgerSaturatesInsteadOfWrapping(t *testing.T) {
+	l := NewLedger(pricing.MaxMicroUSD)
+	exp := pricing.InstanceType{Name: "absurd", HourlyRate: pricing.MaxMicroUSD, LinkMbps: 1}
+	if err := l.Acquire(exp, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	l.AddTransfer(1 << 62)
+	if err := l.Close(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.RentalCost(); got != pricing.MaxMicroUSD {
+		t.Errorf("RentalCost = %v, want saturation at MaxMicroUSD", got)
+	}
+	if got := l.TotalCost(); got != pricing.MaxMicroUSD {
+		t.Errorf("TotalCost = %v, want saturation at MaxMicroUSD", got)
+	}
+	if l.TotalCost() < 0 {
+		t.Error("bill wrapped negative")
+	}
+}
+
+func TestLedgerTransferPricingMatchesModel(t *testing.T) {
+	l := NewLedger(pricing.DefaultBandwidthPerGB)
+	l.AddTransfer(3_500_000_000) // 3.5 GB
+	m := pricing.NewModel(pricing.C3Large)
+	if got, want := l.TransferCost(), m.BandwidthCost(3_500_000_000); got != want {
+		t.Errorf("TransferCost = %v, model says %v", got, want)
+	}
+}

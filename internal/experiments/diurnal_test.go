@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+// TestRunDiurnalAcceptance is the diurnal experiment's acceptance check on
+// the Twitter-like timeline: the hysteresis controller is strictly cheaper
+// than static peak provisioning, within a bounded factor of the per-epoch
+// oracle, every epoch's allocation satisfies its snapshot, and the tables
+// render.
+func TestRunDiurnalAcceptance(t *testing.T) {
+	res, err := RunDiurnal(Twitter, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline.NumEpochs() != res.Modulation.Epochs {
+		t.Fatalf("timeline has %d epochs, want %d", res.Timeline.NumEpochs(), res.Modulation.Epochs)
+	}
+
+	static, oracle, hyst := res.Static.TotalCost(), res.Oracle.TotalCost(), res.Hysteresis.TotalCost()
+	if hyst >= static {
+		t.Errorf("hysteresis %v not strictly cheaper than static peak %v", hyst, static)
+	}
+	if oracle > static {
+		t.Errorf("oracle %v costs more than static peak %v", oracle, static)
+	}
+	if float64(hyst) > 2.5*float64(oracle) {
+		t.Errorf("hysteresis %v outside 2.5× of oracle %v", hyst, oracle)
+	}
+	if res.SavingsVsStatic() <= 0 {
+		t.Errorf("SavingsVsStatic = %v, want > 0", res.SavingsVsStatic())
+	}
+	if res.OverOracle() < 0 {
+		t.Errorf("OverOracle = %v, want ≥ 0", res.OverOracle())
+	}
+
+	// Every epoch of every strategy satisfies its snapshot.
+	for e := 0; e < res.Timeline.NumEpochs(); e++ {
+		w := res.Timeline.Epochs[e]
+		checkEpochSatisfied(t, "oracle", e, w, res.Oracle.Allocations[e], res.Tau)
+		checkEpochSatisfied(t, "hysteresis", e, w, res.Hysteresis.Allocations[e], res.Tau)
+		checkEpochSatisfied(t, "static", e, w, res.Static.Allocations[e], res.Tau)
+	}
+
+	var b strings.Builder
+	if err := res.SummaryTable().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.EpochTable().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"static-peak", "oracle", "hysteresis", "activity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered tables missing %q", want)
+		}
+	}
+}
+
+// checkEpochSatisfied asserts the allocation's placements deliver at least
+// τ_v = min(τ, demand) to every subscriber of the epoch snapshot.
+func checkEpochSatisfied(t *testing.T, name string, e int, w *workload.Workload, alloc *core.Allocation, tau int64) {
+	t.Helper()
+	delivered := make([]int64, w.NumSubscribers())
+	for _, vm := range alloc.VMs {
+		for _, p := range vm.Placements {
+			for _, v := range p.Subs {
+				delivered[v] += w.Rate(p.Topic)
+			}
+		}
+	}
+	for v := 0; v < w.NumSubscribers(); v++ {
+		if tauV := w.TauV(workload.SubID(v), tau); delivered[v] < tauV {
+			t.Errorf("%s epoch %d: subscriber %d delivered %d events/h, needs %d",
+				name, e, v, delivered[v], tauV)
+			return
+		}
+	}
+}

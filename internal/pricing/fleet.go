@@ -175,6 +175,31 @@ func (f Fleet) WithBytesPerMbps(bytesPerMbps int64) Fleet {
 	return out
 }
 
+// WithCapacityScale returns a copy whose per-VM capacities are scaled by
+// frac — the elastic controller's headroom derate: packing against
+// capacity × (1−headroom) leaves room for intra-epoch rate drift while the
+// true capacity still bounds validity. Capacities are floored at 1 so a
+// tiny frac cannot zero a type out; non-positive fracs leave the fleet
+// unchanged.
+func (f Fleet) WithCapacityScale(frac float64) Fleet {
+	if frac <= 0 || f.IsZero() {
+		return f
+	}
+	out := Fleet{
+		types: append([]InstanceType(nil), f.types...),
+		caps:  make([]int64, len(f.caps)),
+	}
+	for i, c := range f.caps {
+		scaled := int64(float64(c) * frac)
+		if scaled < 1 {
+			scaled = 1
+		}
+		out.caps[i] = scaled
+	}
+	out.sort()
+	return out
+}
+
 // String renders the fleet as "c3.large+c3.xlarge+…".
 func (f Fleet) String() string {
 	if f.IsZero() {

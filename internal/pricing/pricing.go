@@ -15,8 +15,47 @@ import "fmt"
 // MicroUSD is an amount of money in 1e-6 US dollars.
 type MicroUSD int64
 
+// MaxMicroUSD and MinMicroUSD are the saturation bounds of MicroUSD
+// arithmetic (~±9.2 trillion dollars).
+const (
+	MaxMicroUSD MicroUSD = 1<<63 - 1
+	MinMicroUSD MicroUSD = -1 << 63
+)
+
 // USD converts to floating-point dollars for display.
 func (m MicroUSD) USD() float64 { return float64(m) / 1e6 }
+
+// Add returns m+o, saturating at the MicroUSD range bounds instead of
+// wrapping — a billing ledger summing many rentals must never flip sign.
+func (m MicroUSD) Add(o MicroUSD) MicroUSD {
+	s := m + o
+	// Overflow iff both operands share a sign the sum does not.
+	if (m > 0 && o > 0 && s < 0) || (m < 0 && o < 0 && s >= 0) {
+		if m > 0 {
+			return MaxMicroUSD
+		}
+		return MinMicroUSD
+	}
+	return s
+}
+
+// Mul returns m×n, saturating at the MicroUSD range bounds instead of
+// wrapping.
+func (m MicroUSD) Mul(n int64) MicroUSD {
+	if m == 0 || n == 0 {
+		return 0
+	}
+	p := MicroUSD(int64(m) * n)
+	// Division round-trips exactly unless the product overflowed; the one
+	// case division cannot detect is MinMicroUSD × −1.
+	if (m == MinMicroUSD && n == -1) || int64(p)/n != int64(m) {
+		if (m > 0) == (n > 0) {
+			return MaxMicroUSD
+		}
+		return MinMicroUSD
+	}
+	return p
+}
 
 // String renders the amount as dollars, e.g. "$12.34".
 func (m MicroUSD) String() string {
@@ -130,12 +169,25 @@ func (m Model) VMCost(n int) MicroUSD {
 // carried out in integer arithmetic without overflow for any realistic
 // byte count (up to ~7.6e16 bytes at $0.12/GB).
 func (m Model) BandwidthCost(bytes int64) MicroUSD {
-	if bytes <= 0 {
+	return BandwidthCost(m.PerGB, bytes)
+}
+
+// BandwidthCost prices a transfer volume at perGB per decimal GB — the
+// model-free form used by the elastic billing ledger. Every step saturates
+// rather than wrapping, and the result is exact whenever nothing saturates:
+// the fractional-GB part is split so no intermediate product can exceed
+// the representable range at realistic prices.
+func BandwidthCost(perGB MicroUSD, bytes int64) MicroUSD {
+	if bytes <= 0 || perGB <= 0 {
 		return 0
 	}
 	whole := bytes / GB
 	rem := bytes % GB
-	return MicroUSD(whole*int64(m.PerGB) + rem*int64(m.PerGB)/GB)
+	// rem·perGB/GB, computed as (perGB/GB)·rem + (perGB%GB)·rem/GB: the
+	// second product stays below 1e18 because both factors are < 1e9.
+	remCost := MicroUSD(int64(perGB) / GB).Mul(rem).
+		Add(MicroUSD((int64(perGB) % GB) * rem / GB))
+	return perGB.Mul(whole).Add(remCost)
 }
 
 // TotalCost is C1(n) + C2(bytes).

@@ -1,6 +1,7 @@
 package pricing
 
 import (
+	"math/big"
 	"testing"
 	"testing/quick"
 )
@@ -171,4 +172,80 @@ func TestPropertyVMCostLinear(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
 	}
+}
+
+func TestMicroUSDAddSaturates(t *testing.T) {
+	cases := []struct {
+		a, b, want MicroUSD
+	}{
+		{1, 2, 3},
+		{-5, 3, -2},
+		{MaxMicroUSD, 1, MaxMicroUSD},
+		{MaxMicroUSD, MaxMicroUSD, MaxMicroUSD},
+		{MinMicroUSD, -1, MinMicroUSD},
+		{MinMicroUSD, MinMicroUSD, MinMicroUSD},
+		{MaxMicroUSD, MinMicroUSD, -1}, // exact, no overflow
+		{MaxMicroUSD - 10, 10, MaxMicroUSD},
+		{MaxMicroUSD - 10, 11, MaxMicroUSD},
+	}
+	for _, c := range cases {
+		if got := c.a.Add(c.b); got != c.want {
+			t.Errorf("(%d).Add(%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMicroUSDMulSaturates(t *testing.T) {
+	cases := []struct {
+		m    MicroUSD
+		n    int64
+		want MicroUSD
+	}{
+		{3, 4, 12},
+		{-3, 4, -12},
+		{3, -4, -12},
+		{-3, -4, 12},
+		{0, 1 << 62, 0},
+		{1 << 62, 0, 0},
+		{MaxMicroUSD, 2, MaxMicroUSD},
+		{MaxMicroUSD, -2, MinMicroUSD},
+		{MinMicroUSD, 2, MinMicroUSD},
+		{MinMicroUSD, -1, MaxMicroUSD}, // the one case division can't detect
+		{MinMicroUSD, -2, MaxMicroUSD},
+		{1 << 32, 1 << 32, MaxMicroUSD},
+		{-(1 << 32), 1 << 32, MinMicroUSD},
+		{MaxMicroUSD, 1, MaxMicroUSD},
+		{MinMicroUSD, 1, MinMicroUSD},
+	}
+	for _, c := range cases {
+		if got := c.m.Mul(c.n); got != c.want {
+			t.Errorf("(%d).Mul(%d) = %d, want %d", c.m, c.n, got, c.want)
+		}
+	}
+}
+
+func TestPropertyMicroUSDArithmeticMatchesBigInt(t *testing.T) {
+	f := func(a, b int64) bool {
+		sum := new(big.Int).Add(big.NewInt(a), big.NewInt(b))
+		wantAdd := clampBig(sum)
+		if got := MicroUSD(a).Add(MicroUSD(b)); got != wantAdd {
+			return false
+		}
+		prod := new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+		wantMul := clampBig(prod)
+		return MicroUSD(a).Mul(b) == wantMul
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampBig(v *big.Int) MicroUSD {
+	if v.Cmp(big.NewInt(int64(MaxMicroUSD))) > 0 {
+		return MaxMicroUSD
+	}
+	if v.Cmp(big.NewInt(int64(MinMicroUSD))) < 0 {
+		return MinMicroUSD
+	}
+	return MicroUSD(v.Int64())
 }

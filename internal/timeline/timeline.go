@@ -1,0 +1,164 @@
+// Package timeline models time-varying pub/sub workloads: an epoch-indexed
+// sequence of workload snapshots sharing one identifier space, so that a
+// controller can walk the day re-solving, diffing, and billing as demand
+// swings. Epochs are produced by the tracegen modulators (diurnal rate
+// modulation, subscriber join/leave churn, flash-crowd spikes) and
+// serialized via traceio's timeline format.
+//
+// Identifier stability is the load-bearing invariant: every epoch has the
+// same topic and subscriber counts, with demand changes expressed as rate
+// modulation and as emptied interest sets (an inactive subscriber keeps its
+// ID but follows nothing, which the solver treats as trivially satisfied).
+// That is what lets dynamic.DeltaBetween express epoch transitions and lets
+// migration churn be measured pair-by-pair across re-allocations.
+package timeline
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+// Timeline is an epoch-indexed sequence of workload snapshots with a fixed
+// epoch duration. Construct with New (or a tracegen modulator) so the
+// identifier-stability invariant is checked once up front.
+type Timeline struct {
+	// EpochMinutes is the duration of every epoch. Sub-hour epochs are
+	// where per-started-hour billing bites: releasing and re-acquiring a
+	// VM across a 30-minute trough bills two started hours where holding
+	// it bills one.
+	EpochMinutes int64
+	// Epochs are the per-epoch workload snapshots, all with identical
+	// topic and subscriber counts.
+	Epochs []*workload.Workload
+}
+
+// ErrInvalidTimeline reports a structurally unusable timeline.
+var ErrInvalidTimeline = errors.New("timeline: invalid timeline")
+
+// New validates and assembles a timeline from epoch snapshots.
+func New(epochMinutes int64, epochs []*workload.Workload) (*Timeline, error) {
+	tl := &Timeline{EpochMinutes: epochMinutes, Epochs: epochs}
+	if err := tl.Validate(); err != nil {
+		return nil, err
+	}
+	return tl, nil
+}
+
+// Validate checks the structural invariants: at least one epoch, a positive
+// epoch duration, and identical topic/subscriber counts in every epoch.
+func (tl *Timeline) Validate() error {
+	if tl.EpochMinutes <= 0 {
+		return fmt.Errorf("%w: epoch duration %d minutes", ErrInvalidTimeline, tl.EpochMinutes)
+	}
+	if len(tl.Epochs) == 0 {
+		return fmt.Errorf("%w: no epochs", ErrInvalidTimeline)
+	}
+	numT, numV := tl.Epochs[0].NumTopics(), tl.Epochs[0].NumSubscribers()
+	for e, w := range tl.Epochs {
+		if w == nil {
+			return fmt.Errorf("%w: epoch %d is nil", ErrInvalidTimeline, e)
+		}
+		if w.NumTopics() != numT || w.NumSubscribers() != numV {
+			return fmt.Errorf("%w: epoch %d has %d topics / %d subscribers, epoch 0 has %d/%d (IDs must be stable)",
+				ErrInvalidTimeline, e, w.NumTopics(), w.NumSubscribers(), numT, numV)
+		}
+	}
+	return nil
+}
+
+// NumEpochs reports the number of epochs.
+func (tl *Timeline) NumEpochs() int { return len(tl.Epochs) }
+
+// HorizonMinutes reports the total covered duration.
+func (tl *Timeline) HorizonMinutes() int64 {
+	return tl.EpochMinutes * int64(len(tl.Epochs))
+}
+
+// EpochHours reports one epoch's duration in hours.
+func (tl *Timeline) EpochHours() float64 { return float64(tl.EpochMinutes) / 60 }
+
+// StartMinute reports the virtual minute at which epoch e begins.
+func (tl *Timeline) StartMinute(e int) int64 { return int64(e) * tl.EpochMinutes }
+
+// PeakEpoch reports the epoch with the largest total delivery rate — the
+// snapshot a static peak-provisioner would size for.
+func (tl *Timeline) PeakEpoch() int {
+	best, bestRate := 0, int64(-1)
+	for e, w := range tl.Epochs {
+		if r := w.TotalDeliveryRate(); r > bestRate {
+			best, bestRate = e, r
+		}
+	}
+	return best
+}
+
+// Envelope builds the per-topic upper envelope of the timeline: each
+// topic's rate is its maximum over all epochs and each subscriber's
+// interest set is the union over all epochs. Capacity calibrated against
+// the envelope is feasible for every epoch (no epoch has a hotter topic),
+// which is how the diurnal experiments size their fleets.
+func (tl *Timeline) Envelope() (*workload.Workload, error) {
+	if err := tl.Validate(); err != nil {
+		return nil, err
+	}
+	first := tl.Epochs[0]
+	numT, numV := first.NumTopics(), first.NumSubscribers()
+
+	rates := make([]int64, numT)
+	copy(rates, first.Rates())
+	for _, w := range tl.Epochs[1:] {
+		for t, r := range w.Rates() {
+			if r > rates[t] {
+				rates[t] = r
+			}
+		}
+	}
+
+	subOff := make([]int64, 1, numV+1)
+	var subTopics []workload.TopicID
+	for v := 0; v < numV; v++ {
+		merged := first.Topics(workload.SubID(v))
+		for _, w := range tl.Epochs[1:] {
+			merged = mergeSorted(merged, w.Topics(workload.SubID(v)))
+		}
+		subTopics = append(subTopics, merged...)
+		subOff = append(subOff, int64(len(subTopics)))
+	}
+	return workload.FromCSR(rates, subOff, subTopics, nil, nil)
+}
+
+// mergeSorted unions two ascending topic lists. It returns a when b adds
+// nothing, so the common no-churn case allocates only once per subscriber.
+func mergeSorted(a, b []workload.TopicID) []workload.TopicID {
+	extra := 0
+	i := 0
+	for _, t := range b {
+		for i < len(a) && a[i] < t {
+			i++
+		}
+		if i >= len(a) || a[i] != t {
+			extra++
+		}
+	}
+	if extra == 0 {
+		return a
+	}
+	out := make([]workload.TopicID, 0, len(a)+extra)
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default: // equal
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	return out
+}

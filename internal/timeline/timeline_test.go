@@ -1,0 +1,102 @@
+package timeline
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+// mkWorkload builds a tiny workload: rates per topic, interests per
+// subscriber.
+func mkWorkload(t *testing.T, rates []int64, interests [][]workload.TopicID) *workload.Workload {
+	t.Helper()
+	subOff := make([]int64, 1, len(interests)+1)
+	var subTopics []workload.TopicID
+	for _, ts := range interests {
+		subTopics = append(subTopics, ts...)
+		subOff = append(subOff, int64(len(subTopics)))
+	}
+	w, err := workload.FromCSR(rates, subOff, subTopics, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestValidateRejectsShapeDrift(t *testing.T) {
+	a := mkWorkload(t, []int64{5, 7}, [][]workload.TopicID{{0}, {1}})
+	b := mkWorkload(t, []int64{5, 7, 9}, [][]workload.TopicID{{0}, {2}})
+
+	if _, err := New(60, []*workload.Workload{a, b}); !errors.Is(err, ErrInvalidTimeline) {
+		t.Errorf("shape drift accepted: %v", err)
+	}
+	if _, err := New(0, []*workload.Workload{a}); !errors.Is(err, ErrInvalidTimeline) {
+		t.Errorf("zero epoch duration accepted: %v", err)
+	}
+	if _, err := New(60, nil); !errors.Is(err, ErrInvalidTimeline) {
+		t.Errorf("empty timeline accepted: %v", err)
+	}
+	if _, err := New(60, []*workload.Workload{a, nil}); !errors.Is(err, ErrInvalidTimeline) {
+		t.Errorf("nil epoch accepted: %v", err)
+	}
+	if _, err := New(60, []*workload.Workload{a, a}); err != nil {
+		t.Errorf("valid timeline rejected: %v", err)
+	}
+}
+
+func TestHorizonAndPeak(t *testing.T) {
+	low := mkWorkload(t, []int64{2, 3}, [][]workload.TopicID{{0}, {1}})
+	high := mkWorkload(t, []int64{20, 30}, [][]workload.TopicID{{0}, {1}})
+	tl, err := New(30, []*workload.Workload{low, high, low})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tl.HorizonMinutes(); got != 90 {
+		t.Errorf("HorizonMinutes = %d, want 90", got)
+	}
+	if got := tl.StartMinute(2); got != 60 {
+		t.Errorf("StartMinute(2) = %d, want 60", got)
+	}
+	if got := tl.EpochHours(); got != 0.5 {
+		t.Errorf("EpochHours = %v, want 0.5", got)
+	}
+	if got := tl.PeakEpoch(); got != 1 {
+		t.Errorf("PeakEpoch = %d, want 1", got)
+	}
+}
+
+func TestEnvelopeTakesMaxRatesAndUnionInterests(t *testing.T) {
+	// Epoch 0: subscriber 1 active with {1}; epoch 1: rates shifted,
+	// subscriber 0 gains topic 2, subscriber 1 asleep.
+	e0 := mkWorkload(t, []int64{10, 4, 6}, [][]workload.TopicID{{0}, {1}})
+	e1 := mkWorkload(t, []int64{3, 9, 6}, [][]workload.TopicID{{0, 2}, {}})
+	tl, err := New(60, []*workload.Workload{e0, e1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := tl.Envelope()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRates := []int64{10, 9, 6}
+	for i, want := range wantRates {
+		if got := env.Rate(workload.TopicID(i)); got != want {
+			t.Errorf("envelope rate[%d] = %d, want %d", i, got, want)
+		}
+	}
+	if got := env.Topics(0); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("envelope interests of sub 0 = %v, want [0 2]", got)
+	}
+	if got := env.Topics(1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("envelope interests of sub 1 = %v, want [1]", got)
+	}
+	// The envelope dominates every epoch.
+	for e, w := range tl.Epochs {
+		for i := 0; i < w.NumTopics(); i++ {
+			if w.Rate(workload.TopicID(i)) > env.Rate(workload.TopicID(i)) {
+				t.Errorf("epoch %d rate[%d] exceeds envelope", e, i)
+			}
+		}
+	}
+}

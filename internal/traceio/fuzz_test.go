@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/pubsub-systems/mcss/internal/tracegen"
+	"github.com/pubsub-systems/mcss/internal/workload"
 )
 
 // FuzzRead hardens the text parser: any input must either parse into a
@@ -46,6 +47,54 @@ func FuzzRead(f *testing.F) {
 		}
 		if !equalWorkloads(got, back) {
 			t.Fatal("round trip after fuzz parse changed the workload")
+		}
+	})
+}
+
+// FuzzReadTimeline hardens the timeline parser the same way: any input
+// must either parse into a round-trippable epoch sequence or return an
+// error — never panic, never allocate from a hostile header.
+func FuzzReadTimeline(f *testing.F) {
+	w, err := tracegen.Random(tracegen.RandomConfig{
+		Topics: 4, Subscribers: 8, MaxFollowings: 2, MaxRate: 30, Seed: 3,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTimeline(30, []*workload.Workload{w, w}, &buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("mcss-timeline 1\n1 60\nmcss-trace 1\n0 0 0\n")
+	f.Add("mcss-timeline 1\n2 60\nmcss-trace 1\n0 0 0\n")
+	f.Add("mcss-timeline 1\n999999999 60\n")
+	f.Add("mcss-timeline 1\n-1 -1\n")
+	f.Add("garbage")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		mins, epochs, err := ReadTimeline(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if mins <= 0 || len(epochs) == 0 {
+			t.Fatalf("parsed timeline with %d epochs × %d min and no error", len(epochs), mins)
+		}
+		var out bytes.Buffer
+		if err := WriteTimeline(mins, epochs, &out); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		backMins, back, err := ReadTimeline(&out)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if backMins != mins || len(back) != len(epochs) {
+			t.Fatal("round trip changed the timeline shape")
+		}
+		for e := range epochs {
+			if !equalWorkloads(epochs[e], back[e]) {
+				t.Fatalf("round trip changed epoch %d", e)
+			}
 		}
 	})
 }

@@ -1,0 +1,135 @@
+package traceio
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+// Timeline format (version 1): an epoch-indexed sequence of workloads for
+// the elastic control plane, serialized as a header followed by the epochs
+// embedded back to back in the v1 trace text format:
+//
+//	mcss-timeline 1
+//	<numEpochs> <epochMinutes>
+//	<epoch 0 as a complete v1 trace, magic line included>
+//	...
+//	<epoch numEpochs-1>
+//
+// Embedding whole traces keeps the epoch codec identical to the single-
+// workload one, so every hardening property of Read (hostile headers,
+// truncation, growth bounded by the actual stream) carries over per epoch.
+// Files ending in ".gz" are transparently (de)compressed.
+
+const timelineMagic = "mcss-timeline 1"
+
+// WriteTimeline serializes an epoch sequence with the given epoch duration
+// (minutes per epoch) to out.
+func WriteTimeline(epochMinutes int64, epochs []*workload.Workload, out io.Writer) error {
+	if epochMinutes <= 0 {
+		return fmt.Errorf("traceio: epoch duration must be positive, got %d minutes", epochMinutes)
+	}
+	if len(epochs) == 0 {
+		return fmt.Errorf("traceio: timeline needs at least one epoch")
+	}
+	bw := bufio.NewWriterSize(out, 1<<20)
+	if _, err := fmt.Fprintf(bw, "%s\n%d %d\n", timelineMagic, len(epochs), epochMinutes); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	for i, w := range epochs {
+		if w == nil {
+			return fmt.Errorf("traceio: timeline epoch %d is nil", i)
+		}
+		if err := Write(w, out); err != nil {
+			return fmt.Errorf("traceio: timeline epoch %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadTimeline parses a timeline stream, returning the epoch duration in
+// minutes and the epoch workloads.
+func ReadTimeline(in io.Reader) (int64, []*workload.Workload, error) {
+	sc := newScanner(in)
+	if !sc.Scan() {
+		return 0, nil, fmt.Errorf("%w: empty timeline stream", ErrBadFormat)
+	}
+	if got := strings.TrimSpace(sc.Text()); got != timelineMagic {
+		return 0, nil, fmt.Errorf("%w: bad timeline magic %q", ErrBadFormat, got)
+	}
+	if !sc.Scan() {
+		return 0, nil, fmt.Errorf("%w: missing timeline header", ErrBadFormat)
+	}
+	var numEpochs int
+	var epochMinutes int64
+	if _, err := fmt.Sscanf(sc.Text(), "%d %d", &numEpochs, &epochMinutes); err != nil {
+		return 0, nil, fmt.Errorf("%w: timeline header %q: %v", ErrBadFormat, sc.Text(), err)
+	}
+	if numEpochs <= 0 || epochMinutes <= 0 {
+		return 0, nil, fmt.Errorf("%w: timeline header needs positive epochs (%d) and minutes (%d)",
+			ErrBadFormat, numEpochs, epochMinutes)
+	}
+	// As with Read, the slice grows with the actual stream, never with the
+	// claimed header count.
+	epochs := make([]*workload.Workload, 0, clampCap(numEpochs))
+	for e := 0; e < numEpochs; e++ {
+		w, err := readWorkload(sc)
+		if err != nil {
+			return 0, nil, fmt.Errorf("%w: epoch %d: %v", ErrBadFormat, e, err)
+		}
+		epochs = append(epochs, w)
+	}
+	return epochMinutes, epochs, nil
+}
+
+// SaveTimeline writes a timeline to path; a ".gz" suffix enables gzip.
+func SaveTimeline(epochMinutes int64, epochs []*workload.Workload, path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	var out io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		defer func() {
+			if cerr := gz.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		out = gz
+	}
+	return WriteTimeline(epochMinutes, epochs, out)
+}
+
+// LoadTimeline reads a timeline from path, transparently decompressing
+// ".gz" files.
+func LoadTimeline(path string) (int64, []*workload.Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	var in io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer gz.Close()
+		in = gz
+	}
+	return ReadTimeline(in)
+}

@@ -1,0 +1,112 @@
+package traceio
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/pubsub-systems/mcss/internal/tracegen"
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+func timelineEpochs(t *testing.T) []*workload.Workload {
+	t.Helper()
+	base, err := tracegen.Random(tracegen.RandomConfig{
+		Topics: 25, Subscribers: 80, MaxFollowings: 4, MaxRate: 300, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := tracegen.Diurnal(base, tracegen.DiurnalConfig{Epochs: 5, EpochMinutes: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl.Epochs
+}
+
+func TestTimelineRoundTrip(t *testing.T) {
+	epochs := timelineEpochs(t)
+	var buf bytes.Buffer
+	if err := WriteTimeline(30, epochs, &buf); err != nil {
+		t.Fatal(err)
+	}
+	gotMin, got, err := ReadTimeline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMin != 30 {
+		t.Errorf("epoch minutes = %d, want 30", gotMin)
+	}
+	if len(got) != len(epochs) {
+		t.Fatalf("round trip returned %d epochs, want %d", len(got), len(epochs))
+	}
+	for e := range epochs {
+		if !equalWorkloads(epochs[e], got[e]) {
+			t.Errorf("epoch %d changed across the round trip", e)
+		}
+	}
+}
+
+func TestTimelineSaveLoadGzip(t *testing.T) {
+	epochs := timelineEpochs(t)
+	for _, name := range []string{"tl.timeline", "tl.timeline.gz"} {
+		path := filepath.Join(t.TempDir(), name)
+		if err := SaveTimeline(30, epochs, path); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		gotMin, got, err := LoadTimeline(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if gotMin != 30 || len(got) != len(epochs) {
+			t.Fatalf("%s: loaded %d epochs × %d min, want %d × 30", name, len(got), gotMin, len(epochs))
+		}
+		for e := range epochs {
+			if !equalWorkloads(epochs[e], got[e]) {
+				t.Errorf("%s: epoch %d changed", name, e)
+			}
+		}
+	}
+}
+
+func TestTimelineRejectsMalformed(t *testing.T) {
+	epochs := timelineEpochs(t)
+	var buf bytes.Buffer
+	if err := WriteTimeline(30, epochs, &buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+
+	cases := map[string]string{
+		"empty":            "",
+		"bad magic":        "mcss-timeline 9\n2 30\n",
+		"missing header":   "mcss-timeline 1\n",
+		"zero epochs":      "mcss-timeline 1\n0 30\n",
+		"zero minutes":     "mcss-timeline 1\n2 0\n",
+		"negative":         "mcss-timeline 1\n-2 -30\n",
+		"garbled header":   "mcss-timeline 1\nx y\n",
+		"truncated epochs": full[:len(full)/2],
+		"hostile counts":   "mcss-timeline 1\n99999999 1\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ReadTimeline(strings.NewReader(in)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("%s: err = %v, want ErrBadFormat", name, err)
+		}
+	}
+}
+
+func TestWriteTimelineRejectsBadInput(t *testing.T) {
+	epochs := timelineEpochs(t)
+	var buf bytes.Buffer
+	if err := WriteTimeline(0, epochs, &buf); err == nil {
+		t.Error("zero epoch duration accepted")
+	}
+	if err := WriteTimeline(30, nil, &buf); err == nil {
+		t.Error("empty epoch list accepted")
+	}
+	if err := WriteTimeline(30, []*workload.Workload{nil}, &buf); err == nil {
+		t.Error("nil epoch accepted")
+	}
+}

@@ -60,9 +60,21 @@ func Write(w *workload.Workload, out io.Writer) error {
 
 // Read parses a v1 trace stream into a Workload.
 func Read(in io.Reader) (*workload.Workload, error) {
+	return readWorkload(newScanner(in))
+}
+
+// newScanner builds the line scanner shared by the trace and timeline
+// readers, sized for multi-million-pair interest lines.
+func newScanner(in io.Reader) *bufio.Scanner {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	return sc
+}
 
+// readWorkload consumes one v1 trace (magic line included) from the
+// scanner, leaving the scanner positioned after the trace so that several
+// traces can be embedded back to back (the timeline format).
+func readWorkload(sc *bufio.Scanner) (*workload.Workload, error) {
 	if !sc.Scan() {
 		return nil, fmt.Errorf("%w: empty stream", ErrBadFormat)
 	}

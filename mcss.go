@@ -25,23 +25,34 @@
 // hot topics, small ones for the tail — never costing more than the best
 // homogeneous choice from the same fleet.
 //
+// Beyond the snapshot problem, the module models workloads that change
+// over the day: a Timeline is an epoch-indexed sequence of snapshots
+// (diurnal rate modulation, subscriber churn, flash crowds, via
+// GenerateDiurnal), and an ElasticController walks it — re-solving each
+// epoch, applying a hysteresis policy (utilization-guarded scale-up,
+// cooldown-gated scale-down, a migration budget), and billing every VM
+// per started instance-hour in a BillingLedger, like EC2 actually
+// charges.
+//
 // The module also ships every substrate the paper's evaluation needs:
 // synthetic Spotify-like and Twitter-like trace generators, the 2014 EC2
 // pricing catalog, a fleet-aware lower bound, an exact solver for small
 // instances (branching over instance choices), a discrete-event pub/sub
 // simulator with failure injection, a live channel-based broker cluster,
 // and an online re-provisioner. The cmd/experiments binary regenerates
-// every figure of the paper's evaluation plus a homogeneous-vs-
-// heterogeneous comparison; see DESIGN.md and EXPERIMENTS.md.
+// every figure of the paper's evaluation plus homogeneous-vs-heterogeneous
+// and static-vs-elastic comparisons; see DESIGN.md and EXPERIMENTS.md.
 package mcss
 
 import (
 	"github.com/pubsub-systems/mcss/internal/core"
 	"github.com/pubsub-systems/mcss/internal/dynamic"
+	"github.com/pubsub-systems/mcss/internal/elastic"
 	"github.com/pubsub-systems/mcss/internal/exact"
 	"github.com/pubsub-systems/mcss/internal/pricing"
 	"github.com/pubsub-systems/mcss/internal/pubsub"
 	"github.com/pubsub-systems/mcss/internal/satisfy"
+	"github.com/pubsub-systems/mcss/internal/timeline"
 	"github.com/pubsub-systems/mcss/internal/tracegen"
 	"github.com/pubsub-systems/mcss/internal/traceio"
 	"github.com/pubsub-systems/mcss/internal/workload"
@@ -268,6 +279,95 @@ type (
 func NewProvisioner(w *Workload, cfg SolverConfig) (*Provisioner, error) {
 	return dynamic.New(w, cfg)
 }
+
+// DeltaBetween computes the Delta transforming one workload snapshot into
+// its successor (IDs stable, counts may only grow) — the bridge from
+// timeline epochs to the provisioner.
+func DeltaBetween(old, next *Workload) (Delta, error) { return dynamic.DeltaBetween(old, next) }
+
+// ApplyDelta materializes a workload with the (validated) delta applied.
+func ApplyDelta(w *Workload, d Delta) (*Workload, error) { return dynamic.ApplyDelta(w, d) }
+
+// Timelines and the elastic control plane.
+type (
+	// Timeline is an epoch-indexed sequence of workload snapshots with a
+	// fixed epoch duration and stable identifiers.
+	Timeline = timeline.Timeline
+	// DiurnalTraceConfig parameterizes the diurnal timeline modulator
+	// (activity curve, subscriber churn, flash crowds).
+	DiurnalTraceConfig = tracegen.DiurnalConfig
+	// ElasticPolicy is the hysteresis knob set of the elastic controller.
+	ElasticPolicy = elastic.Policy
+	// ElasticController walks a timeline, re-solving and billing per epoch.
+	ElasticController = elastic.Controller
+	// ElasticRunReport is a full controller run: decisions, allocations,
+	// and the bill.
+	ElasticRunReport = elastic.RunReport
+	// ElasticEpochReport records one epoch's control decision.
+	ElasticEpochReport = elastic.EpochReport
+	// BillingLedger bills VM rentals per started instance-hour plus
+	// transfer volume.
+	BillingLedger = elastic.BillingLedger
+	// Rental is one VM's billed lifetime in a BillingLedger.
+	Rental = elastic.Rental
+)
+
+// NewTimeline validates and assembles a timeline from epoch snapshots.
+func NewTimeline(epochMinutes int64, epochs []*Workload) (*Timeline, error) {
+	return timeline.New(epochMinutes, epochs)
+}
+
+// DefaultDiurnalTrace returns the Twitter-like daily cycle: 24 hourly
+// epochs peaking at 20:00 with a 4× peak-to-trough swing.
+func DefaultDiurnalTrace() DiurnalTraceConfig { return tracegen.DefaultDiurnalConfig() }
+
+// GenerateDiurnal modulates a base workload into a diurnal timeline.
+func GenerateDiurnal(base *Workload, cfg DiurnalTraceConfig) (*Timeline, error) {
+	return tracegen.Diurnal(base, cfg)
+}
+
+// SaveTimeline writes a timeline to path in the traceio timeline format
+// (gzip when it ends in ".gz").
+func SaveTimeline(tl *Timeline, path string) error {
+	if err := tl.Validate(); err != nil {
+		return err
+	}
+	return traceio.SaveTimeline(tl.EpochMinutes, tl.Epochs, path)
+}
+
+// LoadTimeline reads a timeline from path.
+func LoadTimeline(path string) (*Timeline, error) {
+	epochMinutes, epochs, err := traceio.LoadTimeline(path)
+	if err != nil {
+		return nil, err
+	}
+	return timeline.New(epochMinutes, epochs)
+}
+
+// NewElasticController builds an elastic controller that re-solves each
+// timeline epoch under cfg and applies the hysteresis policy.
+func NewElasticController(cfg SolverConfig, policy ElasticPolicy) *ElasticController {
+	return elastic.NewController(cfg, policy)
+}
+
+// DefaultElasticPolicy is the hysteresis setting of the diurnal
+// experiments: utilization-guarded scale-up, cooldown-gated scale-down,
+// 15% packing headroom.
+func DefaultElasticPolicy() ElasticPolicy { return elastic.DefaultPolicy() }
+
+// OracleElasticPolicy re-solves and right-sizes every epoch — the
+// clairvoyant lower-bound strategy.
+func OracleElasticPolicy() ElasticPolicy { return elastic.OraclePolicy() }
+
+// StaticPeakReport derives the provision-for-peak baseline from an oracle
+// run over the same timeline.
+func StaticPeakReport(tl *Timeline, oracle *ElasticRunReport) (*ElasticRunReport, error) {
+	return elastic.StaticPeakReport(tl, oracle)
+}
+
+// NewBillingLedger returns an empty per-started-hour billing ledger
+// pricing transfer at perGB per decimal GB.
+func NewBillingLedger(perGB MicroUSD) *BillingLedger { return elastic.NewLedger(perGB) }
 
 // Satisfaction metrics (the companion INFOCOM'14 framework, paper ref [9]).
 type (
