@@ -13,11 +13,13 @@
 package mcss_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
 	"testing"
 
+	mcss "github.com/pubsub-systems/mcss"
 	"github.com/pubsub-systems/mcss/internal/core"
 	"github.com/pubsub-systems/mcss/internal/experiments"
 	"github.com/pubsub-systems/mcss/internal/pricing"
@@ -47,7 +49,7 @@ func benchLadder(b *testing.B, d experiments.Dataset, inst pricing.InstanceType)
 	scale := benchScale()
 	var last *experiments.LadderResult
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunLadder(d, inst, scale)
+		res, err := experiments.RunLadder(context.Background(), d, inst, scale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -163,7 +165,7 @@ func BenchmarkFig7Stage2RuntimeTwitter(b *testing.B) {
 func BenchmarkFig8FollowCCDF(b *testing.B) {
 	var points int
 	for i := 0; i < b.N; i++ {
-		ta, err := experiments.RunTraceAnalysis(benchScale())
+		ta, err := experiments.RunTraceAnalysis(context.Background(), benchScale())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -176,7 +178,7 @@ func BenchmarkFig8FollowCCDF(b *testing.B) {
 func BenchmarkFig9EventRateCCDF(b *testing.B) {
 	var points int
 	for i := 0; i < b.N; i++ {
-		ta, err := experiments.RunTraceAnalysis(benchScale())
+		ta, err := experiments.RunTraceAnalysis(context.Background(), benchScale())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -189,7 +191,7 @@ func BenchmarkFig9EventRateCCDF(b *testing.B) {
 func BenchmarkFig10RateVsFollowers(b *testing.B) {
 	var points int
 	for i := 0; i < b.N; i++ {
-		ta, err := experiments.RunTraceAnalysis(benchScale())
+		ta, err := experiments.RunTraceAnalysis(context.Background(), benchScale())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -202,7 +204,7 @@ func BenchmarkFig10RateVsFollowers(b *testing.B) {
 func BenchmarkFig11SCCCDF(b *testing.B) {
 	var points int
 	for i := 0; i < b.N; i++ {
-		ta, err := experiments.RunTraceAnalysis(benchScale())
+		ta, err := experiments.RunTraceAnalysis(context.Background(), benchScale())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -215,7 +217,7 @@ func BenchmarkFig11SCCCDF(b *testing.B) {
 func BenchmarkFig12SCVsFollowings(b *testing.B) {
 	var points int
 	for i := 0; i < b.N; i++ {
-		ta, err := experiments.RunTraceAnalysis(benchScale())
+		ta, err := experiments.RunTraceAnalysis(context.Background(), benchScale())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -328,6 +330,57 @@ func BenchmarkEndToEndSolve(b *testing.B) {
 	}
 }
 
+// BenchmarkSolve is the pre-redesign entry point: the deprecated
+// package-level Solve under the paper's default config. Together with
+// BenchmarkPlannerSolve it bounds the cost of the v2 API's context
+// plumbing — CI runs the pair as a smoke comparison, and the acceptance
+// bar is ≤ 2% regression of PlannerSolve vs Solve (both run the same
+// engine; the ctx checks amortize to one poll per 8192 loop units).
+func BenchmarkSolve(b *testing.B) {
+	w, err := experiments.Generate(experiments.Twitter, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := experiments.ModelFor(pricing.C3Large, w)
+	cfg := mcss.DefaultConfig(100, model)
+	b.ResetTimer()
+	var res *mcss.Result
+	for i := 0; i < b.N; i++ {
+		res, err = mcss.Solve(w, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(w.NumPairs()), "pairs")
+	b.ReportMetric(float64(res.Allocation.NumVMs()), "vms")
+}
+
+// BenchmarkPlannerSolve is the identical solve through the context-aware
+// Planner path (NewPlanner + Solve(ctx, w)); compare against
+// BenchmarkSolve to measure the ctx/observer plumbing overhead.
+func BenchmarkPlannerSolve(b *testing.B) {
+	w, err := experiments.Generate(experiments.Twitter, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := experiments.ModelFor(pricing.C3Large, w)
+	p, err := mcss.NewPlanner(mcss.WithTau(100), mcss.WithModel(model))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	var res *mcss.Result
+	for i := 0; i < b.N; i++ {
+		res, err = p.Solve(ctx, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(w.NumPairs()), "pairs")
+	b.ReportMetric(float64(res.Allocation.NumVMs()), "vms")
+}
+
 // BenchmarkSimulate measures the discrete-event simulator's throughput.
 func BenchmarkSimulate(b *testing.B) {
 	w, err := tracegen.Random(tracegen.RandomConfig{
@@ -429,7 +482,7 @@ func BenchmarkDiurnalController(b *testing.B) {
 	scale := benchScale()
 	var last *experiments.DiurnalResult
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunDiurnal(experiments.Twitter, scale)
+		res, err := experiments.RunDiurnal(context.Background(), experiments.Twitter, scale)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,8 @@ import (
 	"strings"
 	"time"
 
+	"github.com/pubsub-systems/mcss/internal/cli"
+	"github.com/pubsub-systems/mcss/internal/core"
 	"github.com/pubsub-systems/mcss/internal/experiments"
 	"github.com/pubsub-systems/mcss/internal/pricing"
 	"github.com/pubsub-systems/mcss/internal/report"
@@ -25,21 +28,25 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
-	}
+	os.Exit(cli.ExitCode("experiments", run(os.Args[1:]), os.Stderr))
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig    = fs.String("fig", "all", "figure: 2a 2b 3a 3b 4 5 6 7 8 9 10 11 12, all, summary, hetero, diurnal, ablation, or scaling")
-		scale  = fs.Float64("scale", 1.0, "workload scale factor")
-		outdir = fs.String("outdir", "", "write CSV files to this directory")
+		fig      = fs.String("fig", "all", "figure: 2a 2b 3a 3b 4 5 6 7 8 9 10 11 12, all, summary, hetero, diurnal, ablation, or scaling")
+		scale    = fs.Float64("scale", 1.0, "workload scale factor")
+		outdir   = fs.String("outdir", "", "write CSV files to this directory")
+		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+		progress = fs.Bool("progress", false, "stream per-stage solver progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+	if *progress {
+		ctx = core.ContextWithObserver(ctx, report.NewProgress(os.Stderr))
 	}
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
@@ -53,7 +60,9 @@ func run(args []string) error {
 	}
 	for _, f := range figs {
 		start := time.Now()
-		if err := runFig(strings.TrimSpace(f), *scale, *outdir); err != nil {
+		if err := runFig(ctx, strings.TrimSpace(f), *scale, *outdir); err != nil {
+			// Wrapping preserves the figure prefix while cli.ExitCode's
+			// errors.Is still recognizes a cancellation/deadline inside.
 			return fmt.Errorf("fig %s: %w", f, err)
 		}
 		fmt.Fprintf(os.Stderr, "[fig %s done in %s]\n\n", f, time.Since(start).Round(time.Millisecond))
@@ -61,36 +70,36 @@ func run(args []string) error {
 	return nil
 }
 
-func runFig(fig string, scale float64, outdir string) error {
+func runFig(ctx context.Context, fig string, scale float64, outdir string) error {
 	switch fig {
 	case "2a":
-		return ladder(experiments.Spotify, pricing.C3Large, scale, outdir, "fig2a")
+		return ladder(ctx, experiments.Spotify, pricing.C3Large, scale, outdir, "fig2a")
 	case "2b":
-		return ladder(experiments.Spotify, pricing.C3XLarge, scale, outdir, "fig2b")
+		return ladder(ctx, experiments.Spotify, pricing.C3XLarge, scale, outdir, "fig2b")
 	case "3a":
-		return ladder(experiments.Twitter, pricing.C3Large, scale, outdir, "fig3a")
+		return ladder(ctx, experiments.Twitter, pricing.C3Large, scale, outdir, "fig3a")
 	case "3b":
-		return ladder(experiments.Twitter, pricing.C3XLarge, scale, outdir, "fig3b")
+		return ladder(ctx, experiments.Twitter, pricing.C3XLarge, scale, outdir, "fig3b")
 	case "4":
-		return stage1Runtime(experiments.Spotify, scale, outdir, "fig4")
+		return stage1Runtime(ctx, experiments.Spotify, scale, outdir, "fig4")
 	case "5":
-		return stage1Runtime(experiments.Twitter, scale, outdir, "fig5")
+		return stage1Runtime(ctx, experiments.Twitter, scale, outdir, "fig5")
 	case "6":
-		return stage2Runtime(experiments.Spotify, scale, outdir, "fig6")
+		return stage2Runtime(ctx, experiments.Spotify, scale, outdir, "fig6")
 	case "7":
-		return stage2Runtime(experiments.Twitter, scale, outdir, "fig7")
+		return stage2Runtime(ctx, experiments.Twitter, scale, outdir, "fig7")
 	case "8", "9", "10", "11", "12":
-		return traceAnalysis(fig, scale, outdir)
+		return traceAnalysis(ctx, fig, scale, outdir)
 	case "summary":
-		return summary(scale, outdir)
+		return summary(ctx, scale, outdir)
 	case "hetero":
-		return hetero(scale, outdir)
+		return hetero(ctx, scale, outdir)
 	case "diurnal":
-		return diurnal(scale, outdir)
+		return diurnal(ctx, scale, outdir)
 	case "ablation":
-		return ablation(scale, outdir)
+		return ablation(ctx, scale, outdir)
 	case "scaling":
-		return scaling(outdir)
+		return scaling(ctx, outdir)
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
 	}
@@ -108,8 +117,8 @@ func writeCSV(t *report.Table, outdir, name string) error {
 	return t.WriteCSV(f)
 }
 
-func ladder(d experiments.Dataset, inst pricing.InstanceType, scale float64, outdir, name string) error {
-	res, err := experiments.RunLadder(d, inst, scale)
+func ladder(ctx context.Context, d experiments.Dataset, inst pricing.InstanceType, scale float64, outdir, name string) error {
+	res, err := experiments.RunLadder(ctx, d, inst, scale)
 	if err != nil {
 		return err
 	}
@@ -124,8 +133,8 @@ func ladder(d experiments.Dataset, inst pricing.InstanceType, scale float64, out
 	return writeCSV(t, outdir, name)
 }
 
-func stage1Runtime(d experiments.Dataset, scale float64, outdir, name string) error {
-	rows, err := experiments.RunStage1Runtime(d, scale)
+func stage1Runtime(ctx context.Context, d experiments.Dataset, scale float64, outdir, name string) error {
+	rows, err := experiments.RunStage1Runtime(ctx, d, scale)
 	if err != nil {
 		return err
 	}
@@ -145,8 +154,8 @@ func stage1Runtime(d experiments.Dataset, scale float64, outdir, name string) er
 	return writeCSV(t, outdir, name)
 }
 
-func stage2Runtime(d experiments.Dataset, scale float64, outdir, name string) error {
-	rows, err := experiments.RunStage2Runtime(d, pricing.C3Large, scale)
+func stage2Runtime(ctx context.Context, d experiments.Dataset, scale float64, outdir, name string) error {
+	rows, err := experiments.RunStage2Runtime(ctx, d, pricing.C3Large, scale)
 	if err != nil {
 		return err
 	}
@@ -166,8 +175,8 @@ func stage2Runtime(d experiments.Dataset, scale float64, outdir, name string) er
 	return writeCSV(t, outdir, name)
 }
 
-func traceAnalysis(fig string, scale float64, outdir string) error {
-	ta, err := experiments.RunTraceAnalysis(scale)
+func traceAnalysis(ctx context.Context, fig string, scale float64, outdir string) error {
+	ta, err := experiments.RunTraceAnalysis(ctx, scale)
 	if err != nil {
 		return err
 	}
@@ -225,8 +234,8 @@ func decimate(pts []stats.Point, max int) []stats.Point {
 	return out
 }
 
-func ablation(scale float64, outdir string) error {
-	rows, err := experiments.RunStage2Ablation(experiments.Twitter, pricing.C3Large, 100, scale)
+func ablation(ctx context.Context, scale float64, outdir string) error {
+	rows, err := experiments.RunStage2Ablation(ctx, experiments.Twitter, pricing.C3Large, 100, scale)
 	if err != nil {
 		return err
 	}
@@ -237,8 +246,8 @@ func ablation(scale float64, outdir string) error {
 	return writeCSV(t, outdir, "ablation")
 }
 
-func scaling(outdir string) error {
-	rows, err := experiments.RunScaling(experiments.Twitter, 100, nil)
+func scaling(ctx context.Context, outdir string) error {
+	rows, err := experiments.RunScaling(ctx, experiments.Twitter, 100, nil)
 	if err != nil {
 		return err
 	}
@@ -249,9 +258,9 @@ func scaling(outdir string) error {
 	return writeCSV(t, outdir, "scaling")
 }
 
-func hetero(scale float64, outdir string) error {
+func hetero(ctx context.Context, scale float64, outdir string) error {
 	for _, d := range []experiments.Dataset{experiments.Spotify, experiments.Twitter} {
-		res, err := experiments.RunHetero(d, scale)
+		res, err := experiments.RunHetero(ctx, d, scale)
 		if err != nil {
 			return err
 		}
@@ -276,8 +285,8 @@ func hetero(scale float64, outdir string) error {
 	return nil
 }
 
-func diurnal(scale float64, outdir string) error {
-	res, err := experiments.RunDiurnal(experiments.Twitter, scale)
+func diurnal(ctx context.Context, scale float64, outdir string) error {
+	res, err := experiments.RunDiurnal(ctx, experiments.Twitter, scale)
 	if err != nil {
 		return err
 	}
@@ -297,8 +306,8 @@ func diurnal(scale float64, outdir string) error {
 	return writeCSV(st, outdir, "diurnal-summary")
 }
 
-func summary(scale float64, outdir string) error {
-	s, err := experiments.RunSummary(scale)
+func summary(ctx context.Context, scale float64, outdir string) error {
+	s, err := experiments.RunSummary(ctx, scale)
 	if err != nil {
 		return err
 	}

@@ -20,16 +20,14 @@ import (
 	"strings"
 
 	mcss "github.com/pubsub-systems/mcss"
+	"github.com/pubsub-systems/mcss/internal/cli"
 	"github.com/pubsub-systems/mcss/internal/experiments"
 	"github.com/pubsub-systems/mcss/internal/pricing"
 	"github.com/pubsub-systems/mcss/internal/report"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "mcss:", err)
-		os.Exit(1)
-	}
+	os.Exit(cli.ExitCode("mcss", run(os.Args[1:]), os.Stderr))
 }
 
 func run(args []string) error {
@@ -46,8 +44,11 @@ func run(args []string) error {
 		stage1    = fs.String("stage1", "gsp", "stage 1 algorithm: gsp or rsp")
 		stage2    = fs.String("stage2", "cbp", "stage 2 algorithm: cbp or ffbp")
 		opts      = fs.String("opts", "all", "CBP optimizations: all, none, or comma list of expensive,mostfree,cost")
+		strategy  = fs.String("strategy", "", "full-solve strategy replacing both stages (e.g. exact)")
 		verify    = fs.Bool("verify", false, "verify the allocation postconditions")
 		showVMs   = fs.Int("show-vms", 0, "print the first N VM placements")
+		timeout   = fs.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
+		progress  = fs.Bool("progress", false, "stream per-stage solver progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,48 +80,49 @@ func run(args []string) error {
 		fleet = fleet.WithBytesPerMbps(model.CapacityBytesPerHour() / it.LinkMbps)
 	}
 
-	cfg := mcss.SolverConfig{
-		Tau:          *tau,
-		MessageBytes: *msgBytes,
-		Model:        model,
-		Fleet:        fleet,
-	}
-	switch strings.ToLower(*stage1) {
-	case "gsp":
-		cfg.Stage1 = mcss.Stage1Greedy
-	case "rsp":
-		cfg.Stage1 = mcss.Stage1Random
-	default:
-		return fmt.Errorf("unknown stage1 %q (want gsp or rsp)", *stage1)
-	}
-	switch strings.ToLower(*stage2) {
-	case "cbp":
-		cfg.Stage2 = mcss.Stage2Custom
-	case "ffbp":
-		cfg.Stage2 = mcss.Stage2First
-	default:
-		return fmt.Errorf("unknown stage2 %q (want cbp or ffbp)", *stage2)
-	}
-	cfg.Opts, err = parseOpts(*opts)
+	optFlags, err := parseOpts(*opts)
 	if err != nil {
 		return err
 	}
+	popts := []mcss.Option{
+		mcss.WithTau(*tau),
+		mcss.WithModel(model),
+		mcss.WithMessageBytes(*msgBytes),
+		mcss.WithStage1(strings.ToLower(*stage1)),
+		mcss.WithStage2(strings.ToLower(*stage2)),
+		mcss.WithOptFlags(optFlags),
+	}
+	if !fleet.IsZero() {
+		popts = append(popts, mcss.WithFleet(fleet))
+	}
+	if *strategy != "" {
+		popts = append(popts, mcss.WithStrategy(*strategy))
+	}
+	if *progress {
+		popts = append(popts, mcss.WithObserver(report.NewProgress(os.Stderr)))
+	}
+	p, err := mcss.NewPlanner(popts...)
+	if err != nil {
+		return err
+	}
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	fmt.Printf("workload: %d topics, %d subscribers, %d pairs\n",
 		w.NumTopics(), w.NumSubscribers(), w.NumPairs())
 	if fleet.IsZero() {
-		fmt.Printf("config: τ=%d, %s (BC=%d bytes/h), stage1=%v stage2=%v opts=%v\n",
-			cfg.Tau, it.Name, model.CapacityBytesPerHour(), cfg.Stage1, cfg.Stage2, cfg.Opts)
+		fmt.Printf("config: τ=%d, %s (BC=%d bytes/h), stage1=%s stage2=%s opts=%v\n",
+			*tau, it.Name, model.CapacityBytesPerHour(), *stage1, *stage2, optFlags)
 	} else {
-		fmt.Printf("config: τ=%d, fleet %v, stage1=%v stage2=%v opts=%v\n",
-			cfg.Tau, fleet, cfg.Stage1, cfg.Stage2, cfg.Opts)
+		fmt.Printf("config: τ=%d, fleet %v, stage1=%s stage2=%s opts=%v\n",
+			*tau, fleet, *stage1, *stage2, optFlags)
 	}
 
-	res, err := mcss.Solve(w, cfg)
+	res, err := p.Solve(ctx, w)
 	if err != nil {
 		return err
 	}
-	lb, err := mcss.LowerBound(w, cfg)
+	lb, err := p.LowerBound(ctx, w)
 	if err != nil {
 		return err
 	}
@@ -144,7 +146,7 @@ func run(args []string) error {
 	}
 
 	if *verify {
-		if err := mcss.Verify(w, res.Selection, res.Allocation, cfg); err != nil {
+		if err := p.Verify(w, res.Selection, res.Allocation); err != nil {
 			return fmt.Errorf("verification FAILED: %w", err)
 		}
 		fmt.Println("verification: OK (satisfaction, capacity, accounting)")

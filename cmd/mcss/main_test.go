@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"path/filepath"
 	"testing"
 
@@ -68,10 +70,32 @@ func TestLoadWorkloadDispatch(t *testing.T) {
 func TestRunEndToEnd(t *testing.T) {
 	err := run([]string{
 		"-dataset", "twitter", "-scale", "0.01", "-tau", "50",
-		"-stage1", "gsp", "-stage2", "cbp", "-opts", "all", "-verify",
+		"-stage1", "gsp", "-stage2", "cbp", "-opts", "all", "-verify", "-progress",
 	})
 	if err != nil {
 		t.Fatalf("run: %v", err)
+	}
+}
+
+// An already-expired -timeout aborts the solve with DeadlineExceeded, the
+// signal main maps to a clean partial-report exit.
+func TestRunTimeoutAborts(t *testing.T) {
+	err := run([]string{"-dataset", "twitter", "-scale", "0.01", "-tau", "50", "-timeout", "1ns"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// The -strategy flag dispatches the full-solve strategy registry: the
+// registered "exact" solver runs (and verifies) on a tiny instance, and
+// an unknown name is rejected up front.
+func TestRunExactStrategyFlag(t *testing.T) {
+	err := run([]string{"-dataset", "twitter", "-scale", "0.0001", "-tau", "5", "-strategy", "exact", "-verify"})
+	if err != nil {
+		t.Errorf("-strategy exact: %v", err)
+	}
+	if err := run([]string{"-dataset", "twitter", "-scale", "0.01", "-tau", "50", "-strategy", "bogus"}); err == nil {
+		t.Error("unknown -strategy accepted")
 	}
 }
 

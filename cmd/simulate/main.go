@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,16 +26,15 @@ import (
 	"time"
 
 	mcss "github.com/pubsub-systems/mcss"
+	"github.com/pubsub-systems/mcss/internal/cli"
 	"github.com/pubsub-systems/mcss/internal/experiments"
 	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/report"
 	"github.com/pubsub-systems/mcss/internal/satisfy"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "simulate:", err)
-		os.Exit(1)
-	}
+	os.Exit(cli.ExitCode("simulate", run(os.Args[1:]), os.Stderr))
 }
 
 func run(args []string) error {
@@ -57,13 +57,21 @@ func run(args []string) error {
 		epochs       = fs.Int("epochs", 24, "diurnal timeline epochs")
 		epochMinutes = fs.Int64("epoch-minutes", 60, "diurnal epoch duration")
 		satisfyFrac  = fs.Float64("satisfy-frac", 0.5, "fraction of τ_v·hours each subscriber must receive in replay")
+
+		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+		progress = fs.Bool("progress", false, "stream per-stage solver progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+	if *progress {
+		ctx = mcss.ContextWithObserver(ctx, report.NewProgress(os.Stderr))
+	}
 
 	if *timelinePath != "" || *diurnal {
-		return runTimeline(timelineArgs{
+		return runTimeline(ctx, timelineArgs{
 			path: *timelinePath, dataset: *dataset, scale: *scale,
 			tau: *tau, epochs: *epochs, epochMinutes: *epochMinutes,
 			maxEvents: *maxEvents, satisfyFrac: *satisfyFrac,
@@ -75,9 +83,13 @@ func run(args []string) error {
 		return err
 	}
 	model := experiments.ModelFor(pricing.C3Large, w)
-	cfg := mcss.DefaultConfig(*tau, model)
+	p, err := mcss.NewPlanner(mcss.WithTau(*tau), mcss.WithModel(model))
+	if err != nil {
+		return err
+	}
+	cfg := p.Config()
 
-	prov, err := mcss.NewProvisioner(w, cfg)
+	prov, err := p.Provision(ctx, w)
 	if err != nil {
 		return err
 	}
@@ -159,7 +171,7 @@ type timelineArgs struct {
 // runTimeline drives the elastic controller over a timeline and replays
 // every epoch's allocation through the simulator, failing if any epoch
 // falls short of its satisfaction thresholds.
-func runTimeline(a timelineArgs) error {
+func runTimeline(ctx context.Context, a timelineArgs) error {
 	var (
 		tl  *mcss.Timeline
 		err error
@@ -192,9 +204,17 @@ func runTimeline(a timelineArgs) error {
 	}
 	// The same envelope-calibrated fleet the diurnal experiment sizes
 	// against, so replay verifies what -fig diurnal reports.
-	cfg := mcss.DefaultFleetConfig(a.tau, mcss.NewModel(mcss.C3Large), experiments.FleetFor(env))
+	p, err := mcss.NewPlanner(
+		mcss.WithTau(a.tau),
+		mcss.WithModel(mcss.NewModel(mcss.C3Large)),
+		mcss.WithFleet(experiments.FleetFor(env)),
+	)
+	if err != nil {
+		return err
+	}
+	cfg := p.Config()
 
-	rep, err := mcss.NewElasticController(cfg, mcss.DefaultElasticPolicy()).Run(tl)
+	rep, err := p.RunTimeline(ctx, tl, mcss.DefaultElasticPolicy())
 	if err != nil {
 		return err
 	}

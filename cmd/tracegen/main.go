@@ -20,14 +20,12 @@ import (
 	"strings"
 
 	mcss "github.com/pubsub-systems/mcss"
+	"github.com/pubsub-systems/mcss/internal/cli"
 	"github.com/pubsub-systems/mcss/internal/workload"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
-	}
+	os.Exit(cli.ExitCode("tracegen", run(os.Args[1:]), os.Stderr))
 }
 
 func run(args []string) error {
@@ -47,6 +45,9 @@ func run(args []string) error {
 		flashEpoch   = fs.Int("flash-epoch", -1, "epoch of a flash crowd (-1 = none)")
 		flashTopics  = fs.Int("flash-topics", 3, "hottest topics the flash crowd hits")
 		flashFactor  = fs.Float64("flash-factor", 3, "flash crowd rate multiplier")
+
+		timeout  = fs.Duration("timeout", 0, "abort generation after this duration (0 = none)")
+		progress = fs.Bool("progress", false, "report generation phases to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,6 +55,14 @@ func run(args []string) error {
 	if *out == "" {
 		return fmt.Errorf("need -out")
 	}
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+	note := func(format string, args ...any) {
+		if *progress {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	note("[generate] dataset=%s scale=%g", *dataset, *scale)
 
 	var (
 		w   *mcss.Workload
@@ -82,9 +91,13 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := w.Validate(); err != nil {
 		return fmt.Errorf("generated workload invalid: %w", err)
 	}
+	note("[generate] %d topics / %d subscribers", w.NumTopics(), w.NumSubscribers())
 	if *epochs > 0 {
 		cfg := mcss.DefaultDiurnalTrace()
 		cfg.Epochs = *epochs
@@ -101,6 +114,10 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		note("[modulate] %d epochs × %d min", tl.NumEpochs(), tl.EpochMinutes)
 		if err := mcss.SaveTimeline(tl, *out); err != nil {
 			return err
 		}

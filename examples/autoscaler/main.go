@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,13 +54,22 @@ func main() {
 		log.Fatal(err)
 	}
 	fleet = fleet.WithBytesPerMbps(largeCap / mcss.C3Large.LinkMbps)
-	cfg := mcss.DefaultFleetConfig(tau, mcss.NewModel(mcss.C3Large), fleet)
-
-	oracle, err := mcss.NewElasticController(cfg, mcss.OracleElasticPolicy()).Run(tl)
+	p, err := mcss.NewPlanner(
+		mcss.WithTau(tau),
+		mcss.WithModel(mcss.NewModel(mcss.C3Large)),
+		mcss.WithFleet(fleet),
+		mcss.WithMessageBytes(msgBytes),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	hysteresis, err := mcss.NewElasticController(cfg, mcss.DefaultElasticPolicy()).Run(tl)
+
+	ctx := context.Background()
+	oracle, err := p.RunTimeline(ctx, tl, mcss.OracleElasticPolicy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	hysteresis, err := p.RunTimeline(ctx, tl, mcss.DefaultElasticPolicy())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -40,10 +41,15 @@ func main() {
 		cost mcss.MicroUSD
 	}
 	var best *row
+	ctx := context.Background()
 	for _, it := range mcss.InstanceCatalog() {
 		model := mcss.NewModel(it)
 		model.CapacityOverrideBytesPerHour = perMbps * it.LinkMbps
-		res, err := mcss.Solve(w, mcss.DefaultConfig(tau, model))
+		p, err := mcss.NewPlanner(mcss.WithTau(tau), mcss.WithModel(model))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := p.Solve(ctx, w)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -64,7 +70,12 @@ func main() {
 	// Now hand the whole catalog to the solver as one heterogeneous fleet
 	// and let it mix sizes per deployment.
 	fleet := mcss.CatalogFleet().WithBytesPerMbps(perMbps)
-	res, err := mcss.Solve(w, mcss.DefaultFleetConfig(tau, baseModel, fleet))
+	mixedPlanner, err := mcss.NewPlanner(
+		mcss.WithTau(tau), mcss.WithModel(baseModel), mcss.WithFleet(fleet))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mixedPlanner.Solve(ctx, w)
 	if err != nil {
 		log.Fatal(err)
 	}

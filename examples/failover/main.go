@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,9 +21,13 @@ func main() {
 
 	model := mcss.NewModel(mcss.C3Large)
 	model.CapacityOverrideBytesPerHour = 2_000_000
-	cfg := mcss.DefaultConfig(50, model)
+	p, err := mcss.NewPlanner(mcss.WithTau(50), mcss.WithModel(model))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := p.Config()
 
-	prov, err := mcss.NewProvisioner(w, cfg)
+	prov, err := p.Provision(context.Background(), w)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -23,8 +24,12 @@ func main() {
 
 	model := mcss.NewModel(mcss.C3Large)
 	model.CapacityOverrideBytesPerHour = 600_000
-	cfg := mcss.DefaultConfig(60, model)
-	res, err := mcss.Solve(w, cfg)
+	p, err := mcss.NewPlanner(mcss.WithTau(60), mcss.WithModel(model))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := p.Config()
+	res, err := p.Solve(context.Background(), w)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,9 +42,15 @@ func main() {
 
 	// τ = 40: each subscriber is satisfied by 40 notifications per hour.
 	// Followers of the quieter "miles" feed (40 ev/h) are satisfied by it
-	// alone, so GSP drops their expensive "taylor" pairs entirely.
-	cfg := mcss.DefaultConfig(40, model)
-	res, err := mcss.Solve(w, cfg)
+	// alone, so GSP drops their expensive "taylor" pairs entirely. The
+	// Planner is the context-aware entry point: the context could carry a
+	// deadline or be cancelled mid-solve.
+	ctx := context.Background()
+	p, err := mcss.NewPlanner(mcss.WithTau(40), mcss.WithModel(model))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Solve(ctx, w)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +61,7 @@ func main() {
 		res.Allocation.NumVMs(), res.Allocation.TotalBytesPerHour())
 	fmt.Printf("cost for the 240h rental: %v\n", res.Cost(model))
 
-	lb, err := mcss.LowerBound(w, cfg)
+	lb, err := p.LowerBound(ctx, w)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +73,7 @@ func main() {
 	}
 
 	// Check the postconditions — satisfaction, capacity, accounting.
-	if err := mcss.Verify(w, res.Selection, res.Allocation, cfg); err != nil {
+	if err := p.Verify(w, res.Selection, res.Allocation); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("verified: every subscriber satisfied within VM capacities")

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -60,7 +61,11 @@ func main() {
 
 	model := mcss.NewModel(mcss.C3Large)
 	model.CapacityOverrideBytesPerHour = need / 20 // a 20-VM-class fleet
-	res, err := mcss.Solve(w, mcss.DefaultConfig(tau, model))
+	p, err := mcss.NewPlanner(mcss.WithTau(tau), mcss.WithModel(model))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Solve(context.Background(), w)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -28,21 +29,35 @@ func main() {
 	model := experiments.ModelFor(pricing.C3Large, w)
 	const tau = 100
 
+	// The ladder's stage algorithms are named, pluggable strategies: the
+	// same registry a third party extends with RegisterStrategy.
 	rungs := []struct {
-		name string
-		cfg  mcss.SolverConfig
+		name           string
+		stage1, stage2 string
+		opts           mcss.OptFlags
 	}{
-		{"naive RSP+FFBP", mcss.SolverConfig{Tau: tau, Model: model, Stage1: mcss.Stage1Random, Stage2: mcss.Stage2First}},
-		{"GSP+FFBP", mcss.SolverConfig{Tau: tau, Model: model, Stage1: mcss.Stage1Greedy, Stage2: mcss.Stage2First}},
-		{"GSP+CBP (group)", mcss.SolverConfig{Tau: tau, Model: model, Stage1: mcss.Stage1Greedy, Stage2: mcss.Stage2Custom}},
-		{"GSP+CBP (all opts)", mcss.DefaultConfig(tau, model)},
+		{"naive RSP+FFBP", "rsp", "ffbp", 0},
+		{"GSP+FFBP", "gsp", "ffbp", 0},
+		{"GSP+CBP (group)", "gsp", "cbp", 0},
+		{"GSP+CBP (all opts)", "gsp", "cbp", mcss.OptAll},
 	}
 
+	ctx := context.Background()
 	t := report.NewTable(fmt.Sprintf("Optimization ladder, τ=%d, c3.large-class capacity", tau),
 		"config", "cost", "VMs", "bytes/h", "stage1", "stage2")
 	var naive, best float64
+	var last *mcss.Planner
 	for i, rung := range rungs {
-		res, err := mcss.Solve(w, rung.cfg)
+		p, err := mcss.NewPlanner(
+			mcss.WithTau(tau), mcss.WithModel(model),
+			mcss.WithStage1(rung.stage1), mcss.WithStage2(rung.stage2),
+			mcss.WithOptFlags(rung.opts),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		last = p
+		res, err := p.Solve(ctx, w)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -55,7 +70,7 @@ func main() {
 			res.Allocation.TotalBytesPerHour(),
 			res.Stage1Time.Round(1000).String(), res.Stage2Time.Round(1000).String())
 	}
-	lb, err := mcss.LowerBound(w, rungs[3].cfg)
+	lb, err := last.LowerBound(ctx, w)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -43,14 +44,23 @@ func main() {
 	model := experiments.ModelFor(pricing.C3Large, w)
 	t := report.NewTable("Savings vs satisfaction threshold (c3.large-class capacity)",
 		"tau", "naive cost", "optimized cost", "saving", "VMs naive", "VMs opt")
+	ctx := context.Background()
 	for _, tau := range []int64{10, 50, 100, 500, 1000} {
-		naiveCfg := mcss.SolverConfig{Tau: tau, Model: model,
-			Stage1: mcss.Stage1Random, Stage2: mcss.Stage2First}
-		naive, err := mcss.Solve(w, naiveCfg)
+		naiveP, err := mcss.NewPlanner(
+			mcss.WithTau(tau), mcss.WithModel(model),
+			mcss.WithStage1("rsp"), mcss.WithStage2("ffbp"), mcss.WithOptFlags(0))
 		if err != nil {
 			log.Fatal(err)
 		}
-		opt, err := mcss.Solve(w, mcss.DefaultConfig(tau, model))
+		naive, err := naiveP.Solve(ctx, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		optP, err := mcss.NewPlanner(mcss.WithTau(tau), mcss.WithModel(model))
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt, err := optP.Solve(ctx, w)
 		if err != nil {
 			log.Fatal(err)
 		}

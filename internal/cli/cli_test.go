@@ -1,0 +1,58 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExitCodeMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		code int
+		want string // substring of the message, "" = no output
+	}{
+		{"success", nil, 0, ""},
+		{"interrupted", context.Canceled, 130, "partial report"},
+		{"wrapped interrupt", errors.Join(errors.New("epoch 3"), context.Canceled), 130, "partial report"},
+		{"timeout", context.DeadlineExceeded, 124, "-timeout reached"},
+		{"plain error", errors.New("boom"), 1, "boom"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			code := ExitCode("demo", tc.err, &sb)
+			if code != tc.code {
+				t.Errorf("code = %d, want %d", code, tc.code)
+			}
+			if tc.want == "" && sb.Len() != 0 {
+				t.Errorf("unexpected output %q", sb.String())
+			}
+			if tc.want != "" && !strings.Contains(sb.String(), tc.want) {
+				t.Errorf("output %q misses %q", sb.String(), tc.want)
+			}
+		})
+	}
+}
+
+func TestContextTimeout(t *testing.T) {
+	ctx, stop := Context(time.Nanosecond)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("1ns -timeout context did not expire within 1s")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Errorf("ctx.Err() = %v, want DeadlineExceeded", ctx.Err())
+	}
+
+	ctx2, stop2 := Context(0)
+	defer stop2()
+	if ctx2.Err() != nil {
+		t.Errorf("no-timeout context already done: %v", ctx2.Err())
+	}
+}

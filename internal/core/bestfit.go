@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"sort"
+	"time"
 
 	"github.com/pubsub-systems/mcss/internal/workload"
 )
@@ -17,9 +19,19 @@ import (
 // Like FFBP it works at pair granularity and therefore still splits topics
 // across VMs and pays duplicated incoming streams.
 func BFDBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
+	return BFDBinPackingContext(context.Background(), sel, cfg)
+}
+
+// BFDBinPackingContext is BFDBinPacking with context cancellation and
+// Config.Observer progress callbacks — the Pack implementation of the
+// registered "bfd" strategy.
+func BFDBinPackingContext(ctx context.Context, sel *Selection, cfg Config) (*Allocation, error) {
+	cfg.Observer = ResolveObserver(ctx, cfg)
+	start := time.Now()
 	fleet := cfg.EffectiveFleet()
 	maxCap := fleet.MaxCapacity()
 	msg := cfg.MessageBytes
+	tk := newTicker(ctx, cfg.Observer, StagePack, sel.NumPairs())
 
 	type item struct {
 		pair workload.Pair
@@ -52,6 +64,9 @@ func BFDBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
 	var vms []*vmState
 	one := make([]workload.SubID, 1)
 	for _, it := range items {
+		if err := tk.tick(1); err != nil {
+			return nil, err
+		}
 		var best *vmState
 		var bestFree int64
 		for _, b := range vms {
@@ -68,5 +83,6 @@ func BFDBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
 		one[0] = it.pair.Sub
 		best.place(it.pair.Topic, it.rb, one)
 	}
+	tk.finish(time.Since(start))
 	return finishAllocation(vms, fleet, cfg), nil
 }

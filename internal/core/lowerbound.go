@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"math/bits"
+	"time"
 
 	"github.com/pubsub-systems/mcss/internal/pricing"
 	"github.com/pubsub-systems/mcss/internal/workload"
@@ -45,12 +47,27 @@ func mulDivFloor(a, b, c int64) int64 {
 // it stays valid for mixed-instance allocations. The bound ignores incoming
 // bandwidth and packing fragmentation, so it is not necessarily tight.
 func LowerBound(w *workload.Workload, cfg Config) (Bound, error) {
+	return LowerBoundContext(context.Background(), w, cfg)
+}
+
+// LowerBoundContext is LowerBound with context cancellation (checked every
+// checkInterval subscribers) and Config.Observer progress callbacks.
+func LowerBoundContext(ctx context.Context, w *workload.Workload, cfg Config) (Bound, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
 		return Bound{}, err
 	}
+	if err := ctx.Err(); err != nil {
+		return Bound{}, err
+	}
+	cfg.Observer = ResolveObserver(ctx, cfg)
+	start := time.Now()
+	tk := newTicker(ctx, cfg.Observer, StageLowerBound, int64(w.NumSubscribers()))
 	var events int64
 	for v := 0; v < w.NumSubscribers(); v++ {
+		if err := tk.tick(1); err != nil {
+			return Bound{}, err
+		}
 		tauV := w.TauV(workload.SubID(v), cfg.Tau)
 		if m := w.MinRate(workload.SubID(v)); m > tauV {
 			tauV = m
@@ -77,6 +94,7 @@ func LowerBound(w *workload.Workload, cfg Config) (Bound, error) {
 	if fracRental > rental {
 		rental = fracRental
 	}
+	tk.finish(time.Since(start))
 	return Bound{
 		OutBytesPerHour: bytesPerHour,
 		VMs:             vms,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -9,18 +10,40 @@ import (
 
 // Solve runs the two-stage MCSS heuristic on the workload under the given
 // configuration and returns the selection, the allocation, and per-stage
-// wall times.
+// wall times. It is SolveContext under context.Background(); long-running
+// callers (services, controllers, CLIs) should prefer SolveContext.
 func Solve(w *workload.Workload, cfg Config) (*Result, error) {
+	return SolveContext(context.Background(), w, cfg)
+}
+
+// SolveContext runs the MCSS solve under a context: cancellation (or
+// deadline expiry) is polled at bounded intervals inside every stage's hot
+// loop — the solve returns ctx.Err() promptly without finishing — and
+// Config.Observer receives per-stage progress callbacks. A non-zero
+// Config.SolveStrategy replaces the whole two-stage pipeline; otherwise
+// Stage 1 and Stage 2 dispatch through their strategy overrides or the
+// configured enum algorithms.
+func SolveContext(ctx context.Context, w *workload.Workload, cfg Config) (*Result, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg.Observer = ResolveObserver(ctx, cfg)
+	if cfg.SolveStrategy.Solve != nil {
+		return cfg.SolveStrategy.Solve(ctx, w, cfg)
+	}
 	start := time.Now()
-	sel := runStage1(w, cfg)
+	sel, err := runStage1(ctx, w, cfg)
+	if err != nil {
+		return nil, err
+	}
 	t1 := time.Since(start)
 
 	start = time.Now()
-	alloc, err := runStage2(sel, cfg)
+	alloc, err := runStage2(ctx, sel, cfg)
 	if err != nil {
 		return nil, err
 	}

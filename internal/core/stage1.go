@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"sort"
+	"time"
 
 	"github.com/pubsub-systems/mcss/internal/workload"
 )
@@ -149,13 +152,34 @@ func (s *Selection) FirstUnsatisfied(tau int64) workload.SubID {
 // finishes. greedyReference in tests implements Alg. 2 literally and is
 // property-checked to select pairs of identical total bandwidth.
 func GreedySelectPairs(w *workload.Workload, tau int64) *Selection {
-	subOff, subTopics := greedySelectRange(w, 0, w.NumSubscribers(), tau)
-	return &Selection{w: w, subOff: subOff, subTopics: subTopics}
+	sel, _ := GreedySelectPairsContext(context.Background(), w, Config{Tau: tau})
+	return sel
+}
+
+// GreedySelectPairsContext is GreedySelectPairs with context cancellation
+// (checked every checkInterval subscribers), Config.Observer progress
+// callbacks, and Config.Parallelism-controlled sharding. It is the
+// SelectPairs implementation of the registered "gsp" strategy.
+func GreedySelectPairsContext(ctx context.Context, w *workload.Workload, cfg Config) (*Selection, error) {
+	cfg.Observer = ResolveObserver(ctx, cfg)
+	if workers := stage1Workers(cfg.Parallelism, w.NumSubscribers()); workers > 1 {
+		return greedySelectParallel(ctx, w, cfg.Tau, workers, cfg.Observer)
+	}
+	start := time.Now()
+	tk := newTicker(ctx, cfg.Observer, StageSelect, int64(w.NumSubscribers()))
+	subOff, subTopics, err := greedySelectRange(w, 0, w.NumSubscribers(), cfg.Tau, tk)
+	if err != nil {
+		return nil, err
+	}
+	tk.finish(time.Since(start))
+	return &Selection{w: w, subOff: subOff, subTopics: subTopics}, nil
 }
 
 // greedySelectRange runs GSP over subscribers [lo, hi) and returns the
-// CSR fragment (offsets relative to the fragment start).
-func greedySelectRange(w *workload.Workload, lo, hi int, tau int64) ([]int64, []workload.TopicID) {
+// CSR fragment (offsets relative to the fragment start). tk polls
+// cancellation once per checkInterval subscribers; it may be a ticker with
+// a nil observer (the parallel workers' setting).
+func greedySelectRange(w *workload.Workload, lo, hi int, tau int64, tk *ticker) ([]int64, []workload.TopicID, error) {
 	subOff := make([]int64, 1, hi-lo+1)
 	var expect int64
 	if w.NumSubscribers() > 0 {
@@ -166,6 +190,9 @@ func greedySelectRange(w *workload.Workload, lo, hi int, tau int64) ([]int64, []
 	// Scratch reused across subscribers: topics sorted by rate descending.
 	var scratch []rateTopic
 	for v := lo; v < hi; v++ {
+		if err := tk.tick(1); err != nil {
+			return nil, nil, err
+		}
 		ts := w.Topics(workload.SubID(v))
 		scratch = scratch[:0]
 		var demand int64
@@ -217,7 +244,7 @@ func greedySelectRange(w *workload.Workload, lo, hi int, tau int64) ([]int64, []
 		sortTopicIDs(subTopics[start:])
 		subOff = append(subOff, int64(len(subTopics)))
 	}
-	return subOff, subTopics
+	return subOff, subTopics, nil
 }
 
 type rateTopic struct {
@@ -233,11 +260,25 @@ func sortTopicIDs(s []workload.TopicID) {
 // each subscriber, pairs are taken in input (adjacency) order until τ_v is
 // met, with no regard for bandwidth cost.
 func RandomSelectPairs(w *workload.Workload, tau int64) *Selection {
+	sel, _ := RandomSelectPairsContext(context.Background(), w, Config{Tau: tau})
+	return sel
+}
+
+// RandomSelectPairsContext is RandomSelectPairs with context cancellation
+// and Config.Observer progress callbacks — the SelectPairs implementation
+// of the registered "rsp" strategy.
+func RandomSelectPairsContext(ctx context.Context, w *workload.Workload, cfg Config) (*Selection, error) {
+	cfg.Observer = ResolveObserver(ctx, cfg)
+	start := time.Now()
 	n := w.NumSubscribers()
+	tk := newTicker(ctx, cfg.Observer, StageSelect, int64(n))
 	subOff := make([]int64, 1, n+1)
 	subTopics := make([]workload.TopicID, 0, w.NumPairs()/2+1)
 	for v := 0; v < n; v++ {
-		tauV := w.TauV(workload.SubID(v), tau)
+		if err := tk.tick(1); err != nil {
+			return nil, err
+		}
+		tauV := w.TauV(workload.SubID(v), cfg.Tau)
 		var got int64
 		for _, t := range w.Topics(workload.SubID(v)) {
 			if got >= tauV {
@@ -248,7 +289,43 @@ func RandomSelectPairs(w *workload.Workload, tau int64) *Selection {
 		}
 		subOff = append(subOff, int64(len(subTopics)))
 	}
-	return &Selection{w: w, subOff: subOff, subTopics: subTopics}
+	tk.finish(time.Since(start))
+	return &Selection{w: w, subOff: subOff, subTopics: subTopics}, nil
+}
+
+// SelectionFromPairs builds a Selection from an explicit pair list in any
+// order, de-duplicating repeats. It is how full-solve strategies (like the
+// exact solver) and external tools re-enter the allocation pipeline with a
+// pair set they chose themselves; since that pair set crosses an API
+// boundary, out-of-range topic or subscriber IDs are rejected with an
+// error rather than corrupting the solve downstream.
+func SelectionFromPairs(w *workload.Workload, pairs []workload.Pair) (*Selection, error) {
+	n := w.NumSubscribers()
+	numT := w.NumTopics()
+	perSub := make([][]workload.TopicID, n)
+	for i, p := range pairs {
+		if int(p.Sub) < 0 || int(p.Sub) >= n {
+			return nil, fmt.Errorf("core: pair %d references subscriber %d of %d", i, p.Sub, n)
+		}
+		if int(p.Topic) < 0 || int(p.Topic) >= numT {
+			return nil, fmt.Errorf("core: pair %d references topic %d of %d", i, p.Topic, numT)
+		}
+		perSub[p.Sub] = append(perSub[p.Sub], p.Topic)
+	}
+	subOff := make([]int64, 1, n+1)
+	subTopics := make([]workload.TopicID, 0, len(pairs))
+	for v := 0; v < n; v++ {
+		ts := perSub[v]
+		sortTopicIDs(ts)
+		for i, t := range ts {
+			if i > 0 && ts[i-1] == t {
+				continue // de-duplicate
+			}
+			subTopics = append(subTopics, t)
+		}
+		subOff = append(subOff, int64(len(subTopics)))
+	}
+	return &Selection{w: w, subOff: subOff, subTopics: subTopics}, nil
 }
 
 // SelectAllPairs returns the selection containing every pair (the no-τ
@@ -264,12 +341,16 @@ func SelectAllPairs(w *workload.Workload) *Selection {
 	return &Selection{w: w, subOff: subOff, subTopics: subTopics}
 }
 
-// runStage1 dispatches on the configured algorithm.
-func runStage1(w *workload.Workload, cfg Config) *Selection {
+// runStage1 dispatches Stage 1: a pluggable Stage1Strategy when set,
+// otherwise the configured enum algorithm.
+func runStage1(ctx context.Context, w *workload.Workload, cfg Config) (*Selection, error) {
+	if cfg.Stage1Strategy.SelectPairs != nil {
+		return cfg.Stage1Strategy.SelectPairs(ctx, w, cfg)
+	}
 	switch cfg.Stage1 {
 	case Stage1Random:
-		return RandomSelectPairs(w, cfg.Tau)
+		return RandomSelectPairsContext(ctx, w, cfg)
 	default:
-		return GreedySelectPairs(w, cfg.Tau)
+		return GreedySelectPairsContext(ctx, w, cfg)
 	}
 }

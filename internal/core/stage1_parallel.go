@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/pubsub-systems/mcss/internal/workload"
 )
@@ -16,17 +18,42 @@ import (
 // The paper's §IV-F motivates this: re-provisioning is meant to run
 // periodically, and Stage 1 dominates the solve time on large traces.
 func GreedySelectPairsParallel(w *workload.Workload, tau int64, workers int) *Selection {
-	if workers <= 0 {
+	if workers == 0 {
+		workers = -1 // historical contract: 0 meant GOMAXPROCS
+	}
+	sel, _ := GreedySelectPairsContext(context.Background(), w, Config{Tau: tau, Parallelism: workers})
+	return sel
+}
+
+// stage1Workers resolves Config.Parallelism against the workload size:
+// 0 and 1 are serial, negative means GOMAXPROCS, and workloads too small
+// to shard stay serial regardless.
+func stage1Workers(parallelism, numSubscribers int) int {
+	workers := parallelism
+	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers <= 1 || numSubscribers < 2*workers {
+		return 1
+	}
+	return workers
+}
+
+// greedySelectParallel shards GSP over worker goroutines. Every worker
+// polls the context on its own ticker (no shared state), so cancellation
+// aborts all shards within one checkInterval batch each; the goroutines
+// are always joined before returning, leaking nothing.
+func greedySelectParallel(ctx context.Context, w *workload.Workload, tau int64, workers int, obs Observer) (*Selection, error) {
+	start := time.Now()
 	n := w.NumSubscribers()
-	if workers <= 1 || n < 2*workers {
-		return GreedySelectPairs(w, tau)
+	if obs != nil {
+		obs.OnStageStart(StageSelect, int64(n))
 	}
 
 	type fragment struct {
 		subOff    []int64
 		subTopics []workload.TopicID
+		err       error
 	}
 	frags := make([]fragment, workers)
 	var wg sync.WaitGroup
@@ -44,14 +71,20 @@ func GreedySelectPairsParallel(w *workload.Workload, tau int64, workers int) *Se
 		wg.Add(1)
 		go func(k, lo, hi int) {
 			defer wg.Done()
-			off, topics := greedySelectRange(w, lo, hi, tau)
-			frags[k] = fragment{subOff: off, subTopics: topics}
+			// Workers tick cancellation but not the observer: progress
+			// callbacks stay single-goroutine.
+			tk := &ticker{ctx: ctx, left: checkInterval}
+			off, topics, err := greedySelectRange(w, lo, hi, tau, tk)
+			frags[k] = fragment{subOff: off, subTopics: topics, err: err}
 		}(k, lo, hi)
 	}
 	wg.Wait()
 
 	var totalPairs int64
 	for _, f := range frags {
+		if f.err != nil {
+			return nil, f.err
+		}
 		totalPairs += int64(len(f.subTopics))
 	}
 	subOff := make([]int64, 1, n+1)
@@ -63,5 +96,9 @@ func GreedySelectPairsParallel(w *workload.Workload, tau int64, workers int) *Se
 			subOff = append(subOff, base+off)
 		}
 	}
-	return &Selection{w: w, subOff: subOff, subTopics: subTopics}
+	if obs != nil {
+		obs.OnProgress(StageSelect, int64(n), int64(n))
+		obs.OnStageDone(StageSelect, time.Since(start))
+	}
+	return &Selection{w: w, subOff: subOff, subTopics: subTopics}, nil
 }

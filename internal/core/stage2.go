@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"sort"
+	"time"
 
 	"github.com/pubsub-systems/mcss/internal/pricing"
 	"github.com/pubsub-systems/mcss/internal/workload"
@@ -136,13 +138,26 @@ func pickDeployType(f pricing.Fleet, rb, remaining int64) int {
 // literal `ev_t ≤ BC − bw_b` test, which can overshoot BC_b by one topic
 // rate.
 func FFBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
+	return FFBinPackingContext(context.Background(), sel, cfg)
+}
+
+// FFBinPackingContext is FFBinPacking with context cancellation (checked
+// every checkInterval pairs) and Config.Observer progress callbacks — the
+// Pack implementation of the registered "ffbp" strategy.
+func FFBinPackingContext(ctx context.Context, sel *Selection, cfg Config) (*Allocation, error) {
+	cfg.Observer = ResolveObserver(ctx, cfg)
+	start := time.Now()
 	fleet := cfg.EffectiveFleet()
 	maxCap := fleet.MaxCapacity()
 	msg := cfg.MessageBytes
+	tk := newTicker(ctx, cfg.Observer, StagePack, sel.NumPairs())
 	var vms []*vmState
 	var err error
 	one := make([]workload.SubID, 1)
 	sel.Pairs(func(p workload.Pair) bool {
+		if err = tk.tick(1); err != nil {
+			return false
+		}
 		rb := sel.w.Rate(p.Topic) * msg
 		if 2*rb > maxCap && !cfg.LenientFirstFit {
 			err = ErrInfeasible
@@ -174,6 +189,7 @@ func FFBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
 	if err != nil {
 		return nil, err
 	}
+	tk.finish(time.Since(start))
 	return finishAllocation(vms, fleet, cfg), nil
 }
 
@@ -194,9 +210,20 @@ type topicGroup struct {
 // (see pickDeployType), which is how hot topics land on big instances and
 // the tail on small ones.
 func CustomBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
+	return CustomBinPackingContext(context.Background(), sel, cfg)
+}
+
+// CustomBinPackingContext is CustomBinPacking with context cancellation
+// (checked once per topic group, in checkInterval batches weighted by group
+// size) and Config.Observer progress callbacks — the Pack implementation of
+// the registered "cbp" strategy.
+func CustomBinPackingContext(ctx context.Context, sel *Selection, cfg Config) (*Allocation, error) {
+	cfg.Observer = ResolveObserver(ctx, cfg)
+	start := time.Now()
 	fleet := cfg.EffectiveFleet()
 	maxCap := fleet.MaxCapacity()
 	msg := cfg.MessageBytes
+	tk := newTicker(ctx, cfg.Observer, StagePack, sel.NumPairs())
 
 	groups := buildGroups(sel, msg)
 	if cfg.Opts&OptExpensiveTopicFirst != 0 {
@@ -222,6 +249,11 @@ func CustomBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
 	addBW := func(d int64) { totalBW += d }
 
 	for _, g := range groups {
+		// One tick per group, weighted by its pair count, so cancellation
+		// latency is bounded in pairs even when groups are huge.
+		if err := tk.tick(int64(len(g.subs))); err != nil {
+			return nil, err
+		}
 		if 2*g.rb > maxCap {
 			return nil, ErrInfeasible
 		}
@@ -280,6 +312,7 @@ func CustomBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
 			remaining = remaining[k:]
 		}
 	}
+	tk.finish(time.Since(start))
 	return finishAllocation(vms, fleet, cfg), nil
 }
 
@@ -411,13 +444,17 @@ func ceilDiv(a, b int64) int64 {
 	return (a + b - 1) / b
 }
 
-// packStage2 dispatches one packing run on the configured algorithm.
-func packStage2(sel *Selection, cfg Config) (*Allocation, error) {
+// packStage2 dispatches one packing run: a pluggable Stage2Strategy when
+// set, otherwise the configured enum algorithm.
+func packStage2(ctx context.Context, sel *Selection, cfg Config) (*Allocation, error) {
+	if cfg.Stage2Strategy.Pack != nil {
+		return cfg.Stage2Strategy.Pack(ctx, sel, cfg)
+	}
 	switch cfg.Stage2 {
 	case Stage2Custom:
-		return CustomBinPacking(sel, cfg)
+		return CustomBinPackingContext(ctx, sel, cfg)
 	default:
-		return FFBinPacking(sel, cfg)
+		return FFBinPackingContext(ctx, sel, cfg)
 	}
 }
 
@@ -426,8 +463,8 @@ func packStage2(sel *Selection, cfg Config) (*Allocation, error) {
 // the fleet, returning the cheapest feasible allocation — so by
 // construction the heterogeneous solve never costs more than the best
 // homogeneous choice from the same catalog.
-func runStage2(sel *Selection, cfg Config) (*Allocation, error) {
-	alloc, err := packStage2(sel, cfg)
+func runStage2(ctx context.Context, sel *Selection, cfg Config) (*Allocation, error) {
+	alloc, err := packStage2(ctx, sel, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -439,8 +476,15 @@ func runStage2(sel *Selection, cfg Config) (*Allocation, error) {
 	for i := 0; i < fleet.Len(); i++ {
 		sub := cfg
 		sub.Fleet = fleet.Single(i)
-		a, err := packStage2(sel, sub)
+		// The restrictions run silently — the stage's observer events come
+		// once, from the primary mixed-fleet pack — so both the config and
+		// the ambient context observer are stripped.
+		sub.Observer = nil
+		a, err := packStage2(ContextWithObserver(ctx, nil), sel, sub)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
 			continue // the type is too small for some topic; skip it
 		}
 		if c := a.Cost(cfg.Model); c < bestCost {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -354,7 +355,7 @@ func TestEmptySelection(t *testing.T) {
 	empty := &Selection{w: w, subOff: make([]int64, w.NumSubscribers()+1)}
 	for _, algo := range []Stage2Algo{Stage2FirstFit, Stage2Custom} {
 		cfg := configWith(10, 100, algo, OptAll)
-		alloc, err := runStage2(empty, cfg)
+		alloc, err := runStage2(context.Background(), empty, cfg)
 		if err != nil {
 			t.Fatalf("%v: %v", algo, err)
 		}

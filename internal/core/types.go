@@ -143,6 +143,25 @@ type Config struct {
 	// topic first lands on a VM) instead of the exact delta test. With it
 	// set, per-VM bandwidth may exceed BC by up to one topic rate.
 	LenientFirstFit bool
+
+	// Observer receives progress callbacks from the solve stages, the
+	// lower bound, the exact solver, and the elastic controller. Nil
+	// disables all callbacks (the zero-overhead default).
+	Observer Observer
+	// Parallelism is the Stage-1 worker count: 0 or 1 solves serially,
+	// n > 1 shards across n goroutines, and any negative value uses
+	// GOMAXPROCS. The result is bit-identical to the serial path.
+	Parallelism int
+
+	// Stage1Strategy, Stage2Strategy, and SolveStrategy optionally replace
+	// the enum dispatch with registered pluggable implementations (see
+	// RegisterStrategy): a non-zero Stage1Strategy overrides Stage1, a
+	// non-zero Stage2Strategy overrides Stage2, and a non-zero
+	// SolveStrategy replaces both stages with one complete solver. The
+	// Planner façade fills these from strategy names.
+	Stage1Strategy Strategy
+	Stage2Strategy Strategy
+	SolveStrategy  Strategy
 }
 
 // DefaultConfig returns the paper's full solution: GSP + CBP with all
@@ -177,6 +196,15 @@ func (c Config) normalize() (Config, error) {
 		if c.Fleet.Capacity(i) <= 0 {
 			return c, fmt.Errorf("core: fleet type %q has no positive capacity", c.Fleet.Type(i).Name)
 		}
+	}
+	if !c.Stage1Strategy.IsZero() && c.Stage1Strategy.SelectPairs == nil {
+		return c, errors.New("core: Stage1Strategy has no SelectPairs implementation")
+	}
+	if !c.Stage2Strategy.IsZero() && c.Stage2Strategy.Pack == nil {
+		return c, errors.New("core: Stage2Strategy has no Pack implementation")
+	}
+	if !c.SolveStrategy.IsZero() && c.SolveStrategy.Solve == nil {
+		return c, errors.New("core: SolveStrategy has no Solve implementation")
 	}
 	return c, nil
 }

@@ -7,6 +7,7 @@
 package dynamic
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -194,7 +195,13 @@ type Provisioner struct {
 
 // New solves the initial allocation.
 func New(w *workload.Workload, cfg core.Config) (*Provisioner, error) {
-	res, err := core.Solve(w, cfg)
+	return NewContext(context.Background(), w, cfg)
+}
+
+// NewContext solves the initial allocation under a context: the solve
+// honors cancellation and cfg.Observer progress callbacks.
+func NewContext(ctx context.Context, w *workload.Workload, cfg core.Config) (*Provisioner, error) {
+	res, err := core.SolveContext(ctx, w, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +224,13 @@ func (p *Provisioner) Cost() pricing.MicroUSD { return p.res.Cost(p.cfg.Model) }
 // periodic re-allocation), adopts the result, and reports migration churn
 // relative to the previous allocation.
 func (p *Provisioner) Update(d Delta) (MigrationStats, error) {
-	next, res, stats, err := p.Preview(d)
+	return p.UpdateContext(context.Background(), d)
+}
+
+// UpdateContext is Update under a context; on cancellation the provisioner
+// state is left untouched.
+func (p *Provisioner) UpdateContext(ctx context.Context, d Delta) (MigrationStats, error) {
+	next, res, stats, err := p.PreviewContext(ctx, d)
 	if err != nil {
 		return MigrationStats{}, err
 	}
@@ -230,11 +243,18 @@ func (p *Provisioner) Update(d Delta) (MigrationStats, error) {
 // candidate (cost, churn) against a hysteresis policy first. Install the
 // candidate with Adopt, or discard it by adopting something else.
 func (p *Provisioner) Preview(d Delta) (*workload.Workload, *core.Result, MigrationStats, error) {
+	return p.PreviewContext(context.Background(), d)
+}
+
+// PreviewContext is Preview under a context: the embedded re-solve polls
+// cancellation at bounded intervals and reports progress to the config's
+// Observer.
+func (p *Provisioner) PreviewContext(ctx context.Context, d Delta) (*workload.Workload, *core.Result, MigrationStats, error) {
 	next, err := applyDelta(p.w, d)
 	if err != nil {
 		return nil, nil, MigrationStats{}, err
 	}
-	res, err := core.Solve(next, p.cfg)
+	res, err := core.SolveContext(ctx, next, p.cfg)
 	if err != nil {
 		return nil, nil, MigrationStats{}, err
 	}

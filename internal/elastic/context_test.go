@@ -1,0 +1,79 @@
+package elastic
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/pubsub-systems/mcss/internal/core"
+)
+
+// epochCanceller cancels the run's context after the controller finishes
+// the given epoch, so cancellation lands strictly mid-timeline.
+type epochCanceller struct {
+	after  int
+	cancel context.CancelFunc
+	seen   int
+	fired  time.Time
+}
+
+func (c *epochCanceller) OnStageStart(stage string, total int64)     {}
+func (c *epochCanceller) OnProgress(stage string, done, total int64) {}
+func (c *epochCanceller) OnStageDone(stage string, d time.Duration)  {}
+func (c *epochCanceller) OnEpoch(epoch, total int) {
+	c.seen++
+	if epoch == c.after && c.fired.IsZero() {
+		c.fired = time.Now()
+		c.cancel()
+	}
+}
+
+// Run cancelled mid-timeline returns context.Canceled promptly and does
+// not walk the remaining epochs.
+func TestControllerRunCancelledMidTimeline(t *testing.T) {
+	tl, cfg := testTimeline(t, 8, 60)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	obs := &epochCanceller{after: 1, cancel: cancel}
+	cfg.Observer = obs
+
+	rep, err := NewController(cfg, DefaultPolicy()).Run(ctx, tl)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v (report %v), want context.Canceled", err, rep)
+	}
+	if obs.fired.IsZero() {
+		t.Fatal("cancellation never fired mid-timeline")
+	}
+	if d := time.Since(obs.fired); d > time.Second {
+		t.Errorf("Run returned %v after cancellation, want < 1s", d)
+	}
+	if obs.seen >= tl.NumEpochs() {
+		t.Errorf("controller completed all %d epochs despite cancellation after epoch %d",
+			obs.seen, obs.after)
+	}
+}
+
+// A pre-cancelled context aborts before epoch 0's solve.
+func TestControllerRunPreCancelled(t *testing.T) {
+	tl, cfg := testTimeline(t, 3, 60)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewController(cfg, OraclePolicy()).Run(ctx, tl); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// The context-carried observer (core.ContextWithObserver) reaches the
+// controller when the config has none.
+func TestControllerContextObserver(t *testing.T) {
+	tl, cfg := testTimeline(t, 3, 60)
+	obs := &epochCanceller{after: -1, cancel: func() {}}
+	ctx := core.ContextWithObserver(context.Background(), obs)
+	if _, err := NewController(cfg, OraclePolicy()).Run(ctx, tl); err != nil {
+		t.Fatal(err)
+	}
+	if obs.seen != tl.NumEpochs() {
+		t.Errorf("context observer saw %d epochs, want %d", obs.seen, tl.NumEpochs())
+	}
+}

@@ -18,6 +18,7 @@
 package elastic
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/pubsub-systems/mcss/internal/core"
@@ -158,7 +159,15 @@ func NewController(cfg core.Config, policy Policy) *Controller {
 // 0 is always a fresh solve; each later epoch previews the fresh solve via
 // the provisioner's delta machinery and then lets the policy choose between
 // adopting it and keeping the repriced previous placements.
-func (c *Controller) Run(tl *timeline.Timeline) (*RunReport, error) {
+//
+// The context is threaded into every per-epoch solve (polled at bounded
+// intervals inside the solver hot loops) and additionally checked between
+// epochs, so a controller loop that re-solves for minutes can be cancelled
+// or deadlined promptly; on cancellation Run returns ctx.Err() and the
+// partial report is discarded. The config's Observer, when set, receives
+// an OnEpoch callback after each completed epoch (on top of the per-solve
+// stage callbacks).
+func (c *Controller) Run(ctx context.Context, tl *timeline.Timeline) (*RunReport, error) {
 	if err := tl.Validate(); err != nil {
 		return nil, err
 	}
@@ -171,6 +180,7 @@ func (c *Controller) Run(tl *timeline.Timeline) (*RunReport, error) {
 	if c.policy == (Policy{}) {
 		report.Strategy = "oracle"
 	}
+	obs := core.ResolveObserver(ctx, c.cfg)
 	ledger := NewLedger(c.cfg.Model.PerGB)
 	report.Ledger = ledger
 
@@ -179,8 +189,11 @@ func (c *Controller) Run(tl *timeline.Timeline) (*RunReport, error) {
 	if c.policy.HeadroomFrac > 0 && c.policy.HeadroomFrac < 1 {
 		solveCfg.Fleet = fleet.WithCapacityScale(1 - c.policy.HeadroomFrac)
 	}
-	prov, err := dynamic.New(tl.Epochs[0], solveCfg)
+	prov, err := dynamic.NewContext(ctx, tl.Epochs[0], solveCfg)
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, fmt.Errorf("elastic: epoch 0: %w", err)
 	}
 
@@ -192,6 +205,9 @@ func (c *Controller) Run(tl *timeline.Timeline) (*RunReport, error) {
 	lastAcquire := make(map[string]int, fleet.Len())
 
 	for e := 0; e < tl.NumEpochs(); e++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		w := tl.Epochs[e]
 		now := tl.StartMinute(e)
 		ep := EpochReport{Epoch: e, StartMinute: now}
@@ -208,8 +224,11 @@ func (c *Controller) Run(tl *timeline.Timeline) (*RunReport, error) {
 				return nil, fmt.Errorf("elastic: epoch %d: %w", e, err)
 			}
 			// Preview validates the delta before solving.
-			nextW, fresh, stats, err := prov.Preview(delta)
+			nextW, fresh, stats, err := prov.PreviewContext(ctx, delta)
 			if err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, cerr
+				}
 				return nil, fmt.Errorf("elastic: epoch %d: %w", e, err)
 			}
 			ep.CandidateMoves = stats.PairsMoved
@@ -289,6 +308,9 @@ func (c *Controller) Run(tl *timeline.Timeline) (*RunReport, error) {
 
 		report.Epochs = append(report.Epochs, ep)
 		report.Allocations = append(report.Allocations, adopted)
+		if obs != nil {
+			obs.OnEpoch(e, tl.NumEpochs())
+		}
 	}
 	if err := ledger.Close(tl.HorizonMinutes()); err != nil {
 		return nil, err

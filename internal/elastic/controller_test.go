@@ -1,6 +1,7 @@
 package elastic
 
 import (
+	"context"
 	"testing"
 
 	"github.com/pubsub-systems/mcss/internal/core"
@@ -80,7 +81,7 @@ func TestControllerEveryEpochSatisfied(t *testing.T) {
 	tl, cfg := testTimeline(t, 12, 60)
 	fleet := cfg.EffectiveFleet()
 	for _, policy := range []Policy{OraclePolicy(), DefaultPolicy()} {
-		rep, err := NewController(cfg, policy).Run(tl)
+		rep, err := NewController(cfg, policy).Run(context.Background(), tl)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,7 +101,7 @@ func TestControllerEveryEpochSatisfied(t *testing.T) {
 // effects).
 func TestPropertyEveryEpochSatisfiedUnderReplay(t *testing.T) {
 	tl, cfg := testTimeline(t, 8, 60)
-	rep, err := NewController(cfg, DefaultPolicy()).Run(tl)
+	rep, err := NewController(cfg, DefaultPolicy()).Run(context.Background(), tl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,11 +123,11 @@ func TestPropertyEveryEpochSatisfiedUnderReplay(t *testing.T) {
 
 func TestControllerCostOrdering(t *testing.T) {
 	tl, cfg := testTimeline(t, 24, 60)
-	oracle, err := NewController(cfg, OraclePolicy()).Run(tl)
+	oracle, err := NewController(cfg, OraclePolicy()).Run(context.Background(), tl)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hyst, err := NewController(cfg, DefaultPolicy()).Run(tl)
+	hyst, err := NewController(cfg, DefaultPolicy()).Run(context.Background(), tl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,13 +157,13 @@ func TestControllerMigrationBudgetKeepsPlacements(t *testing.T) {
 	fleet := cfg.EffectiveFleet()
 
 	unlimited := DefaultPolicy()
-	unlimBudget, err := NewController(cfg, unlimited).Run(tl)
+	unlimBudget, err := NewController(cfg, unlimited).Run(context.Background(), tl)
 	if err != nil {
 		t.Fatal(err)
 	}
 	tight := DefaultPolicy()
 	tight.MaxMigrationsPerEpoch = 1 // any re-solve busts the budget
-	budgeted, err := NewController(cfg, tight).Run(tl)
+	budgeted, err := NewController(cfg, tight).Run(context.Background(), tl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestControllerMigrationBudgetKeepsPlacements(t *testing.T) {
 
 func TestStaticPeakHoldsPerTypeMax(t *testing.T) {
 	tl, cfg := testTimeline(t, 10, 60)
-	oracle, err := NewController(cfg, OraclePolicy()).Run(tl)
+	oracle, err := NewController(cfg, OraclePolicy()).Run(context.Background(), tl)
 	if err != nil {
 		t.Fatal(err)
 	}

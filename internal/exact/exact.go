@@ -11,9 +11,11 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
+	"time"
 
 	"github.com/pubsub-systems/mcss/internal/core"
 	"github.com/pubsub-systems/mcss/internal/pricing"
@@ -37,6 +39,11 @@ type Solution struct {
 	BytesPerHour int64
 	// Selected is the chosen pair set, in subscriber-major order.
 	Selected []workload.Pair
+	// Allocation is the optimal packing materialized as a solver
+	// allocation (reconstructed from the DP's block choices), so the
+	// exact solution can be verified, simulated, and billed through the
+	// same pipeline as heuristic results.
+	Allocation *core.Allocation
 }
 
 // Solve computes the optimal MCSS solution. Config semantics match
@@ -48,6 +55,23 @@ type Solution struct {
 // more than MaxPairs pairs and core.ErrInfeasible when no feasible solution
 // exists (some mandatory pair cannot fit in any VM).
 func Solve(w *workload.Workload, cfg core.Config) (Solution, error) {
+	return SolveContext(context.Background(), w, cfg)
+}
+
+// checkMasks is how many DP nodes are processed between context polls: the
+// per-node work is tens of nanoseconds, so a batch stays well under a
+// millisecond while keeping the check off the DP's profile.
+const checkMasks = 4096
+
+// SolveContext is Solve under a context: the subset-DP loops poll
+// cancellation every checkMasks nodes (a solve over the full 2^MaxPairs
+// state space aborts within a few thousand node visits), and cfg.Observer
+// receives StageExact progress over the DP mask space.
+func SolveContext(ctx context.Context, w *workload.Workload, cfg core.Config) (Solution, error) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return Solution{}, err
+	}
 	if w.NumPairs() > MaxPairs {
 		return Solution{}, fmt.Errorf("%w: %d pairs", ErrTooLarge, w.NumPairs())
 	}
@@ -63,19 +87,15 @@ func Solve(w *workload.Workload, cfg core.Config) (Solution, error) {
 		return Solution{}, errors.New("exact: model has no positive capacity")
 	}
 	// blockRental returns the cheapest one-VM rental able to carry bw
-	// bytes/hour, or -1 when no fleet type fits.
+	// bytes/hour, or -1 when no fleet type fits. It shares cheapestFit
+	// with the allocation reconstruction, so the DP's pricing and the
+	// reconstructed Allocation can never pick different instance types.
 	blockRental := func(bw int64) int64 {
-		best := int64(-1)
-		for i := 0; i < fleet.Len(); i++ {
-			if fleet.Capacity(i) < bw {
-				continue
-			}
-			r := int64(cfg.Model.InstanceVMCost(fleet.Type(i), 1))
-			if best < 0 || r < best {
-				best = r
-			}
+		ti := cheapestFit(fleet, cfg.Model, bw)
+		if fleet.Capacity(ti) < bw {
+			return -1
 		}
-		return best
+		return int64(cfg.Model.InstanceVMCost(fleet.Type(ti), 1))
 	}
 
 	// Flatten pairs.
@@ -124,12 +144,26 @@ func Solve(w *workload.Workload, cfg core.Config) (Solution, error) {
 
 	// Packing DP: cost[m] = optimal packing of exactly the pairs in m.
 	// We track (vms, bwSum) per mask and minimize C1+C2 — both additive
-	// per block since C1 is linear in the VM count.
+	// per block since C1 is linear in the VM count. pick[m] records the
+	// winning block so the optimal packing can be reconstructed.
+	obs := core.ResolveObserver(ctx, cfg)
+	if obs != nil {
+		obs.OnStageStart(core.StageExact, 2*int64(size))
+	}
 	const inf = int64(1) << 62
 	cost := make([]int64, size) // microdollars
 	vms := make([]int, size)
 	bwSum := make([]int64, size)
+	pick := make([]int, size)
 	for m := 1; m < size; m++ {
+		if m%checkMasks == 0 {
+			if err := ctx.Err(); err != nil {
+				return Solution{}, err
+			}
+			if obs != nil {
+				obs.OnProgress(core.StageExact, int64(m), 2*int64(size))
+			}
+		}
 		cost[m] = inf
 		low := m & -m
 		// Enumerate submasks of m that contain the lowest pair.
@@ -150,6 +184,7 @@ func Solve(w *workload.Workload, cfg core.Config) (Solution, error) {
 				cost[m] = c
 				vms[m] = vms[rest] + 1
 				bwSum[m] = bwSum[rest] + bw[s]
+				pick[m] = s
 			}
 		}
 	}
@@ -170,6 +205,14 @@ func Solve(w *workload.Workload, cfg core.Config) (Solution, error) {
 	best := inf
 	bestMask := -1
 	for m := 0; m < size; m++ {
+		if m%checkMasks == 0 {
+			if err := ctx.Err(); err != nil {
+				return Solution{}, err
+			}
+			if obs != nil {
+				obs.OnProgress(core.StageExact, int64(size)+int64(m), 2*int64(size))
+			}
+		}
 		if cost[m] == inf && m != 0 {
 			continue
 		}
@@ -212,7 +255,58 @@ func Solve(w *workload.Workload, cfg core.Config) (Solution, error) {
 			sol.Selected = append(sol.Selected, pairs[i].pair)
 		}
 	}
+
+	// Reconstruct the optimal packing from the DP's block choices and
+	// materialize it as an allocation: every block becomes one VM on the
+	// cheapest fleet type whose capacity covers the block's bandwidth.
+	alloc := &core.Allocation{Fleet: fleet, MessageBytes: cfg.MessageBytes}
+	for m := bestMask; m != 0; m ^= pick[m] {
+		s := pick[m]
+		vm := &core.VM{ID: alloc.NumVMs()}
+		ti := cheapestFit(fleet, cfg.Model, bw[s])
+		vm.Instance, vm.CapacityBytesPerHour = fleet.Type(ti), fleet.Capacity(ti)
+		byTopic := make(map[int]int) // dense topic index → placement index
+		for rest := s; rest != 0; rest &= rest - 1 {
+			pi := pairs[bits.TrailingZeros32(uint32(rest))]
+			idx, ok := byTopic[pi.topic]
+			if !ok {
+				idx = len(vm.Placements)
+				byTopic[pi.topic] = idx
+				vm.Placements = append(vm.Placements, core.TopicPlacement{Topic: pi.pair.Topic})
+				vm.InBytesPerHour += pi.rb
+			}
+			p := &vm.Placements[idx]
+			p.Subs = append(p.Subs, pi.pair.Sub)
+			vm.OutBytesPerHour += pi.rb
+		}
+		alloc.VMs = append(alloc.VMs, vm)
+	}
+	sol.Allocation = alloc
+
+	if obs != nil {
+		obs.OnProgress(core.StageExact, 2*int64(size), 2*int64(size))
+		obs.OnStageDone(core.StageExact, time.Since(start))
+	}
 	return sol, nil
+}
+
+// cheapestFit returns the index of the cheapest fleet type whose capacity
+// covers bw, falling back to the largest type (callers only pass block
+// bandwidths the DP already admitted against the max capacity).
+func cheapestFit(f pricing.Fleet, m pricing.Model, bw int64) int {
+	best := -1
+	for i := 0; i < f.Len(); i++ {
+		if f.Capacity(i) < bw {
+			continue
+		}
+		if best < 0 || m.InstanceVMCost(f.Type(i), 1) < m.InstanceVMCost(f.Type(best), 1) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return f.Len() - 1
+	}
+	return best
 }
 
 // Decision answers the paper's DCSS decision problem: is a total cost of at

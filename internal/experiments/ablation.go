@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -23,13 +24,16 @@ type AblationRow struct {
 // Stage-2 strategy (first-fit, best-fit-decreasing, each CBP flag alone,
 // and each cumulative combination) on one GSP selection, exposing how much
 // of CBP's win comes from grouping versus item ordering versus VM choice.
-func RunStage2Ablation(d Dataset, instance pricing.InstanceType, tau int64, scale float64) ([]AblationRow, error) {
+func RunStage2Ablation(ctx context.Context, d Dataset, instance pricing.InstanceType, tau int64, scale float64) ([]AblationRow, error) {
 	w, err := Generate(d, scale)
 	if err != nil {
 		return nil, err
 	}
 	model := ModelFor(instance, w)
-	sel := core.GreedySelectPairs(w, tau)
+	sel, err := core.GreedySelectPairsContext(ctx, w, core.Config{Tau: tau})
+	if err != nil {
+		return nil, err
+	}
 	base := core.Config{Tau: tau, MessageBytes: MessageBytes, Model: model}
 
 	type strat struct {
@@ -39,11 +43,11 @@ func RunStage2Ablation(d Dataset, instance pricing.InstanceType, tau int64, scal
 	withOpts := func(opts core.OptFlags) func() (*core.Allocation, error) {
 		cfg := base
 		cfg.Opts = opts
-		return func() (*core.Allocation, error) { return core.CustomBinPacking(sel, cfg) }
+		return func() (*core.Allocation, error) { return core.CustomBinPackingContext(ctx, sel, cfg) }
 	}
 	strategies := []strat{
-		{"FFBP (pair first-fit)", func() (*core.Allocation, error) { return core.FFBinPacking(sel, base) }},
-		{"BFD (pair best-fit-decreasing)", func() (*core.Allocation, error) { return core.BFDBinPacking(sel, base) }},
+		{"FFBP (pair first-fit)", func() (*core.Allocation, error) { return core.FFBinPackingContext(ctx, sel, base) }},
+		{"BFD (pair best-fit-decreasing)", func() (*core.Allocation, error) { return core.BFDBinPackingContext(ctx, sel, base) }},
 		{"CBP group-only", withOpts(0)},
 		{"CBP +expensive-first", withOpts(core.OptExpensiveTopicFirst)},
 		{"CBP +most-free-vm (alone)", withOpts(core.OptMostFreeVM)},

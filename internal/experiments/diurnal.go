@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/pubsub-systems/mcss/internal/core"
@@ -49,7 +50,7 @@ type DiurnalResult struct {
 // 24-epoch diurnal timeline, calibrates the fleet against the timeline's
 // envelope (so the flash crowd stays feasible), and runs the three
 // strategies.
-func RunDiurnal(d Dataset, scale float64) (*DiurnalResult, error) {
+func RunDiurnal(ctx context.Context, d Dataset, scale float64) (*DiurnalResult, error) {
 	base, err := Generate(d, scale)
 	if err != nil {
 		return nil, err
@@ -74,11 +75,11 @@ func RunDiurnal(d Dataset, scale float64) (*DiurnalResult, error) {
 		Opts:         core.OptAll,
 	}
 
-	oracle, err := elastic.NewController(cfg, elastic.OraclePolicy()).Run(tl)
+	oracle, err := elastic.NewController(cfg, elastic.OraclePolicy()).Run(ctx, tl)
 	if err != nil {
 		return nil, fmt.Errorf("oracle: %w", err)
 	}
-	hysteresis, err := elastic.NewController(cfg, elastic.DefaultPolicy()).Run(tl)
+	hysteresis, err := elastic.NewController(cfg, elastic.DefaultPolicy()).Run(ctx, tl)
 	if err != nil {
 		return nil, fmt.Errorf("hysteresis: %w", err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ import (
 // oracle, every epoch's allocation satisfies its snapshot, and the tables
 // render.
 func TestRunDiurnalAcceptance(t *testing.T) {
-	res, err := RunDiurnal(Twitter, testScale)
+	res, err := RunDiurnal(context.Background(), Twitter, testScale)
 	if err != nil {
 		t.Fatal(err)
 	}

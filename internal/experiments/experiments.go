@@ -15,6 +15,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -142,7 +143,7 @@ type LadderResult struct {
 }
 
 // RunLadder reproduces one panel of Figs. 2–3.
-func RunLadder(d Dataset, instance pricing.InstanceType, scale float64) (*LadderResult, error) {
+func RunLadder(ctx context.Context, d Dataset, instance pricing.InstanceType, scale float64) (*LadderResult, error) {
 	w, err := Generate(d, scale)
 	if err != nil {
 		return nil, err
@@ -159,7 +160,7 @@ func RunLadder(d Dataset, instance pricing.InstanceType, scale float64) (*Ladder
 				Stage2:       rung.Stage2,
 				Opts:         rung.Opts,
 			}
-			sol, err := core.Solve(w, cfg)
+			sol, err := core.SolveContext(ctx, w, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("τ=%d %s: %w", tau, rung.Name, err)
 			}
@@ -173,7 +174,7 @@ func RunLadder(d Dataset, instance pricing.InstanceType, scale float64) (*Ladder
 				Stage2Time:  sol.Stage2Time,
 			})
 		}
-		lb, err := core.LowerBound(w, core.Config{Tau: tau, MessageBytes: MessageBytes, Model: model})
+		lb, err := core.LowerBoundContext(ctx, w, core.Config{Tau: tau, MessageBytes: MessageBytes, Model: model})
 		if err != nil {
 			return nil, err
 		}
@@ -249,7 +250,7 @@ type Stage1Runtime struct {
 }
 
 // RunStage1Runtime reproduces Fig. 4 (Spotify) / Fig. 5 (Twitter).
-func RunStage1Runtime(d Dataset, scale float64) ([]Stage1Runtime, error) {
+func RunStage1Runtime(ctx context.Context, d Dataset, scale float64) ([]Stage1Runtime, error) {
 	w, err := Generate(d, scale)
 	if err != nil {
 		return nil, err
@@ -258,10 +259,16 @@ func RunStage1Runtime(d Dataset, scale float64) ([]Stage1Runtime, error) {
 	for _, tau := range Taus {
 		r := Stage1Runtime{Tau: tau}
 		start := time.Now()
-		gsp := core.GreedySelectPairs(w, tau)
+		gsp, err := core.GreedySelectPairsContext(ctx, w, core.Config{Tau: tau})
+		if err != nil {
+			return nil, err
+		}
 		r.Greedy = time.Since(start)
 		start = time.Now()
-		rsp := core.RandomSelectPairs(w, tau)
+		rsp, err := core.RandomSelectPairsContext(ctx, w, core.Config{Tau: tau})
+		if err != nil {
+			return nil, err
+		}
 		r.Random = time.Since(start)
 		if !gsp.Satisfied(tau) || !rsp.Satisfied(tau) {
 			return nil, fmt.Errorf("experiments: stage 1 produced unsatisfying selection at τ=%d", tau)
@@ -280,7 +287,7 @@ type Stage2Runtime struct {
 
 // RunStage2Runtime reproduces Fig. 6 (Spotify) / Fig. 7 (Twitter): both
 // packers consume the same GSP selection, as in the paper.
-func RunStage2Runtime(d Dataset, instance pricing.InstanceType, scale float64) ([]Stage2Runtime, error) {
+func RunStage2Runtime(ctx context.Context, d Dataset, instance pricing.InstanceType, scale float64) ([]Stage2Runtime, error) {
 	w, err := Generate(d, scale)
 	if err != nil {
 		return nil, err
@@ -288,18 +295,21 @@ func RunStage2Runtime(d Dataset, instance pricing.InstanceType, scale float64) (
 	model := ModelFor(instance, w)
 	var out []Stage2Runtime
 	for _, tau := range Taus {
-		sel := core.GreedySelectPairs(w, tau)
+		sel, err := core.GreedySelectPairsContext(ctx, w, core.Config{Tau: tau})
+		if err != nil {
+			return nil, err
+		}
 		cfgC := core.Config{Tau: tau, MessageBytes: MessageBytes, Model: model, Opts: core.OptAll}
 		cfgF := core.Config{Tau: tau, MessageBytes: MessageBytes, Model: model}
 
 		r := Stage2Runtime{Tau: tau}
 		start := time.Now()
-		if _, err := core.CustomBinPacking(sel, cfgC); err != nil {
+		if _, err := core.CustomBinPackingContext(ctx, sel, cfgC); err != nil {
 			return nil, err
 		}
 		r.Custom = time.Since(start)
 		start = time.Now()
-		if _, err := core.FFBinPacking(sel, cfgF); err != nil {
+		if _, err := core.FFBinPackingContext(ctx, sel, cfgF); err != nil {
 			return nil, err
 		}
 		r.FirstFit = time.Since(start)
@@ -337,7 +347,10 @@ type TraceAnalysis struct {
 }
 
 // RunTraceAnalysis reproduces Figs. 8–12 from the Twitter-like trace.
-func RunTraceAnalysis(scale float64) (*TraceAnalysis, error) {
+func RunTraceAnalysis(ctx context.Context, scale float64) (*TraceAnalysis, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	w, err := Generate(Twitter, scale)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -61,7 +62,7 @@ func TestLadderStructure(t *testing.T) {
 }
 
 func TestRunLadderTwitterShape(t *testing.T) {
-	res, err := RunLadder(Twitter, pricing.C3Large, testScale)
+	res, err := RunLadder(context.Background(), Twitter, pricing.C3Large, testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestRunLadderTwitterShape(t *testing.T) {
 }
 
 func TestRunLadderSpotifyShape(t *testing.T) {
-	res, err := RunLadder(Spotify, pricing.C3Large, testScale)
+	res, err := RunLadder(context.Background(), Spotify, pricing.C3Large, testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestRunLadderSpotifyShape(t *testing.T) {
 }
 
 func TestLadderTableRenders(t *testing.T) {
-	res, err := RunLadder(Spotify, pricing.C3XLarge, testScale)
+	res, err := RunLadder(context.Background(), Spotify, pricing.C3XLarge, testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestLadderTableRenders(t *testing.T) {
 }
 
 func TestRunStage1Runtime(t *testing.T) {
-	rows, err := RunStage1Runtime(Twitter, testScale)
+	rows, err := RunStage1Runtime(context.Background(), Twitter, testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestRunStage1Runtime(t *testing.T) {
 }
 
 func TestRunStage2Runtime(t *testing.T) {
-	rows, err := RunStage2Runtime(Twitter, pricing.C3Large, testScale)
+	rows, err := RunStage2Runtime(context.Background(), Twitter, pricing.C3Large, testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestRunStage2Runtime(t *testing.T) {
 }
 
 func TestRuntimeTable(t *testing.T) {
-	rows, err := RunStage1Runtime(Spotify, testScale)
+	rows, err := RunStage1Runtime(context.Background(), Spotify, testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestRuntimeTable(t *testing.T) {
 }
 
 func TestRunTraceAnalysisShapes(t *testing.T) {
-	ta, err := RunTraceAnalysis(testScale)
+	ta, err := RunTraceAnalysis(context.Background(), testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestRunSummaryComparesWithPaper(t *testing.T) {
 	if testing.Short() {
 		t.Skip("summary runs four full panels")
 	}
-	s, err := RunSummary(testScale)
+	s, err := RunSummary(context.Background(), testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestRunSummaryComparesWithPaper(t *testing.T) {
 }
 
 func TestRunHonestCapacityShowsUnitGap(t *testing.T) {
-	rows, err := RunHonestCapacity(Twitter, testScale)
+	rows, err := RunHonestCapacity(context.Background(), Twitter, testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestRunHonestCapacityShowsUnitGap(t *testing.T) {
 }
 
 func TestRunStage2Ablation(t *testing.T) {
-	rows, err := RunStage2Ablation(Twitter, pricing.C3Large, 100, testScale)
+	rows, err := RunStage2Ablation(context.Background(), Twitter, pricing.C3Large, 100, testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +298,7 @@ func TestRunStage2Ablation(t *testing.T) {
 }
 
 func TestRunScaling(t *testing.T) {
-	rows, err := RunScaling(Twitter, 100, []float64{0.02, 0.05, 0.1})
+	rows, err := RunScaling(context.Background(), Twitter, 100, []float64{0.02, 0.05, 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestRunScaling(t *testing.T) {
 
 func TestRunHeteroMixedNeverWorseThanBestHomogeneous(t *testing.T) {
 	for _, d := range []Dataset{Spotify, Twitter} {
-		res, err := RunHetero(d, 0.04)
+		res, err := RunHetero(context.Background(), d, 0.04)
 		if err != nil {
 			t.Fatalf("%v: %v", d, err)
 		}

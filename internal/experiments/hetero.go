@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -53,7 +54,7 @@ type HeteroResult struct {
 // RunHetero solves the dataset at every τ with GSP+CBP(all opts) under (a)
 // each single instance type of the calibrated catalog fleet and (b) the
 // mixed fleet, and reports costs, VM counts, and fleet composition.
-func RunHetero(d Dataset, scale float64) (*HeteroResult, error) {
+func RunHetero(ctx context.Context, d Dataset, scale float64) (*HeteroResult, error) {
 	w, err := Generate(d, scale)
 	if err != nil {
 		return nil, err
@@ -72,7 +73,7 @@ func RunHetero(d Dataset, scale float64) (*HeteroResult, error) {
 			Stage2:       core.Stage2Custom,
 			Opts:         core.OptAll,
 		}
-		sol, err := core.Solve(w, cfg)
+		sol, err := core.SolveContext(ctx, w, cfg)
 		if errors.Is(err, core.ErrInfeasible) {
 			res.Rows = append(res.Rows, HeteroRow{Tau: tau, Strategy: strategy})
 			return nil

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"github.com/pubsub-systems/mcss/internal/core"
 	"github.com/pubsub-systems/mcss/internal/pricing"
 	"github.com/pubsub-systems/mcss/internal/report"
@@ -22,7 +23,7 @@ type HonestCapacityRow struct {
 // unit-model note empirically: under the honest conversion the entire
 // workload fits in one or two VMs, which cannot reproduce the paper's
 // reported 10²–10³ VM fleets — hence the calibrated capacity.
-func RunHonestCapacity(d Dataset, scale float64) ([]HonestCapacityRow, error) {
+func RunHonestCapacity(ctx context.Context, d Dataset, scale float64) ([]HonestCapacityRow, error) {
 	w, err := Generate(d, scale)
 	if err != nil {
 		return nil, err
@@ -33,7 +34,7 @@ func RunHonestCapacity(d Dataset, scale float64) ([]HonestCapacityRow, error) {
 	var rows []HonestCapacityRow
 	for _, tau := range Taus {
 		row := HonestCapacityRow{Tau: tau}
-		hres, err := core.Solve(w, core.Config{
+		hres, err := core.SolveContext(ctx, w, core.Config{
 			Tau: tau, MessageBytes: MessageBytes, Model: honest,
 			Stage1: core.Stage1Greedy, Stage2: core.Stage2Custom, Opts: core.OptAll,
 		})
@@ -43,7 +44,7 @@ func RunHonestCapacity(d Dataset, scale float64) ([]HonestCapacityRow, error) {
 		row.HonestVMs = hres.Allocation.NumVMs()
 		row.HonestCost = hres.Cost(honest)
 
-		cres, err := core.Solve(w, core.Config{
+		cres, err := core.SolveContext(ctx, w, core.Config{
 			Tau: tau, MessageBytes: MessageBytes, Model: calibrated,
 			Stage1: core.Stage1Greedy, Stage2: core.Stage2Custom, Opts: core.OptAll,
 		})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -24,7 +25,7 @@ type ScalingRow struct {
 // periodically" (30 s for 12M pairs, 25 min for 638M pairs in the authors'
 // C++). Near-constant pairs-per-second across scales indicates the
 // near-linear behavior the two-stage design targets.
-func RunScaling(d Dataset, tau int64, scales []float64) ([]ScalingRow, error) {
+func RunScaling(ctx context.Context, d Dataset, tau int64, scales []float64) ([]ScalingRow, error) {
 	if len(scales) == 0 {
 		scales = []float64{0.05, 0.1, 0.2, 0.4}
 	}
@@ -36,7 +37,7 @@ func RunScaling(d Dataset, tau int64, scales []float64) ([]ScalingRow, error) {
 		}
 		model := ModelFor(pricing.C3Large, w)
 		cfg := core.DefaultConfig(tau, model)
-		res, err := core.Solve(w, cfg)
+		res, err := core.SolveContext(ctx, w, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/pubsub-systems/mcss/internal/pricing"
@@ -71,11 +72,11 @@ type Summary struct {
 }
 
 // RunSummary executes the four panels of Figs. 2–3 at the given scale.
-func RunSummary(scale float64) (*Summary, error) {
+func RunSummary(ctx context.Context, scale float64) (*Summary, error) {
 	s := &Summary{MaxFullSavings: map[Dataset]float64{}}
 	for _, d := range []Dataset{Spotify, Twitter} {
 		for _, inst := range []pricing.InstanceType{pricing.C3Large, pricing.C3XLarge} {
-			panel, err := RunLadder(d, inst, scale)
+			panel, err := RunLadder(ctx, d, inst, scale)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,72 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/pubsub-systems/mcss/internal/core"
+)
+
+// Progress is a core.Observer that renders solver progress as log lines —
+// the implementation behind the cmd/* -progress flags. OnProgress output is
+// throttled to one line per minInterval per stage (stage transitions and
+// completions always print), so even million-subscriber solves emit a
+// bounded trickle of lines. It is safe for concurrent use.
+type Progress struct {
+	mu   sync.Mutex
+	w    io.Writer
+	last map[string]time.Time
+	// minInterval between OnProgress lines per stage; 0 uses a second.
+	minInterval time.Duration
+}
+
+// NewProgress returns a Progress writing to w.
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w, last: make(map[string]time.Time), minInterval: time.Second}
+}
+
+var _ core.Observer = (*Progress)(nil)
+
+// OnStageStart implements core.Observer.
+func (p *Progress) OnStageStart(stage string, total int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if total > 0 {
+		fmt.Fprintf(p.w, "[%s] start (%d units)\n", stage, total)
+	} else {
+		fmt.Fprintf(p.w, "[%s] start\n", stage)
+	}
+}
+
+// OnProgress implements core.Observer, throttled per stage.
+func (p *Progress) OnProgress(stage string, done, total int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	if now.Sub(p.last[stage]) < p.minInterval {
+		return
+	}
+	p.last[stage] = now
+	if total > 0 {
+		fmt.Fprintf(p.w, "[%s] %d/%d (%.0f%%)\n", stage, done, total, 100*float64(done)/float64(total))
+	} else {
+		fmt.Fprintf(p.w, "[%s] %d\n", stage, done)
+	}
+}
+
+// OnStageDone implements core.Observer.
+func (p *Progress) OnStageDone(stage string, elapsed time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.last, stage)
+	fmt.Fprintf(p.w, "[%s] done in %s\n", stage, elapsed.Round(time.Millisecond))
+}
+
+// OnEpoch implements core.Observer.
+func (p *Progress) OnEpoch(epoch, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "[epochs] %d/%d\n", epoch+1, total)
+}

@@ -55,11 +55,13 @@ func (tl *Timeline) Validate() error {
 	if len(tl.Epochs) == 0 {
 		return fmt.Errorf("%w: no epochs", ErrInvalidTimeline)
 	}
-	numT, numV := tl.Epochs[0].NumTopics(), tl.Epochs[0].NumSubscribers()
 	for e, w := range tl.Epochs {
 		if w == nil {
 			return fmt.Errorf("%w: epoch %d is nil", ErrInvalidTimeline, e)
 		}
+	}
+	numT, numV := tl.Epochs[0].NumTopics(), tl.Epochs[0].NumSubscribers()
+	for e, w := range tl.Epochs {
 		if w.NumTopics() != numT || w.NumSubscribers() != numV {
 			return fmt.Errorf("%w: epoch %d has %d topics / %d subscribers, epoch 0 has %d/%d (IDs must be stable)",
 				ErrInvalidTimeline, e, w.NumTopics(), w.NumSubscribers(), numT, numV)

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/pubsub-systems/mcss/internal/timeline"
 	"github.com/pubsub-systems/mcss/internal/tracegen"
 	"github.com/pubsub-systems/mcss/internal/workload"
 )
@@ -62,7 +63,11 @@ func FuzzReadTimeline(f *testing.F) {
 		f.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := WriteTimeline(30, []*workload.Workload{w, w}, &buf); err != nil {
+	seed, err := timeline.New(30, []*workload.Workload{w, w})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteTimeline(seed, &buf); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(buf.String())
@@ -73,26 +78,26 @@ func FuzzReadTimeline(f *testing.F) {
 	f.Add("garbage")
 
 	f.Fuzz(func(t *testing.T, input string) {
-		mins, epochs, err := ReadTimeline(strings.NewReader(input))
+		tl, err := ReadTimeline(strings.NewReader(input))
 		if err != nil {
 			return
 		}
-		if mins <= 0 || len(epochs) == 0 {
-			t.Fatalf("parsed timeline with %d epochs × %d min and no error", len(epochs), mins)
+		if tl.EpochMinutes <= 0 || tl.NumEpochs() == 0 {
+			t.Fatalf("parsed timeline with %d epochs × %d min and no error", tl.NumEpochs(), tl.EpochMinutes)
 		}
 		var out bytes.Buffer
-		if err := WriteTimeline(mins, epochs, &out); err != nil {
+		if err := WriteTimeline(tl, &out); err != nil {
 			t.Fatalf("re-serialize: %v", err)
 		}
-		backMins, back, err := ReadTimeline(&out)
+		back, err := ReadTimeline(&out)
 		if err != nil {
 			t.Fatalf("re-parse: %v", err)
 		}
-		if backMins != mins || len(back) != len(epochs) {
+		if back.EpochMinutes != tl.EpochMinutes || back.NumEpochs() != tl.NumEpochs() {
 			t.Fatal("round trip changed the timeline shape")
 		}
-		for e := range epochs {
-			if !equalWorkloads(epochs[e], back[e]) {
+		for e := range tl.Epochs {
+			if !equalWorkloads(tl.Epochs[e], back.Epochs[e]) {
 				t.Fatalf("round trip changed epoch %d", e)
 			}
 		}

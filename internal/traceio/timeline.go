@@ -8,6 +8,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/pubsub-systems/mcss/internal/timeline"
 	"github.com/pubsub-systems/mcss/internal/workload"
 )
 
@@ -25,29 +26,32 @@ import (
 // workload one, so every hardening property of Read (hostile headers,
 // truncation, growth bounded by the actual stream) carries over per epoch.
 // Files ending in ".gz" are transparently (de)compressed.
+//
+// The codec's error contract is two-typed and symmetric between write and
+// read: structural violations of the timeline invariants (no epochs,
+// non-positive duration, epochs with unstable identifier counts) always
+// surface as timeline.ErrInvalidTimeline — from WriteTimeline/SaveTimeline
+// via Timeline.Validate before any byte is written, and from
+// ReadTimeline/LoadTimeline via timeline.New after parsing — while
+// malformed bytes on the wire surface as ErrBadFormat.
 
 const timelineMagic = "mcss-timeline 1"
 
-// WriteTimeline serializes an epoch sequence with the given epoch duration
-// (minutes per epoch) to out.
-func WriteTimeline(epochMinutes int64, epochs []*workload.Workload, out io.Writer) error {
-	if epochMinutes <= 0 {
-		return fmt.Errorf("traceio: epoch duration must be positive, got %d minutes", epochMinutes)
-	}
-	if len(epochs) == 0 {
-		return fmt.Errorf("traceio: timeline needs at least one epoch")
+// WriteTimeline validates the timeline and serializes it to out. A
+// structurally invalid timeline is rejected with timeline.ErrInvalidTimeline
+// before anything is written.
+func WriteTimeline(tl *timeline.Timeline, out io.Writer) error {
+	if err := tl.Validate(); err != nil {
+		return err
 	}
 	bw := bufio.NewWriterSize(out, 1<<20)
-	if _, err := fmt.Fprintf(bw, "%s\n%d %d\n", timelineMagic, len(epochs), epochMinutes); err != nil {
+	if _, err := fmt.Fprintf(bw, "%s\n%d %d\n", timelineMagic, len(tl.Epochs), tl.EpochMinutes); err != nil {
 		return err
 	}
 	if err := bw.Flush(); err != nil {
 		return err
 	}
-	for i, w := range epochs {
-		if w == nil {
-			return fmt.Errorf("traceio: timeline epoch %d is nil", i)
-		}
+	for i, w := range tl.Epochs {
 		if err := Write(w, out); err != nil {
 			return fmt.Errorf("traceio: timeline epoch %d: %w", i, err)
 		}
@@ -55,26 +59,29 @@ func WriteTimeline(epochMinutes int64, epochs []*workload.Workload, out io.Write
 	return nil
 }
 
-// ReadTimeline parses a timeline stream, returning the epoch duration in
-// minutes and the epoch workloads.
-func ReadTimeline(in io.Reader) (int64, []*workload.Workload, error) {
+// ReadTimeline parses a timeline stream and assembles a validated
+// Timeline. Malformed bytes yield ErrBadFormat; a stream that parses but
+// violates the timeline invariants (identifier stability across epochs)
+// yields timeline.ErrInvalidTimeline — the same error SaveTimeline would
+// have rejected it with.
+func ReadTimeline(in io.Reader) (*timeline.Timeline, error) {
 	sc := newScanner(in)
 	if !sc.Scan() {
-		return 0, nil, fmt.Errorf("%w: empty timeline stream", ErrBadFormat)
+		return nil, fmt.Errorf("%w: empty timeline stream", ErrBadFormat)
 	}
 	if got := strings.TrimSpace(sc.Text()); got != timelineMagic {
-		return 0, nil, fmt.Errorf("%w: bad timeline magic %q", ErrBadFormat, got)
+		return nil, fmt.Errorf("%w: bad timeline magic %q", ErrBadFormat, got)
 	}
 	if !sc.Scan() {
-		return 0, nil, fmt.Errorf("%w: missing timeline header", ErrBadFormat)
+		return nil, fmt.Errorf("%w: missing timeline header", ErrBadFormat)
 	}
 	var numEpochs int
 	var epochMinutes int64
 	if _, err := fmt.Sscanf(sc.Text(), "%d %d", &numEpochs, &epochMinutes); err != nil {
-		return 0, nil, fmt.Errorf("%w: timeline header %q: %v", ErrBadFormat, sc.Text(), err)
+		return nil, fmt.Errorf("%w: timeline header %q: %v", ErrBadFormat, sc.Text(), err)
 	}
 	if numEpochs <= 0 || epochMinutes <= 0 {
-		return 0, nil, fmt.Errorf("%w: timeline header needs positive epochs (%d) and minutes (%d)",
+		return nil, fmt.Errorf("%w: timeline header needs positive epochs (%d) and minutes (%d)",
 			ErrBadFormat, numEpochs, epochMinutes)
 	}
 	// As with Read, the slice grows with the actual stream, never with the
@@ -83,15 +90,19 @@ func ReadTimeline(in io.Reader) (int64, []*workload.Workload, error) {
 	for e := 0; e < numEpochs; e++ {
 		w, err := readWorkload(sc)
 		if err != nil {
-			return 0, nil, fmt.Errorf("%w: epoch %d: %v", ErrBadFormat, e, err)
+			return nil, fmt.Errorf("%w: epoch %d: %v", ErrBadFormat, e, err)
 		}
 		epochs = append(epochs, w)
 	}
-	return epochMinutes, epochs, nil
+	return timeline.New(epochMinutes, epochs)
 }
 
-// SaveTimeline writes a timeline to path; a ".gz" suffix enables gzip.
-func SaveTimeline(epochMinutes int64, epochs []*workload.Workload, path string) (err error) {
+// SaveTimeline writes a validated timeline to path; a ".gz" suffix enables
+// gzip.
+func SaveTimeline(tl *timeline.Timeline, path string) (err error) {
+	if err := tl.Validate(); err != nil {
+		return err
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -111,22 +122,22 @@ func SaveTimeline(epochMinutes int64, epochs []*workload.Workload, path string) 
 		}()
 		out = gz
 	}
-	return WriteTimeline(epochMinutes, epochs, out)
+	return WriteTimeline(tl, out)
 }
 
-// LoadTimeline reads a timeline from path, transparently decompressing
-// ".gz" files.
-func LoadTimeline(path string) (int64, []*workload.Workload, error) {
+// LoadTimeline reads a validated timeline from path, transparently
+// decompressing ".gz" files.
+func LoadTimeline(path string) (*timeline.Timeline, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, nil, err
+		return nil, err
 	}
 	defer f.Close()
 	var in io.Reader = f
 	if strings.HasSuffix(path, ".gz") {
 		gz, err := gzip.NewReader(f)
 		if err != nil {
-			return 0, nil, err
+			return nil, err
 		}
 		defer gz.Close()
 		in = gz

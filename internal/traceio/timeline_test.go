@@ -3,15 +3,17 @@ package traceio
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"github.com/pubsub-systems/mcss/internal/timeline"
 	"github.com/pubsub-systems/mcss/internal/tracegen"
 	"github.com/pubsub-systems/mcss/internal/workload"
 )
 
-func timelineEpochs(t *testing.T) []*workload.Workload {
+func testTimeline(t *testing.T) *timeline.Timeline {
 	t.Helper()
 	base, err := tracegen.Random(tracegen.RandomConfig{
 		Topics: 25, Subscribers: 80, MaxFollowings: 4, MaxRate: 300, Seed: 9,
@@ -23,48 +25,49 @@ func timelineEpochs(t *testing.T) []*workload.Workload {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return tl.Epochs
+	return tl
 }
 
 func TestTimelineRoundTrip(t *testing.T) {
-	epochs := timelineEpochs(t)
+	tl := testTimeline(t)
 	var buf bytes.Buffer
-	if err := WriteTimeline(30, epochs, &buf); err != nil {
+	if err := WriteTimeline(tl, &buf); err != nil {
 		t.Fatal(err)
 	}
-	gotMin, got, err := ReadTimeline(&buf)
+	got, err := ReadTimeline(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if gotMin != 30 {
-		t.Errorf("epoch minutes = %d, want 30", gotMin)
+	if got.EpochMinutes != tl.EpochMinutes {
+		t.Errorf("epoch minutes = %d, want %d", got.EpochMinutes, tl.EpochMinutes)
 	}
-	if len(got) != len(epochs) {
-		t.Fatalf("round trip returned %d epochs, want %d", len(got), len(epochs))
+	if got.NumEpochs() != tl.NumEpochs() {
+		t.Fatalf("round trip returned %d epochs, want %d", got.NumEpochs(), tl.NumEpochs())
 	}
-	for e := range epochs {
-		if !equalWorkloads(epochs[e], got[e]) {
+	for e := range tl.Epochs {
+		if !equalWorkloads(tl.Epochs[e], got.Epochs[e]) {
 			t.Errorf("epoch %d changed across the round trip", e)
 		}
 	}
 }
 
 func TestTimelineSaveLoadGzip(t *testing.T) {
-	epochs := timelineEpochs(t)
+	tl := testTimeline(t)
 	for _, name := range []string{"tl.timeline", "tl.timeline.gz"} {
 		path := filepath.Join(t.TempDir(), name)
-		if err := SaveTimeline(30, epochs, path); err != nil {
+		if err := SaveTimeline(tl, path); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		gotMin, got, err := LoadTimeline(path)
+		got, err := LoadTimeline(path)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if gotMin != 30 || len(got) != len(epochs) {
-			t.Fatalf("%s: loaded %d epochs × %d min, want %d × 30", name, len(got), gotMin, len(epochs))
+		if got.EpochMinutes != tl.EpochMinutes || got.NumEpochs() != tl.NumEpochs() {
+			t.Fatalf("%s: loaded %d epochs × %d min, want %d × %d",
+				name, got.NumEpochs(), got.EpochMinutes, tl.NumEpochs(), tl.EpochMinutes)
 		}
-		for e := range epochs {
-			if !equalWorkloads(epochs[e], got[e]) {
+		for e := range tl.Epochs {
+			if !equalWorkloads(tl.Epochs[e], got.Epochs[e]) {
 				t.Errorf("%s: epoch %d changed", name, e)
 			}
 		}
@@ -72,9 +75,9 @@ func TestTimelineSaveLoadGzip(t *testing.T) {
 }
 
 func TestTimelineRejectsMalformed(t *testing.T) {
-	epochs := timelineEpochs(t)
+	tl := testTimeline(t)
 	var buf bytes.Buffer
-	if err := WriteTimeline(30, epochs, &buf); err != nil {
+	if err := WriteTimeline(tl, &buf); err != nil {
 		t.Fatal(err)
 	}
 	full := buf.String()
@@ -91,22 +94,59 @@ func TestTimelineRejectsMalformed(t *testing.T) {
 		"hostile counts":   "mcss-timeline 1\n99999999 1\n",
 	}
 	for name, in := range cases {
-		if _, _, err := ReadTimeline(strings.NewReader(in)); !errors.Is(err, ErrBadFormat) {
+		if _, err := ReadTimeline(strings.NewReader(in)); !errors.Is(err, ErrBadFormat) {
 			t.Errorf("%s: err = %v, want ErrBadFormat", name, err)
 		}
 	}
 }
 
-func TestWriteTimelineRejectsBadInput(t *testing.T) {
-	epochs := timelineEpochs(t)
+// Structural violations surface as timeline.ErrInvalidTimeline from BOTH
+// directions: writing an invalid timeline and reading back bytes that
+// parse but break the identifier-stability invariant.
+func TestTimelineInvalidRoundTripTypedErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteTimeline(0, epochs, &buf); err == nil {
-		t.Error("zero epoch duration accepted")
+
+	// Save side: assembled-by-hand invalid timelines, rejected before any
+	// byte is written.
+	bad := []*timeline.Timeline{
+		{EpochMinutes: 0, Epochs: testTimeline(t).Epochs},
+		{EpochMinutes: 30},
+		{EpochMinutes: 30, Epochs: []*workload.Workload{nil}},
 	}
-	if err := WriteTimeline(30, nil, &buf); err == nil {
-		t.Error("empty epoch list accepted")
+	for i, tl := range bad {
+		if err := WriteTimeline(tl, &buf); !errors.Is(err, timeline.ErrInvalidTimeline) {
+			t.Errorf("case %d: WriteTimeline err = %v, want ErrInvalidTimeline", i, err)
+		}
+		if buf.Len() != 0 {
+			t.Errorf("case %d: WriteTimeline wrote %d bytes for an invalid timeline", i, buf.Len())
+		}
+		buf.Reset()
 	}
-	if err := WriteTimeline(30, []*workload.Workload{nil}, &buf); err == nil {
-		t.Error("nil epoch accepted")
+	path := filepath.Join(t.TempDir(), "bad.timeline")
+	if err := SaveTimeline(bad[0], path); !errors.Is(err, timeline.ErrInvalidTimeline) {
+		t.Errorf("SaveTimeline err = %v, want ErrInvalidTimeline", err)
+	}
+
+	// Load side: two well-formed epoch traces with different topic counts.
+	// Each epoch parses, so this is not ErrBadFormat — it is the same
+	// ErrInvalidTimeline the save path enforces.
+	small, err := workload.FromCSR([]int64{5}, []int64{0, 1}, []workload.TopicID{0}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := workload.FromCSR([]int64{5, 7}, []int64{0, 2}, []workload.TopicID{0, 1}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	fmt.Fprintf(&buf, "%s\n2 30\n", timelineMagic)
+	if err := Write(small, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(big, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTimeline(&buf); !errors.Is(err, timeline.ErrInvalidTimeline) {
+		t.Errorf("ReadTimeline of unstable epochs: err = %v, want ErrInvalidTimeline", err)
 	}
 }

@@ -9,15 +9,23 @@
 // virtual machines of bounded bandwidth, and the monetary cost of hosting
 // the deployment on an IaaS provider priced like Amazon EC2.
 //
-// The heart of the library is the two-stage MCSS heuristic:
+// The heart of the library is the two-stage MCSS heuristic, driven through
+// a context-aware Planner built from functional options:
 //
 //	w, _ := mcss.NewWorkloadBuilder().
 //	        AddTopic("artist-1", 120). // events per hour
 //	        AddSubscription("user-1", "artist-1").
 //	        Build()
-//	cfg := mcss.DefaultConfig(100, mcss.NewModel(mcss.C3Large))
-//	res, _ := mcss.Solve(w, cfg)
-//	fmt.Println(res.Allocation.NumVMs(), res.Cost(cfg.Model))
+//	model := mcss.NewModel(mcss.C3Large)
+//	p, _ := mcss.NewPlanner(mcss.WithTau(100), mcss.WithModel(model))
+//	res, _ := p.Solve(ctx, w)
+//	fmt.Println(res.Allocation.NumVMs(), res.Cost(model))
+//
+// Every long-running Planner call takes a context.Context — cancellation
+// and deadlines are honored at bounded intervals inside the solver hot
+// loops — and an Observer (WithObserver) streams per-stage and per-epoch
+// progress. Stage algorithms are pluggable named strategies (WithStage1,
+// WithStage2, WithStrategy; RegisterStrategy adds your own).
 //
 // Beyond the paper, the solver packs onto heterogeneous fleets: set
 // SolverConfig.Fleet (e.g. CatalogFleet) and Stage 2 picks which instance
@@ -165,14 +173,32 @@ const (
 // VM capacity.
 var ErrInfeasible = core.ErrInfeasible
 
+// SelectAllPairs returns the selection containing every pair (the no-τ
+// deployment) — an upper baseline, and a convenient building block for
+// custom Stage-1 strategies.
+func SelectAllPairs(w *Workload) *Selection { return core.SelectAllPairs(w) }
+
+// SelectionFromPairs builds a Selection from an explicit pair list in any
+// order (duplicates are dropped; out-of-range IDs are an error) — how
+// custom strategies and external tools re-enter the packing pipeline with
+// their own pair choice.
+func SelectionFromPairs(w *Workload, pairs []Pair) (*Selection, error) {
+	return core.SelectionFromPairs(w, pairs)
+}
+
 // DefaultConfig returns the paper's full solution (GSP + CBP with all
 // optimizations, 200-byte messages) for the given τ and pricing model.
+//
+// Deprecated: build a Planner with NewPlanner(WithTau(tau), WithModel(m))
+// instead; DefaultConfig remains for SolverConfig-based call sites.
 func DefaultConfig(tau int64, m Model) SolverConfig { return core.DefaultConfig(tau, m) }
 
 // DefaultFleetConfig is DefaultConfig with a heterogeneous fleet: Stage 2
 // chooses which instance size to deploy next by modeled cost per byte
 // served, and the result never costs more than the best single-type choice
 // from the same fleet.
+//
+// Deprecated: build a Planner with WithFleet(f) instead.
 func DefaultFleetConfig(tau int64, m Model, f Fleet) SolverConfig {
 	cfg := core.DefaultConfig(tau, m)
 	cfg.Fleet = f
@@ -180,20 +206,30 @@ func DefaultFleetConfig(tau int64, m Model, f Fleet) SolverConfig {
 }
 
 // Solve runs the two-stage MCSS heuristic.
+//
+// Deprecated: use Planner.Solve, which takes a context.Context for
+// cancellation/deadlines and streams progress to an Observer. Solve
+// remains as a thin wrapper over the same engine for one release.
 func Solve(w *Workload, cfg SolverConfig) (*Result, error) { return core.Solve(w, cfg) }
 
 // LowerBound computes the per-instance Alg. 5 lower bound.
+//
+// Deprecated: use Planner.LowerBound.
 func LowerBound(w *Workload, cfg SolverConfig) (Bound, error) { return core.LowerBound(w, cfg) }
 
 // Verify checks the solver's postconditions (satisfaction, capacity,
 // accounting, consistency) and returns the first violation.
+//
+// Deprecated: use Planner.Verify.
 func Verify(w *Workload, sel *Selection, alloc *Allocation, cfg SolverConfig) error {
 	return core.VerifyAllocation(w, sel, alloc, cfg)
 }
 
 // SolveExact computes the optimal solution for tiny instances (at most
 // ExactMaxPairs pairs); it validates heuristic quality in tests and demos.
-func SolveExact(w *Workload, cfg SolverConfig) (exact.Solution, error) { return exact.Solve(w, cfg) }
+//
+// Deprecated: use Planner.SolveExact.
+func SolveExact(w *Workload, cfg SolverConfig) (ExactSolution, error) { return exact.Solve(w, cfg) }
 
 // ExactMaxPairs is the exact solver's instance-size cap.
 const ExactMaxPairs = exact.MaxPairs
@@ -276,6 +312,8 @@ type (
 )
 
 // NewProvisioner solves the initial allocation for online re-provisioning.
+//
+// Deprecated: use Planner.Provision, which takes a context.Context.
 func NewProvisioner(w *Workload, cfg SolverConfig) (*Provisioner, error) {
 	return dynamic.New(w, cfg)
 }
@@ -326,26 +364,32 @@ func GenerateDiurnal(base *Workload, cfg DiurnalTraceConfig) (*Timeline, error) 
 	return tracegen.Diurnal(base, cfg)
 }
 
+// ErrInvalidTimeline reports a structurally unusable timeline (no epochs,
+// non-positive epoch duration, or epochs with unstable identifier counts).
+// Both SaveTimeline and LoadTimeline surface structural violations as this
+// one typed error; LoadTimeline reserves traceio's ErrBadFormat for
+// malformed bytes.
+var ErrInvalidTimeline = timeline.ErrInvalidTimeline
+
 // SaveTimeline writes a timeline to path in the traceio timeline format
-// (gzip when it ends in ".gz").
+// (gzip when it ends in ".gz"). An invalid timeline is rejected with
+// ErrInvalidTimeline before anything is written.
 func SaveTimeline(tl *Timeline, path string) error {
-	if err := tl.Validate(); err != nil {
-		return err
-	}
-	return traceio.SaveTimeline(tl.EpochMinutes, tl.Epochs, path)
+	return traceio.SaveTimeline(tl, path)
 }
 
-// LoadTimeline reads a timeline from path.
+// LoadTimeline reads a validated timeline from path. Malformed bytes fail
+// with traceio's ErrBadFormat; bytes that parse into structurally invalid
+// epochs fail with ErrInvalidTimeline, mirroring SaveTimeline.
 func LoadTimeline(path string) (*Timeline, error) {
-	epochMinutes, epochs, err := traceio.LoadTimeline(path)
-	if err != nil {
-		return nil, err
-	}
-	return timeline.New(epochMinutes, epochs)
+	return traceio.LoadTimeline(path)
 }
 
 // NewElasticController builds an elastic controller that re-solves each
-// timeline epoch under cfg and applies the hysteresis policy.
+// timeline epoch under cfg and applies the hysteresis policy. Its Run
+// method takes a context.Context.
+//
+// Deprecated: use Planner.RunTimeline.
 func NewElasticController(cfg SolverConfig, policy ElasticPolicy) *ElasticController {
 	return elastic.NewController(cfg, policy)
 }

@@ -1,0 +1,299 @@
+package mcss
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/dynamic"
+	"github.com/pubsub-systems/mcss/internal/elastic"
+	"github.com/pubsub-systems/mcss/internal/exact"
+)
+
+// ErrBadOption reports an invalid Planner option; every validation failure
+// from NewPlanner wraps it, so callers can errors.Is against one sentinel
+// while the message names the offending option.
+var ErrBadOption = errors.New("mcss: bad planner option")
+
+// Observer receives progress callbacks from long-running Planner calls:
+// OnStageStart/OnProgress/OnStageDone bracket each solver stage (pair
+// selection, packing, lower bound, exact DP) and OnEpoch fires after each
+// timeline epoch of an elastic run. See core.Observer for the full
+// contract; implementations must be cheap and need not be goroutine-safe
+// (callbacks fire from the calling goroutine).
+type Observer = core.Observer
+
+// Strategy is a named, pluggable solver implementation: a Stage-1 pair
+// selector, a Stage-2 packer, a complete solver, or any combination. The
+// built-ins are registered as "gsp"/"greedy", "rsp"/"random" (Stage 1),
+// "cbp"/"custom", "ffbp"/"first-fit", "bfd" (Stage 2), and "exact" (full
+// solve); register your own with RegisterStrategy and select it with
+// WithStage1/WithStage2/WithStrategy.
+type Strategy = core.Strategy
+
+// RegisterStrategy adds a named strategy to the registry (case-insensitive
+// names; duplicates are an error).
+func RegisterStrategy(name string, s Strategy) error { return core.RegisterStrategy(name, s) }
+
+// StrategyByName looks up a registered strategy.
+func StrategyByName(name string) (Strategy, bool) { return core.StrategyByName(name) }
+
+// StrategyNames lists the registered strategy names, sorted.
+func StrategyNames() []string { return core.StrategyNames() }
+
+// ContextWithObserver returns a context carrying obs: every solver layer
+// (solves, lower bounds, the exact DP, elastic runs) falls back to the
+// context's observer when no WithObserver/Config.Observer was set. Use it
+// to switch on progress reporting across a whole call tree from one place;
+// an explicitly configured observer takes precedence.
+func ContextWithObserver(ctx context.Context, obs Observer) context.Context {
+	return core.ContextWithObserver(ctx, obs)
+}
+
+// NopObserver ignores every callback — the explicit-silence observer
+// WithObserver(nil) attaches.
+var NopObserver = core.NopObserver
+
+// ExactSolution is the exact solver's result type.
+type ExactSolution = exact.Solution
+
+// Option configures a Planner under construction.
+type Option func(*plannerBuilder)
+
+type plannerBuilder struct {
+	cfg        SolverConfig
+	tauSet     bool
+	modelSet   bool
+	stage1Name string
+	stage2Name string
+	solveName  string
+	errs       []error
+}
+
+func (b *plannerBuilder) addErr(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("%w: "+format, append([]any{ErrBadOption}, args...)...))
+}
+
+// WithTau sets the satisfaction threshold τ in events per hour (required,
+// must be positive).
+func WithTau(tau int64) Option {
+	return func(b *plannerBuilder) {
+		b.tauSet = true // the option was supplied, even if invalid
+		if tau <= 0 {
+			b.addErr("WithTau: τ must be positive, got %d", tau)
+			return
+		}
+		b.cfg.Tau = tau
+	}
+}
+
+// WithModel sets the pricing model (required): rental duration, transfer
+// pricing, and — for single-type solves — the VM capacity.
+func WithModel(m Model) Option {
+	return func(b *plannerBuilder) {
+		if m == (Model{}) {
+			b.addErr("WithModel: model is the zero value (build one with NewModel)")
+			return
+		}
+		b.cfg.Model = m
+		b.modelSet = true
+	}
+}
+
+// WithFleet lets Stage 2 mix instance sizes from the given heterogeneous
+// fleet; the fleet must not be empty.
+func WithFleet(f Fleet) Option {
+	return func(b *plannerBuilder) {
+		if f.IsZero() || f.Len() == 0 {
+			b.addErr("WithFleet: fleet is empty")
+			return
+		}
+		b.cfg.Fleet = f
+	}
+}
+
+// WithStage1 selects the Stage-1 pair-selection strategy by registered
+// name (e.g. "gsp", "rsp"); the default is "gsp".
+func WithStage1(name string) Option {
+	return func(b *plannerBuilder) { b.stage1Name = name }
+}
+
+// WithStage2 selects the Stage-2 packing strategy by registered name
+// (e.g. "cbp", "ffbp", "bfd"); the default is "cbp".
+func WithStage2(name string) Option {
+	return func(b *plannerBuilder) { b.stage2Name = name }
+}
+
+// WithStrategy selects a full-solve strategy by registered name (e.g.
+// "exact"), replacing both stages.
+func WithStrategy(name string) Option {
+	return func(b *plannerBuilder) { b.solveName = name }
+}
+
+// WithOptFlags toggles CustomBinPacking's optimizations; the default is
+// OptAll.
+func WithOptFlags(f OptFlags) Option {
+	return func(b *plannerBuilder) { b.cfg.Opts = f }
+}
+
+// WithMessageBytes sets the notification size in bytes; the default is the
+// paper's 200.
+func WithMessageBytes(n int64) Option {
+	return func(b *plannerBuilder) {
+		if n <= 0 {
+			b.addErr("WithMessageBytes: size must be positive, got %d", n)
+			return
+		}
+		b.cfg.MessageBytes = n
+	}
+}
+
+// WithObserver streams progress callbacks from every long-running Planner
+// call to obs. Passing nil pins the planner to silence: it attaches
+// NopObserver, which also suppresses any ambient observer installed via
+// ContextWithObserver.
+func WithObserver(obs Observer) Option {
+	return func(b *plannerBuilder) {
+		if obs == nil {
+			obs = NopObserver
+		}
+		b.cfg.Observer = obs
+	}
+}
+
+// WithParallelism sets the Stage-1 worker count: 0 or 1 solve serially,
+// n > 1 shards across n goroutines, negative uses GOMAXPROCS. Results are
+// bit-identical regardless.
+func WithParallelism(workers int) Option {
+	return func(b *plannerBuilder) { b.cfg.Parallelism = workers }
+}
+
+// WithLenientFirstFit reproduces the paper's literal Alg. 3 capacity test,
+// which may overshoot a VM's capacity by one topic rate.
+func WithLenientFirstFit(lenient bool) Option {
+	return func(b *plannerBuilder) { b.cfg.LenientFirstFit = lenient }
+}
+
+// Planner is the context-aware entry point to the solver stack: build one
+// from functional options, then call Solve, LowerBound, SolveExact,
+// Provision, or RunTimeline with a context — every long-running path polls
+// cancellation at bounded intervals and reports progress to the configured
+// Observer. A Planner is immutable after construction and safe for
+// concurrent use as long as its Observer is (the built-in paths call the
+// Observer from the calling goroutine only).
+//
+//	p, err := mcss.NewPlanner(
+//	        mcss.WithTau(100),
+//	        mcss.WithModel(mcss.NewModel(mcss.C3Large)),
+//	        mcss.WithFleet(mcss.CatalogFleet()),
+//	)
+//	res, err := p.Solve(ctx, w)
+type Planner struct {
+	cfg SolverConfig
+}
+
+// NewPlanner validates the options and builds a Planner. All validation
+// failures are reported up front (joined, each wrapping ErrBadOption):
+// non-positive τ, a zero pricing model, an empty fleet, an unknown or
+// role-mismatched strategy name, or a non-positive message size — rather
+// than surfacing later from inside a solve.
+func NewPlanner(opts ...Option) (*Planner, error) {
+	b := &plannerBuilder{}
+	b.cfg.Stage1 = Stage1Greedy
+	b.cfg.Stage2 = Stage2Custom
+	b.cfg.Opts = OptAll
+	b.cfg.MessageBytes = 200
+	for _, opt := range opts {
+		opt(b)
+	}
+	if !b.tauSet && b.cfg.Tau <= 0 {
+		b.addErr("WithTau is required: τ must be a positive event rate")
+	}
+	if !b.modelSet {
+		b.addErr("WithModel is required: the solver needs a pricing model")
+	}
+	if b.stage1Name != "" {
+		s, ok := StrategyByName(b.stage1Name)
+		switch {
+		case !ok:
+			b.addErr("WithStage1: unknown strategy %q (registered: %v)", b.stage1Name, StrategyNames())
+		case s.SelectPairs == nil:
+			b.addErr("WithStage1: strategy %q has no Stage-1 role", b.stage1Name)
+		default:
+			b.cfg.Stage1Strategy = s
+		}
+	}
+	if b.stage2Name != "" {
+		s, ok := StrategyByName(b.stage2Name)
+		switch {
+		case !ok:
+			b.addErr("WithStage2: unknown strategy %q (registered: %v)", b.stage2Name, StrategyNames())
+		case s.Pack == nil:
+			b.addErr("WithStage2: strategy %q has no Stage-2 role", b.stage2Name)
+		default:
+			b.cfg.Stage2Strategy = s
+		}
+	}
+	if b.solveName != "" {
+		s, ok := StrategyByName(b.solveName)
+		switch {
+		case !ok:
+			b.addErr("WithStrategy: unknown strategy %q (registered: %v)", b.solveName, StrategyNames())
+		case s.Solve == nil:
+			b.addErr("WithStrategy: strategy %q has no full-solve role", b.solveName)
+		default:
+			b.cfg.SolveStrategy = s
+		}
+	}
+	if b.modelSet && b.cfg.Fleet.IsZero() && b.cfg.Model.CapacityBytesPerHour() <= 0 {
+		b.addErr("WithModel: model has no positive VM capacity and no fleet was given")
+	}
+	if len(b.errs) > 0 {
+		return nil, errors.Join(b.errs...)
+	}
+	return &Planner{cfg: b.cfg}, nil
+}
+
+// Config returns a copy of the planner's underlying solver configuration —
+// the bridge for code still consuming SolverConfig-based APIs.
+func (p *Planner) Config() SolverConfig { return p.cfg }
+
+// Solve runs the two-stage MCSS heuristic (or the configured full-solve
+// strategy). Cancellation is polled at bounded intervals inside every
+// stage's hot loop; on cancellation Solve returns ctx.Err() promptly.
+func (p *Planner) Solve(ctx context.Context, w *Workload) (*Result, error) {
+	return core.SolveContext(ctx, w, p.cfg)
+}
+
+// LowerBound computes the fleet-aware Alg. 5 lower bound.
+func (p *Planner) LowerBound(ctx context.Context, w *Workload) (Bound, error) {
+	return core.LowerBoundContext(ctx, w, p.cfg)
+}
+
+// SolveExact computes the optimal solution for tiny instances (at most
+// ExactMaxPairs pairs), branching over the planner's fleet.
+func (p *Planner) SolveExact(ctx context.Context, w *Workload) (ExactSolution, error) {
+	return exact.SolveContext(ctx, w, p.cfg)
+}
+
+// Verify checks the solver postconditions (satisfaction, capacity,
+// accounting, consistency) for a result obtained under this planner's
+// configuration and returns the first violation.
+func (p *Planner) Verify(w *Workload, sel *Selection, alloc *Allocation) error {
+	return core.VerifyAllocation(w, sel, alloc, p.cfg)
+}
+
+// Provision solves the initial allocation and returns an online
+// provisioner that keeps it current across workload deltas and failures.
+func (p *Planner) Provision(ctx context.Context, w *Workload) (*Provisioner, error) {
+	return dynamic.NewContext(ctx, w, p.cfg)
+}
+
+// RunTimeline walks a workload timeline with an elastic controller under
+// the given hysteresis policy, re-solving, scaling, and billing every
+// epoch. The context cancels between epochs and inside every per-epoch
+// solve; the planner's Observer additionally receives OnEpoch callbacks.
+func (p *Planner) RunTimeline(ctx context.Context, tl *Timeline, policy ElasticPolicy) (*ElasticRunReport, error) {
+	return elastic.NewController(p.cfg, policy).Run(ctx, tl)
+}
