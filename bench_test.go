@@ -474,6 +474,42 @@ func BenchmarkAblationBestFit(b *testing.B) {
 	}
 }
 
+// BenchmarkPlanApply measures the declarative lifecycle end to end on a
+// Twitter-like workload: one Planner.Plan (solve + diff + step extraction
+// + fingerprinting) and one Apply (fingerprint check, step replay, target
+// verification, adoption) per iteration, bootstrapping from the empty
+// cluster. The reported plan_steps and plan_usd make plan size visible
+// next to the timing.
+func BenchmarkPlanApply(b *testing.B) {
+	w, err := experiments.Generate(experiments.Twitter, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := experiments.ModelFor(pricing.C3Large, w)
+	p, err := mcss.NewPlanner(mcss.WithTau(100), mcss.WithModel(model))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var plan *mcss.DeployPlan
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err = p.Plan(ctx, mcss.DeploySpec{Workload: w}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prov, err := mcss.RestoreProvisioner(mcss.EmptyClusterState(), p.Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mcss.Apply(ctx, plan, prov); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(plan.Steps)), "plan_steps")
+	b.ReportMetric(plan.CostAfter.USD(), "plan_usd")
+}
+
 // BenchmarkDiurnalController runs the full three-strategy diurnal
 // comparison (24-epoch Twitter-like timeline; static peak, oracle, and
 // hysteresis elastic controller) per iteration and reports the headline

@@ -1,6 +1,19 @@
 // Command mcss solves the Minimum Cost Subscriber Satisfaction problem for
 // a pub/sub workload and prints the resulting allocation and cost report.
 //
+// Beyond the one-shot solve, the command drives the declarative
+// deployment lifecycle through three subcommands:
+//
+//	mcss plan  -dataset twitter -tau 100 -state cluster.json -o plan.json
+//	mcss diff  -dataset twitter -tau 100 -state cluster.json
+//	mcss apply -state cluster.json plan.json
+//
+// `plan` computes a serializable reconfiguration from the persisted
+// cluster state (or the empty cluster) to the desired workload; `diff`
+// prints what a plan would change without writing one; `apply` verifies a
+// plan's fingerprint against the state, executes it, and persists the new
+// state. Applying a plan after the state drifted fails with ErrStalePlan.
+//
 // The workload comes either from a trace file (-trace, written by
 // cmd/tracegen or traceio.Save) or from a built-in synthetic dataset
 // (-dataset twitter|spotify with -scale).
@@ -30,78 +43,122 @@ func main() {
 	os.Exit(cli.ExitCode("mcss", run(os.Args[1:]), os.Stderr))
 }
 
+// run dispatches the lifecycle subcommands and falls back to the classic
+// one-shot solve for plain flag invocations.
 func run(args []string) error {
-	fs := flag.NewFlagSet("mcss", flag.ContinueOnError)
-	var (
-		tracePath = fs.String("trace", "", "workload trace file (see cmd/tracegen)")
-		dataset   = fs.String("dataset", "", "synthetic dataset: twitter or spotify")
-		scale     = fs.Float64("scale", 0.1, "synthetic dataset scale factor")
-		tau       = fs.Int64("tau", 100, "satisfaction threshold τ (events/hour)")
-		instance  = fs.String("instance", "c3.large", "EC2 instance type")
-		fleetSpec = fs.String("fleet", "", "heterogeneous fleet: 'catalog' or comma list of instance types (empty = single -instance)")
-		capacity  = fs.Int64("capacity", 0, "per-VM capacity override in bytes/hour for -instance, scaled per-mbps across the fleet (0 = calibrated)")
-		msgBytes  = fs.Int64("message-bytes", 200, "notification size in bytes")
-		stage1    = fs.String("stage1", "gsp", "stage 1 algorithm: gsp or rsp")
-		stage2    = fs.String("stage2", "cbp", "stage 2 algorithm: cbp or ffbp")
-		opts      = fs.String("opts", "all", "CBP optimizations: all, none, or comma list of expensive,mostfree,cost")
-		strategy  = fs.String("strategy", "", "full-solve strategy replacing both stages (e.g. exact)")
-		verify    = fs.Bool("verify", false, "verify the allocation postconditions")
-		showVMs   = fs.Int("show-vms", 0, "print the first N VM placements")
-		timeout   = fs.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
-		progress  = fs.Bool("progress", false, "stream per-stage solver progress to stderr")
-	)
-	if err := fs.Parse(args); err != nil {
-		return err
+	if len(args) > 0 {
+		switch args[0] {
+		case "plan":
+			return runPlan(args[1:])
+		case "apply":
+			return runApply(args[1:])
+		case "diff":
+			return runDiff(args[1:])
+		}
 	}
+	return runSolve(args)
+}
 
-	w, err := loadWorkload(*tracePath, *dataset, *scale)
+// solverFlags is the flag block shared by the solve, plan, and diff
+// paths: where the workload comes from and how to solve it.
+type solverFlags struct {
+	tracePath, dataset                *string
+	scale                             *float64
+	tau                               *int64
+	instance, fleetSpec               *string
+	capacity, msgBytes                *int64
+	stage1, stage2, optSpec, strategy *string
+	progress                          *bool
+}
+
+func registerSolverFlags(fs *flag.FlagSet) *solverFlags {
+	return &solverFlags{
+		tracePath: fs.String("trace", "", "workload trace file (see cmd/tracegen)"),
+		dataset:   fs.String("dataset", "", "synthetic dataset: twitter or spotify"),
+		scale:     fs.Float64("scale", 0.1, "synthetic dataset scale factor"),
+		tau:       fs.Int64("tau", 100, "satisfaction threshold τ (events/hour)"),
+		instance:  fs.String("instance", "c3.large", "EC2 instance type"),
+		fleetSpec: fs.String("fleet", "", "heterogeneous fleet: 'catalog' or comma list of instance types (empty = single -instance)"),
+		capacity:  fs.Int64("capacity", 0, "per-VM capacity override in bytes/hour for -instance, scaled per-mbps across the fleet (0 = calibrated)"),
+		msgBytes:  fs.Int64("message-bytes", 200, "notification size in bytes"),
+		stage1:    fs.String("stage1", "gsp", "stage 1 algorithm: gsp or rsp"),
+		stage2:    fs.String("stage2", "cbp", "stage 2 algorithm: cbp or ffbp"),
+		optSpec:   fs.String("opts", "all", "CBP optimizations: all, none, or comma list of expensive,mostfree,cost"),
+		strategy:  fs.String("strategy", "", "full-solve strategy replacing both stages (e.g. exact)"),
+		progress:  fs.Bool("progress", false, "stream per-stage solver progress to stderr"),
+	}
+}
+
+// build loads the workload and assembles the Planner (plus the resolved
+// model and fleet) from the parsed flags.
+func (sf *solverFlags) build() (*mcss.Workload, *mcss.Planner, mcss.Model, mcss.Fleet, error) {
+	fail := func(err error) (*mcss.Workload, *mcss.Planner, mcss.Model, mcss.Fleet, error) {
+		return nil, nil, mcss.Model{}, mcss.Fleet{}, err
+	}
+	w, err := loadWorkload(*sf.tracePath, *sf.dataset, *sf.scale)
 	if err != nil {
-		return err
+		return fail(err)
 	}
-
-	it, ok := mcss.InstanceByName(*instance)
+	it, ok := mcss.InstanceByName(*sf.instance)
 	if !ok {
-		return fmt.Errorf("unknown instance type %q", *instance)
+		return fail(fmt.Errorf("unknown instance type %q", *sf.instance))
 	}
 	var model mcss.Model
-	if *capacity > 0 {
+	if *sf.capacity > 0 {
 		model = mcss.NewModel(it)
-		model.CapacityOverrideBytesPerHour = *capacity
+		model.CapacityOverrideBytesPerHour = *sf.capacity
 	} else {
 		model = experiments.ModelFor(it, w)
 	}
-	fleet, err := parseFleet(*fleetSpec)
+	fleet, err := parseFleet(*sf.fleetSpec)
 	if err != nil {
-		return err
+		return fail(err)
 	}
 	if !fleet.IsZero() {
 		// Put every fleet type on the same bytes-per-mbps scale as the
 		// (possibly calibrated) -instance capacity.
 		fleet = fleet.WithBytesPerMbps(model.CapacityBytesPerHour() / it.LinkMbps)
 	}
-
-	optFlags, err := parseOpts(*opts)
+	optFlags, err := parseOpts(*sf.optSpec)
 	if err != nil {
-		return err
+		return fail(err)
 	}
 	popts := []mcss.Option{
-		mcss.WithTau(*tau),
+		mcss.WithTau(*sf.tau),
 		mcss.WithModel(model),
-		mcss.WithMessageBytes(*msgBytes),
-		mcss.WithStage1(strings.ToLower(*stage1)),
-		mcss.WithStage2(strings.ToLower(*stage2)),
+		mcss.WithMessageBytes(*sf.msgBytes),
+		mcss.WithStage1(strings.ToLower(*sf.stage1)),
+		mcss.WithStage2(strings.ToLower(*sf.stage2)),
 		mcss.WithOptFlags(optFlags),
 	}
 	if !fleet.IsZero() {
 		popts = append(popts, mcss.WithFleet(fleet))
 	}
-	if *strategy != "" {
-		popts = append(popts, mcss.WithStrategy(*strategy))
+	if *sf.strategy != "" {
+		popts = append(popts, mcss.WithStrategy(*sf.strategy))
 	}
-	if *progress {
+	if *sf.progress {
 		popts = append(popts, mcss.WithObserver(report.NewProgress(os.Stderr)))
 	}
 	p, err := mcss.NewPlanner(popts...)
+	if err != nil {
+		return fail(err)
+	}
+	return w, p, model, fleet, nil
+}
+
+func runSolve(args []string) error {
+	fs := flag.NewFlagSet("mcss", flag.ContinueOnError)
+	sf := registerSolverFlags(fs)
+	var (
+		verify  = fs.Bool("verify", false, "verify the allocation postconditions")
+		showVMs = fs.Int("show-vms", 0, "print the first N VM placements")
+		timeout = fs.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, p, model, fleet, err := sf.build()
 	if err != nil {
 		return err
 	}
@@ -112,10 +169,10 @@ func run(args []string) error {
 		w.NumTopics(), w.NumSubscribers(), w.NumPairs())
 	if fleet.IsZero() {
 		fmt.Printf("config: τ=%d, %s (BC=%d bytes/h), stage1=%s stage2=%s opts=%v\n",
-			*tau, it.Name, model.CapacityBytesPerHour(), *stage1, *stage2, optFlags)
+			*sf.tau, *sf.instance, model.CapacityBytesPerHour(), *sf.stage1, *sf.stage2, p.Config().Opts)
 	} else {
 		fmt.Printf("config: τ=%d, fleet %v, stage1=%s stage2=%s opts=%v\n",
-			*tau, fleet, *stage1, *stage2, optFlags)
+			*sf.tau, fleet, *sf.stage1, *sf.stage2, p.Config().Opts)
 	}
 
 	res, err := p.Solve(ctx, w)

@@ -1,0 +1,131 @@
+package mcss
+
+import (
+	"context"
+
+	"github.com/pubsub-systems/mcss/internal/deploy"
+	"github.com/pubsub-systems/mcss/internal/dynamic"
+	"github.com/pubsub-systems/mcss/internal/traceio"
+)
+
+// The declarative deployment lifecycle: Spec → Plan → Diff → Apply.
+//
+// A DeploySpec names the desired state; Planner.Plan computes a
+// serializable DeployPlan against the current ClusterState (the workload
+// diff, an executable step sequence, a forecast cost delta, and a
+// fingerprint of the state it was computed against); Apply enacts the plan
+// on a Provisioner, refusing stale plans, supporting dry runs and per-step
+// progress, and rolling back on any mid-apply failure. Plans persist as
+// versioned JSON via SavePlan/LoadPlan — the artifact an operator reviews,
+// approves, and replays (see examples/gitops).
+type (
+	// DeploySpec is the desired deployment state: workload plus solver
+	// overrides (τ, message size, fleet, full-solve strategy).
+	DeploySpec = deploy.Spec
+	// DeployPlan is a serializable, verifiable reconfiguration.
+	DeployPlan = deploy.Plan
+	// DeployDiff is a plan's declarative difference: the workload delta
+	// and the placement churn it enacts.
+	DeployDiff = deploy.Diff
+	// DeployStep is one executable plan action (boot/retire a VM,
+	// place/remove topic replicas).
+	DeployStep = dynamic.Step
+	// DeployStepOp names a step's operation.
+	DeployStepOp = dynamic.StepOp
+	// ClusterState is one cluster state (workload + allocation), the
+	// thing plans are computed against and Apply advances.
+	ClusterState = deploy.State
+	// ApplyReport summarizes one Apply call.
+	ApplyReport = deploy.Report
+	// ApplyOption configures Apply (dry run, step observer).
+	ApplyOption = deploy.ApplyOption
+	// DeployObserver receives per-step progress during Apply; returning
+	// an error aborts the apply and rolls back.
+	DeployObserver = deploy.Observer
+	// DeployObserverFunc adapts a function to DeployObserver.
+	DeployObserverFunc = deploy.ObserverFunc
+)
+
+// The step operations a DeployPlan is built from.
+const (
+	StepBootVM   = dynamic.OpBootVM
+	StepRetireVM = dynamic.OpRetireVM
+	StepPlace    = dynamic.OpPlace
+	StepRemove   = dynamic.OpRemove
+)
+
+// Deployment lifecycle errors.
+var (
+	// ErrStalePlan reports that the cluster state no longer matches the
+	// fingerprint a plan was computed against.
+	ErrStalePlan = deploy.ErrStalePlan
+	// ErrInvalidPlan reports a structurally unusable plan (bad version,
+	// bad references, steps that do not reproduce the plan's target).
+	ErrInvalidPlan = deploy.ErrInvalidPlan
+)
+
+// EmptyClusterState returns the state of a never-deployed cluster — the
+// base for bootstrap plans.
+func EmptyClusterState() *ClusterState { return deploy.EmptyState() }
+
+// NewClusterState bundles a workload and the allocation serving it.
+func NewClusterState(w *Workload, alloc *Allocation) *ClusterState {
+	return deploy.NewState(w, alloc)
+}
+
+// ClusterStateOf captures a provisioner's current state.
+func ClusterStateOf(prov *Provisioner) *ClusterState { return deploy.StateOf(prov) }
+
+// StateFingerprint hashes a cluster state (workload + allocation); a plan
+// applies only while the live state still matches the fingerprint it was
+// computed against.
+func StateFingerprint(w *Workload, alloc *Allocation) string {
+	return dynamic.StateFingerprint(w, alloc)
+}
+
+// StepsBetween extracts the executable step sequence transforming one
+// allocation into another — the same extraction Planner.Plan embeds in
+// every plan, exposed for tools that diff allocations directly.
+func StepsBetween(before, after *Allocation) []DeployStep {
+	return dynamic.StepsBetween(before, after)
+}
+
+// Apply executes a plan against a provisioner: fingerprint check
+// (ErrStalePlan on mismatch), step-by-step replay with Observer progress,
+// verification against the plan's own target fingerprint, and only then
+// adoption. On any failure the provisioner keeps its pre-apply state.
+func Apply(ctx context.Context, plan *DeployPlan, prov *Provisioner, opts ...ApplyOption) (*ApplyReport, error) {
+	return deploy.Apply(ctx, plan, prov, opts...)
+}
+
+// ApplyDryRun makes Apply validate and replay the plan without touching
+// the provisioner.
+func ApplyDryRun() ApplyOption { return deploy.DryRun() }
+
+// WithStepObserver streams per-step progress to obs during Apply; a
+// non-nil error from the observer aborts the apply and rolls back.
+func WithStepObserver(obs DeployObserver) ApplyOption { return deploy.WithObserver(obs) }
+
+// SnapshotPlan returns the zero-step plan pinning the given state — the
+// self-describing cluster-state document cmd/mcss persists between plan
+// and apply invocations.
+func SnapshotPlan(cfg SolverConfig, s *ClusterState) (*DeployPlan, error) {
+	return deploy.Snapshot(cfg, s)
+}
+
+// SavePlan writes a validated plan to path as a versioned JSON document
+// (gzip when the path ends in ".gz"); invalid plans are rejected with
+// ErrInvalidPlan before anything is written.
+func SavePlan(p *DeployPlan, path string) error { return traceio.SavePlan(p, path) }
+
+// LoadPlan reads a validated plan from path. Malformed bytes fail with
+// traceio's ErrBadFormat; well-formed documents describing unusable plans
+// fail with ErrInvalidPlan.
+func LoadPlan(path string) (*DeployPlan, error) { return traceio.LoadPlan(path) }
+
+// RestoreProvisioner rebuilds a Provisioner around a persisted cluster
+// state without re-solving — how a process that loaded state from disk
+// re-enters the online re-provisioning machinery to Apply a plan.
+func RestoreProvisioner(s *ClusterState, cfg SolverConfig) (*Provisioner, error) {
+	return s.Provisioner(cfg)
+}

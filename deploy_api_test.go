@@ -1,0 +1,156 @@
+package mcss_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	mcss "github.com/pubsub-systems/mcss"
+)
+
+// deployDemoWorkload builds a small deterministic workload for the public
+// lifecycle tests.
+func deployDemoWorkload(t *testing.T) *mcss.Workload {
+	t.Helper()
+	b := mcss.NewWorkloadBuilder().
+		AddTopic("hot", 120).
+		AddTopic("warm", 40).
+		AddTopic("cold", 6)
+	for i := 0; i < 20; i++ {
+		user := string(rune('a' + i))
+		b.AddSubscription(user, "hot")
+		if i%2 == 0 {
+			b.AddSubscription(user, "warm")
+		}
+		if i%5 == 0 {
+			b.AddSubscription(user, "cold")
+		}
+	}
+	w, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestPublicDeployLifecycle drives Spec → Plan → (save/load) → Apply
+// through the exported API only: bootstrap, persisted review artifact,
+// dry run, apply, drift, and the ErrStalePlan refusal.
+func TestPublicDeployLifecycle(t *testing.T) {
+	ctx := context.Background()
+	w := deployDemoWorkload(t)
+	p, err := mcss.NewPlanner(mcss.WithTau(40), mcss.WithModel(demoModel()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := p.Plan(ctx, mcss.DeploySpec{Workload: w}, mcss.EmptyClusterState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.IsNoop() || plan.CostAfter <= 0 {
+		t.Fatalf("bootstrap plan: %d steps, cost %v", len(plan.Steps), plan.CostAfter)
+	}
+
+	// The plan survives disk as a review artifact.
+	path := filepath.Join(t.TempDir(), "plan.json.gz")
+	if err := mcss.SavePlan(plan, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := mcss.LoadPlan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.TargetFingerprint() != plan.TargetFingerprint() {
+		t.Fatal("plan lost its target fingerprint on disk")
+	}
+
+	prov, err := mcss.RestoreProvisioner(mcss.EmptyClusterState(), p.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mcss.Apply(ctx, loaded, prov, mcss.ApplyDryRun()); err != nil {
+		t.Fatal(err)
+	}
+	var steps int
+	rep, err := mcss.Apply(ctx, loaded, prov, mcss.WithStepObserver(
+		mcss.DeployObserverFunc(func(i, total int, s mcss.DeployStep) error {
+			steps++
+			return nil
+		})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != len(loaded.Steps) || rep.Cost != plan.CostAfter {
+		t.Fatalf("applied %d steps at %v, want %d at %v", steps, rep.Cost, len(loaded.Steps), plan.CostAfter)
+	}
+	if prov.Cost() != plan.CostAfter {
+		t.Fatalf("provisioner cost %v != forecast %v", prov.Cost(), plan.CostAfter)
+	}
+
+	// Diff reports the drift a re-plan would enact.
+	drifted, err := mcss.ApplyDelta(w, mcss.Delta{RateChanges: map[mcss.TopicID]int64{0: 240}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := p.Diff(ctx, mcss.DeploySpec{Workload: drifted}, mcss.ClusterStateOf(prov))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff.Delta.RateChanges) != 1 {
+		t.Fatalf("diff has %d rate changes, want 1", len(diff.Delta.RateChanges))
+	}
+
+	// Apply the reconfiguration, then try the now-stale bootstrap plan.
+	next, err := p.Plan(ctx, mcss.DeploySpec{Workload: drifted}, mcss.ClusterStateOf(prov))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mcss.Apply(ctx, next, prov); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mcss.Apply(ctx, loaded, prov); !errors.Is(err, mcss.ErrStalePlan) {
+		t.Fatalf("stale apply returned %v, want ErrStalePlan", err)
+	}
+}
+
+// TestElasticEpochPlansPublic: the controller's per-epoch plans are
+// visible through the public report type.
+func TestElasticEpochPlansPublic(t *testing.T) {
+	base := deployDemoWorkload(t)
+	day := mcss.DefaultDiurnalTrace()
+	day.Epochs = 6
+	tl, err := mcss.GenerateDiurnal(base, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := tl.Envelope()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peak int64
+	for i := 0; i < env.NumTopics(); i++ {
+		if r := env.Rate(mcss.TopicID(i)); r > peak {
+			peak = r
+		}
+	}
+	m := mcss.NewModel(mcss.C3Large)
+	m.CapacityOverrideBytesPerHour = 4 * peak * 200
+	p, err := mcss.NewPlanner(mcss.WithTau(40), mcss.WithModel(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.RunTimeline(context.Background(), tl, mcss.DefaultElasticPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, ep := range rep.Epochs {
+		if ep.Plan == nil {
+			t.Fatalf("epoch %d has no plan", e)
+		}
+		if e > 0 && ep.Plan.BaseFingerprint != rep.Epochs[e-1].Plan.TargetFingerprint() {
+			t.Fatalf("epoch %d plan does not chain from epoch %d", e, e-1)
+		}
+	}
+}

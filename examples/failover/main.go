@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"time"
 
 	mcss "github.com/pubsub-systems/mcss"
 )
@@ -69,7 +70,13 @@ func main() {
 	}
 
 	// Repair: re-home the failed VM's placements onto survivors/new VMs.
-	stats, err := prov.RepairCrash(victim)
+	// Crash repair honors deadlines like every other provisioner op —
+	// an incident response budget, after which the caller escalates to a
+	// full re-solve instead of waiting; on expiry the allocation is left
+	// untouched.
+	repairCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	stats, err := prov.RepairCrashContext(repairCtx, victim)
 	if err != nil {
 		log.Fatal(err)
 	}

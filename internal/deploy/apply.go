@@ -1,0 +1,143 @@
+package deploy
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/dynamic"
+	"github.com/pubsub-systems/mcss/internal/pricing"
+)
+
+// Observer receives per-step progress during Apply. OnStep fires before
+// step i (0-based of total) executes; returning a non-nil error aborts the
+// apply — the hook an interactive approval gate or a deadline budget uses
+// — and the provisioner rolls back to its pre-apply state. Callbacks fire
+// from the calling goroutine.
+type Observer interface {
+	OnStep(i, total int, s dynamic.Step) error
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(i, total int, s dynamic.Step) error
+
+// OnStep implements Observer.
+func (f ObserverFunc) OnStep(i, total int, s dynamic.Step) error { return f(i, total, s) }
+
+// ApplyOption configures one Apply call.
+type ApplyOption func(*applyOptions)
+
+type applyOptions struct {
+	dryRun bool
+	obs    Observer
+}
+
+// DryRun validates and replays the plan — fingerprint check, every step,
+// target verification — but leaves the provisioner untouched: the "would
+// this apply cleanly right now?" probe.
+func DryRun() ApplyOption {
+	return func(o *applyOptions) { o.dryRun = true }
+}
+
+// WithObserver streams per-step progress to obs during Apply.
+func WithObserver(obs Observer) ApplyOption {
+	return func(o *applyOptions) { o.obs = obs }
+}
+
+// Report summarizes one Apply.
+type Report struct {
+	// DryRun echoes whether the provisioner was left untouched.
+	DryRun bool
+	// StepsApplied counts executed steps (all of them on success).
+	StepsApplied int
+	// Stats is the realized churn from the pre-apply allocation to the
+	// applied one, with cost and fleet-size fields filled.
+	Stats dynamic.MigrationStats
+	// Cost is the applied allocation's cost under the plan's model —
+	// equal to the plan's CostAfter forecast by construction.
+	Cost pricing.MicroUSD
+}
+
+// Apply executes a plan against the provisioner: it validates the plan,
+// refuses with ErrStalePlan when the provisioner's state no longer matches
+// the plan's base fingerprint, replays the step sequence (reporting each
+// step to the configured Observer), verifies the replayed state against
+// the plan's own target fingerprint, and only then installs the new
+// workload and allocation. On any mid-apply failure — a bad step, a
+// cancelled context, an observer abort, a target mismatch — the
+// provisioner keeps its pre-apply workload and allocation: steps execute
+// against a private working copy, so rollback is the default, not a
+// recovery action.
+func Apply(ctx context.Context, plan *Plan, prov *dynamic.Provisioner, opts ...ApplyOption) (*Report, error) {
+	var o applyOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if prov == nil {
+		return nil, fmt.Errorf("%w: apply needs a provisioner (restore one from the current state)", ErrInvalidPlan)
+	}
+	pre := StateOf(prov)
+	if fp := pre.Fingerprint(); fp != plan.BaseFingerprint {
+		return nil, fmt.Errorf("%w: cluster state is %s, plan was computed against %s",
+			ErrStalePlan, fp, plan.BaseFingerprint)
+	}
+
+	// Replay the steps one at a time against a working copy so the
+	// observer sees real progress and a failure at step k leaves the
+	// provisioner exactly as it was. The replayer also reprices kept
+	// placements to the target workload's rates.
+	replayer, err := dynamic.NewReplayer(pre.Allocation, plan.Target.Workload, plan.MessageBytes)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidPlan, err)
+	}
+	total := len(plan.Steps)
+	for i, s := range plan.Steps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if o.obs != nil {
+			if err := o.obs.OnStep(i, total, s); err != nil {
+				return nil, fmt.Errorf("deploy: aborted at step %d/%d (%s): %w", i, total, s, err)
+			}
+		}
+		if err := replayer.Apply(s); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidPlan, err)
+		}
+	}
+	work, err := replayer.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidPlan, err)
+	}
+	work.Fleet = plan.Fleet
+
+	// The replayed state must be the plan's own target: a plan whose
+	// steps do not reproduce its target is invalid, not just stale.
+	if got, want := dynamic.StateFingerprint(plan.Target.Workload, work), plan.TargetFingerprint(); got != want {
+		return nil, fmt.Errorf("%w: steps replay to %s, target is %s", ErrInvalidPlan, got, want)
+	}
+
+	stats := dynamic.MigrationBetween(pre.Allocation, work)
+	stats.VMsBefore = pre.Allocation.NumVMs()
+	stats.VMsAfter = work.NumVMs()
+	stats.CostBefore = pre.Allocation.Cost(plan.Model)
+	stats.CostAfter = work.Cost(plan.Model)
+	report := &Report{
+		DryRun:       o.dryRun,
+		StepsApplied: total,
+		Stats:        stats,
+		Cost:         stats.CostAfter,
+	}
+	if o.dryRun {
+		return report, nil
+	}
+
+	sel, err := core.SelectionFromPairs(plan.Target.Workload, placedPairs(work))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidPlan, err)
+	}
+	prov.Adopt(plan.Target.Workload, &core.Result{Selection: sel, Allocation: work})
+	return report, nil
+}

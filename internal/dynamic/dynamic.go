@@ -290,6 +290,18 @@ var ErrUnknownVM = errors.New("dynamic: unknown VM")
 // capacity) or fresh VMs of the crashed VM's instance type, without
 // re-running Stage 1. VM IDs are re-densified.
 func (p *Provisioner) RepairCrash(vmID int) (RepairStats, error) {
+	return p.RepairCrashContext(context.Background(), vmID)
+}
+
+// RepairCrashContext is RepairCrash under a context: cancellation is
+// checked per re-homed topic group, and on cancellation (or any failure)
+// the provisioner keeps its pre-repair workload and allocation untouched —
+// the repair builds a private copy of the surviving fleet and installs it
+// only once every pair is re-homed.
+func (p *Provisioner) RepairCrashContext(ctx context.Context, vmID int) (RepairStats, error) {
+	if err := ctx.Err(); err != nil {
+		return RepairStats{}, err
+	}
 	alloc := p.res.Allocation
 	idx := -1
 	for i, vm := range alloc.VMs {
@@ -302,9 +314,16 @@ func (p *Provisioner) RepairCrash(vmID int) (RepairStats, error) {
 		return RepairStats{}, fmt.Errorf("%w: %d", ErrUnknownVM, vmID)
 	}
 	failed := alloc.VMs[idx]
+	// Deep-copy the survivors: re-homing mutates placements, and a repair
+	// abandoned mid-way (cancellation, infeasibility) must not leave the
+	// current allocation half-rewritten.
 	survivors := make([]*core.VM, 0, len(alloc.VMs)-1)
-	survivors = append(survivors, alloc.VMs[:idx]...)
-	survivors = append(survivors, alloc.VMs[idx+1:]...)
+	for i, vm := range alloc.VMs {
+		if i == idx {
+			continue
+		}
+		survivors = append(survivors, cloneVM(vm))
+	}
 
 	msg := alloc.MessageBytes
 	stats := RepairStats{}
@@ -322,6 +341,9 @@ func (p *Provisioner) RepairCrash(vmID int) (RepairStats, error) {
 	})
 	var newVMs []*core.VM
 	for _, g := range groups {
+		if err := ctx.Err(); err != nil {
+			return RepairStats{}, err
+		}
 		stats.PairsRehomed += int64(len(g.Subs))
 		remaining := g.Subs
 		rb := p.w.Rate(g.Topic) * msg
@@ -371,6 +393,25 @@ func (p *Provisioner) RepairCrash(vmID int) (RepairStats, error) {
 		Stage2Time: p.res.Stage2Time,
 	}
 	return stats, nil
+}
+
+// cloneVM deep-copies a VM (placements included) so repairs can mutate a
+// private working fleet.
+func cloneVM(vm *core.VM) *core.VM {
+	nv := &core.VM{
+		ID:                   vm.ID,
+		Instance:             vm.Instance,
+		CapacityBytesPerHour: vm.CapacityBytesPerHour,
+		Placements:           make([]core.TopicPlacement, len(vm.Placements)),
+		OutBytesPerHour:      vm.OutBytesPerHour,
+		InBytesPerHour:       vm.InBytesPerHour,
+	}
+	for i, p := range vm.Placements {
+		subs := make([]workload.SubID, len(p.Subs))
+		copy(subs, p.Subs)
+		nv.Placements[i] = core.TopicPlacement{Topic: p.Topic, Subs: subs}
+	}
+	return nv
 }
 
 // mostFreeFit returns the VM (among survivors then newVMs) with the most

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/deploy"
 	"github.com/pubsub-systems/mcss/internal/dynamic"
 	"github.com/pubsub-systems/mcss/internal/pricing"
 	"github.com/pubsub-systems/mcss/internal/timeline"
@@ -103,6 +104,12 @@ type EpochReport struct {
 	Utilization float64
 	// ActiveMix counts active VMs per instance-type name.
 	ActiveMix map[string]int
+	// Plan is the deployment plan this epoch's decision was enacted
+	// through: every autoscale event is the same serializable,
+	// fingerprint-pinned artifact the Spec → Plan → Apply lifecycle
+	// produces, so a controller run can be audited or replayed step by
+	// step (persist one with traceio.SavePlan).
+	Plan *deploy.Plan
 }
 
 // RunReport is a full controller run: per-epoch decisions, the per-epoch
@@ -147,6 +154,13 @@ func (r *RunReport) MaxBilledVMs() int {
 type Controller struct {
 	cfg    core.Config
 	policy Policy
+	// directAdopt bypasses the plan lifecycle and installs each epoch's
+	// decision straight into the provisioner — no step extraction, no
+	// fingerprint checks, no per-epoch Plan in the report. It exists so
+	// the plan-mediation overhead stays measurable (see
+	// BenchmarkDiurnalControllerDirect and EXPERIMENTS.md); production
+	// paths always go through plans.
+	directAdopt bool
 }
 
 // NewController builds a controller. The config's Fleet (or single-type
@@ -159,6 +173,12 @@ func NewController(cfg core.Config, policy Policy) *Controller {
 // 0 is always a fresh solve; each later epoch previews the fresh solve via
 // the provisioner's delta machinery and then lets the policy choose between
 // adopting it and keeping the repriced previous placements.
+//
+// Every adoption — epoch 0's bootstrap included — is enacted through the
+// deploy lifecycle: the controller builds a Plan from the provisioner's
+// current state to the chosen target and Applies it, so each epoch's
+// decision is a serializable, fingerprint-verified artifact (recorded in
+// EpochReport.Plan) rather than an opaque in-memory mutation.
 //
 // The context is threaded into every per-epoch solve (polled at bounded
 // intervals inside the solver hot loops) and additionally checked between
@@ -189,12 +209,9 @@ func (c *Controller) Run(ctx context.Context, tl *timeline.Timeline) (*RunReport
 	if c.policy.HeadroomFrac > 0 && c.policy.HeadroomFrac < 1 {
 		solveCfg.Fleet = fleet.WithCapacityScale(1 - c.policy.HeadroomFrac)
 	}
-	prov, err := dynamic.NewContext(ctx, tl.Epochs[0], solveCfg)
+	prov, err := deploy.EmptyState().Provisioner(solveCfg)
 	if err != nil {
-		if cerr := ctx.Err(); cerr != nil {
-			return nil, cerr
-		}
-		return nil, fmt.Errorf("elastic: epoch 0: %w", err)
+		return nil, fmt.Errorf("elastic: %w", err)
 	}
 
 	// held[name] is the billed VM count per type (≥ the active count);
@@ -212,11 +229,23 @@ func (c *Controller) Run(ctx context.Context, tl *timeline.Timeline) (*RunReport
 		now := tl.StartMinute(e)
 		ep := EpochReport{Epoch: e, StartMinute: now}
 
-		var adopted *core.Allocation
+		// Decide the epoch's target: the fresh solve, or the kept
+		// (repriced, topped-up) previous placements.
+		var (
+			target   *core.Allocation
+			freshSel *core.Selection
+		)
 		if e == 0 {
-			adopted = prov.Allocation()
+			res, err := core.SolveContext(ctx, w, solveCfg)
+			if err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, cerr
+				}
+				return nil, fmt.Errorf("elastic: epoch 0: %w", err)
+			}
+			target, freshSel = res.Allocation, res.Selection
 			ep.Adopted, ep.Forced = true, true
-			ep.PairsMoved = countPairs(adopted)
+			ep.PairsMoved = countPairs(target)
 			ep.CandidateMoves = ep.PairsMoved
 		} else {
 			delta, err := dynamic.DeltaBetween(prov.Workload(), w)
@@ -224,7 +253,7 @@ func (c *Controller) Run(ctx context.Context, tl *timeline.Timeline) (*RunReport
 				return nil, fmt.Errorf("elastic: epoch %d: %w", e, err)
 			}
 			// Preview validates the delta before solving.
-			nextW, fresh, stats, err := prov.PreviewContext(ctx, delta)
+			_, fresh, stats, err := prov.PreviewContext(ctx, delta)
 			if err != nil {
 				if cerr := ctx.Err(); cerr != nil {
 					return nil, cerr
@@ -241,7 +270,7 @@ func (c *Controller) Run(ctx context.Context, tl *timeline.Timeline) (*RunReport
 			var added int64
 			keptOK := false
 			if c.policy.ScaleUpUtilization > 0 {
-				kept, added, keptOK = keepWithTopUp(prov.Allocation(), nextW, c.cfg, solveCfg.EffectiveFleet(), fleet)
+				kept, added, keptOK = keepWithTopUp(prov.Allocation(), w, c.cfg, solveCfg.EffectiveFleet(), fleet)
 			}
 			forced := !keptOK || utilization(kept, fleet) > c.policy.ScaleUpUtilization
 
@@ -261,14 +290,41 @@ func (c *Controller) Run(ctx context.Context, tl *timeline.Timeline) (*RunReport
 			}
 
 			if ep.Adopted {
-				prov.Adopt(nextW, fresh)
-				adopted = fresh.Allocation
+				target, freshSel = fresh.Allocation, fresh.Selection
 				ep.PairsMoved = stats.PairsMoved
 			} else {
-				prov.Adopt(nextW, &core.Result{Selection: prov.Selection(), Allocation: kept})
-				adopted = kept
+				target = kept
 				ep.AddedPairs = added
 			}
+		}
+
+		// Enact the decision. The plan path is the production one; the
+		// direct path exists only to measure its overhead.
+		var adopted *core.Allocation
+		if c.directAdopt {
+			sel := freshSel
+			if sel == nil {
+				sel = prov.Selection()
+			}
+			prov.Adopt(w, &core.Result{Selection: sel, Allocation: target})
+			adopted = target
+		} else {
+			plan, err := deploy.NewPlan(c.cfg, deploy.StateOf(prov), deploy.NewState(w, target))
+			if err != nil {
+				return nil, fmt.Errorf("elastic: epoch %d: plan: %w", e, err)
+			}
+			if _, err := deploy.Apply(ctx, plan, prov); err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, cerr
+				}
+				return nil, fmt.Errorf("elastic: epoch %d: apply: %w", e, err)
+			}
+			ep.Plan = plan
+			// The report references the plan's own target allocation
+			// (fingerprint-verified identical to the adopted replay), so
+			// retaining plans in the report does not hold a second full
+			// cluster copy per epoch alive.
+			adopted = plan.Target.Allocation
 		}
 
 		// Fleet accounting: acquire shortfalls immediately (correctness),

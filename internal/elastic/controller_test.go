@@ -15,7 +15,7 @@ import (
 // testTimeline builds a small deterministic diurnal timeline plus the
 // solver config calibrated against its envelope, mirroring the diurnal
 // experiment's setup at test size.
-func testTimeline(t *testing.T, epochs int, epochMinutes int64) (*timeline.Timeline, core.Config) {
+func testTimeline(t testing.TB, epochs int, epochMinutes int64) (*timeline.Timeline, core.Config) {
 	t.Helper()
 	base, err := tracegen.Random(tracegen.RandomConfig{
 		Topics: 60, Subscribers: 300, MaxFollowings: 5, MaxRate: 200, Seed: 3,

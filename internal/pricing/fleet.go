@@ -48,6 +48,38 @@ func NewFleet(types ...InstanceType) (Fleet, error) {
 	return f, nil
 }
 
+// NewFleetWithCapacities builds a fleet whose per-VM capacities are given
+// explicitly instead of mbps-derived — the deserialization path for plan
+// files, which must reconstruct calibrated (overridden or headroom-derated)
+// fleets exactly as recorded. caps must parallel types; every capacity must
+// be positive.
+func NewFleetWithCapacities(types []InstanceType, caps []int64) (Fleet, error) {
+	if len(types) == 0 {
+		return Fleet{}, fmt.Errorf("pricing: fleet needs at least one instance type")
+	}
+	if len(caps) != len(types) {
+		return Fleet{}, fmt.Errorf("pricing: %d capacities for %d instance types", len(caps), len(types))
+	}
+	seen := make(map[string]bool, len(types))
+	f := Fleet{
+		types: make([]InstanceType, len(types)),
+		caps:  make([]int64, len(caps)),
+	}
+	copy(f.types, types)
+	copy(f.caps, caps)
+	for i, it := range f.types {
+		if f.caps[i] <= 0 {
+			return Fleet{}, fmt.Errorf("pricing: instance %q has no positive capacity", it.Name)
+		}
+		if seen[it.Name] {
+			return Fleet{}, fmt.Errorf("pricing: duplicate instance type %q in fleet", it.Name)
+		}
+		seen[it.Name] = true
+	}
+	f.sort()
+	return f, nil
+}
+
 // CatalogFleet returns the fleet of every known instance type.
 func CatalogFleet() Fleet {
 	f, err := NewFleet(Catalog()...)

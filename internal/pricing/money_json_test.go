@@ -1,0 +1,163 @@
+package pricing
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func TestMicroUSDMarshalText(t *testing.T) {
+	tests := []struct {
+		m    MicroUSD
+		want string
+	}{
+		{0, "0"},
+		{1, "0.000001"},
+		{-1, "-0.000001"},
+		{150_000, "0.15"},
+		{1_000_000, "1"},
+		{12_340_000, "12.34"},
+		{-36_000_000, "-36"},
+		{123_456_789, "123.456789"},
+		{MaxMicroUSD, "9223372036854.775807"},
+		{MinMicroUSD, "-9223372036854.775808"},
+	}
+	for _, tc := range tests {
+		got, err := tc.m.MarshalText()
+		if err != nil {
+			t.Fatalf("%d: %v", tc.m, err)
+		}
+		if string(got) != tc.want {
+			t.Errorf("MicroUSD(%d).MarshalText() = %q, want %q", tc.m, got, tc.want)
+		}
+	}
+}
+
+func TestMicroUSDUnmarshalText(t *testing.T) {
+	tests := []struct {
+		in   string
+		want MicroUSD
+	}{
+		{"0", 0},
+		{"0.15", 150_000},
+		{".5", 500_000},
+		{"-.5", -500_000},
+		{"7.", 7_000_000},
+		{"+12.34", 12_340_000},
+		{"000123.456789", 123_456_789},
+		{"9223372036854.775807", MaxMicroUSD},
+		{"-9223372036854.775808", MinMicroUSD},
+		// Saturating parse: out-of-range magnitudes clamp, never wrap.
+		{"9223372036854.775808", MaxMicroUSD},
+		{"-9223372036854.775809", MinMicroUSD},
+		{"99999999999999999999999999", MaxMicroUSD},
+		{"-99999999999999999999999999", MinMicroUSD},
+	}
+	for _, tc := range tests {
+		var got MicroUSD
+		if err := got.UnmarshalText([]byte(tc.in)); err != nil {
+			t.Fatalf("%q: %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Errorf("UnmarshalText(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestMicroUSDUnmarshalTextRejects(t *testing.T) {
+	for _, in := range []string{
+		"", "-", "+", ".", "$1", "1e6", "1,000", "12.3456789", "1.2.3", "abc", "12 .5", "--1",
+	} {
+		var m MicroUSD
+		if err := m.UnmarshalText([]byte(in)); err == nil {
+			t.Errorf("UnmarshalText(%q) accepted, want error", in)
+		}
+	}
+}
+
+// TestMicroUSDTextRoundTrip: marshal → unmarshal is the identity for the
+// full range, including both saturation bounds.
+func TestMicroUSDTextRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := []MicroUSD{0, 1, -1, MaxMicroUSD, MinMicroUSD, MaxMicroUSD - 1, MinMicroUSD + 1}
+	for i := 0; i < 2000; i++ {
+		cases = append(cases, MicroUSD(rng.Int63()-rng.Int63()))
+	}
+	for _, m := range cases {
+		b, err := m.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back MicroUSD
+		if err := back.UnmarshalText(b); err != nil {
+			t.Fatalf("%q: %v", b, err)
+		}
+		if back != m {
+			t.Fatalf("round trip %d → %q → %d", m, b, back)
+		}
+	}
+}
+
+func TestMicroUSDJSONRoundTrip(t *testing.T) {
+	type doc struct {
+		Rental   MicroUSD `json:"rental"`
+		Transfer MicroUSD `json:"transfer"`
+	}
+	in := doc{Rental: 36_000_000, Transfer: -123_456_789}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"rental":"36","transfer":"-123.456789"}`; string(b) != want {
+		t.Fatalf("marshal = %s, want %s", b, want)
+	}
+	var out doc
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip %+v → %+v", in, out)
+	}
+	// Bare JSON numbers are accepted too.
+	var lenient doc
+	if err := json.Unmarshal([]byte(`{"rental":12.5,"transfer":-3}`), &lenient); err != nil {
+		t.Fatal(err)
+	}
+	if lenient.Rental != 12_500_000 || lenient.Transfer != -3_000_000 {
+		t.Fatalf("lenient parse = %+v", lenient)
+	}
+	// Exponent-form numbers are rejected, not misread.
+	if err := json.Unmarshal([]byte(`{"rental":1e6}`), &lenient); err == nil {
+		t.Fatal("exponent number accepted")
+	}
+}
+
+func TestNewFleetWithCapacities(t *testing.T) {
+	f, err := NewFleetWithCapacities(
+		[]InstanceType{C3XLarge, C3Large},
+		[]int64{444, 222},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 2 || f.CapacityOf("c3.large") != 222 || f.CapacityOf("c3.xlarge") != 444 {
+		t.Fatalf("fleet %v caps %d/%d", f, f.CapacityOf("c3.large"), f.CapacityOf("c3.xlarge"))
+	}
+	// Still sorted by capacity ascending.
+	if f.Type(0).Name != "c3.large" {
+		t.Fatalf("fleet not sorted: first type %s", f.Type(0).Name)
+	}
+	for _, bad := range []struct {
+		types []InstanceType
+		caps  []int64
+	}{
+		{nil, nil},
+		{[]InstanceType{C3Large}, []int64{1, 2}},
+		{[]InstanceType{C3Large}, []int64{0}},
+		{[]InstanceType{C3Large, C3Large}, []int64{1, 2}},
+	} {
+		if _, err := NewFleetWithCapacities(bad.types, bad.caps); err == nil {
+			t.Errorf("NewFleetWithCapacities(%v, %v) accepted", bad.types, bad.caps)
+		}
+	}
+}

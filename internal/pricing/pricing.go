@@ -10,7 +10,10 @@
 // and $0.12/GB transfer in each direction.
 package pricing
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // MicroUSD is an amount of money in 1e-6 US dollars.
 type MicroUSD int64
@@ -66,6 +69,112 @@ func (m MicroUSD) String() string {
 		v = -v
 	}
 	return fmt.Sprintf("%s$%d.%02d", sign, v/1e6, (v%1e6)/1e4)
+}
+
+// MarshalText implements encoding.TextMarshaler: the amount as a plain
+// decimal USD string ("12.34", "-0.000001", "0") with trailing fractional
+// zeros trimmed — the wire form the plan file format and reports use.
+func (m MicroUSD) MarshalText() ([]byte, error) {
+	if m == MinMicroUSD {
+		// −m overflows; the bound is a fixed string.
+		return []byte("-9223372036854.775808"), nil
+	}
+	sign := ""
+	v := m
+	if v < 0 {
+		sign = "-"
+		v = -v
+	}
+	whole, frac := v/1e6, v%1e6
+	if frac == 0 {
+		return []byte(fmt.Sprintf("%s%d", sign, whole)), nil
+	}
+	s := strings.TrimRight(fmt.Sprintf("%06d", frac), "0")
+	return []byte(fmt.Sprintf("%s%d.%s", sign, whole, s)), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler. It parses a decimal
+// USD string — optional sign, integer dollars, optionally a '.' and up to
+// six fractional digits (micro-dollar resolution) — and saturates at the
+// MicroUSD range bounds instead of failing on overflow, matching the
+// saturating Add/Mul arithmetic. Exponents, currency symbols, grouping,
+// and sub-microdollar digits are rejected.
+func (m *MicroUSD) UnmarshalText(b []byte) error {
+	s := string(b)
+	rest := s
+	neg := false
+	switch {
+	case strings.HasPrefix(rest, "-"):
+		neg, rest = true, rest[1:]
+	case strings.HasPrefix(rest, "+"):
+		rest = rest[1:]
+	}
+	intPart := rest
+	fracPart := ""
+	if i := strings.IndexByte(rest, '.'); i >= 0 {
+		intPart, fracPart = rest[:i], rest[i+1:]
+	}
+	if intPart == "" && fracPart == "" {
+		return fmt.Errorf("pricing: malformed money %q", s)
+	}
+	if len(fracPart) > 6 {
+		return fmt.Errorf("pricing: money %q has sub-microdollar precision", s)
+	}
+	const limit = uint64(1) << 63 // |MinMicroUSD|; MaxMicroUSD is limit-1
+	var micro uint64
+	saturated := false
+	digits := intPart + fracPart + strings.Repeat("0", 6-len(fracPart))
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return fmt.Errorf("pricing: malformed money %q", s)
+		}
+		if saturated {
+			continue
+		}
+		d := uint64(c - '0')
+		if micro > (limit-d)/10 {
+			saturated = true
+			continue
+		}
+		micro = micro*10 + d
+	}
+	switch {
+	case saturated || (neg && micro > limit) || (!neg && micro > limit-1):
+		if neg {
+			*m = MinMicroUSD
+		} else {
+			*m = MaxMicroUSD
+		}
+	case neg && micro == limit:
+		*m = MinMicroUSD
+	case neg:
+		*m = -MicroUSD(micro)
+	default:
+		*m = MicroUSD(micro)
+	}
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler: the decimal USD string, quoted.
+// Serializing money as a string keeps micro-dollar exactness out of
+// float64 territory and reads naturally in plan files under review.
+func (m MicroUSD) MarshalJSON() ([]byte, error) {
+	t, err := m.MarshalText()
+	if err != nil {
+		return nil, err
+	}
+	return []byte(`"` + string(t) + `"`), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting both the canonical
+// quoted decimal string and a bare JSON number (which must still be a
+// plain decimal — exponents are rejected like any other malformed money).
+func (m *MicroUSD) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	return m.UnmarshalText([]byte(s))
 }
 
 // Byte-size units (decimal, as used by IaaS billing).

@@ -2,9 +2,14 @@ package traceio
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
+	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/deploy"
+	"github.com/pubsub-systems/mcss/internal/pricing"
 	"github.com/pubsub-systems/mcss/internal/timeline"
 	"github.com/pubsub-systems/mcss/internal/tracegen"
 	"github.com/pubsub-systems/mcss/internal/workload"
@@ -100,6 +105,68 @@ func FuzzReadTimeline(f *testing.F) {
 			if !equalWorkloads(tl.Epochs[e], back.Epochs[e]) {
 				t.Fatalf("round trip changed epoch %d", e)
 			}
+		}
+	})
+}
+
+// FuzzReadPlan hardens the JSON plan parser, mirroring FuzzReadTimeline:
+// any input must either parse into a valid, re-serializable plan or fail
+// with ErrBadFormat / deploy.ErrInvalidPlan — never panic, never yield a
+// plan that its own writer rejects.
+func FuzzReadPlan(f *testing.F) {
+	b := workload.NewBuilder().AddTopic("a", 30).AddTopic("b", 9)
+	b.AddSubscription("u", "a")
+	b.AddSubscription("u", "b")
+	b.AddSubscription("v", "a")
+	w, err := b.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	model := pricing.NewModel(pricing.C3Large)
+	model.CapacityOverrideBytesPerHour = 50_000
+	cfg := core.DefaultConfig(20, model)
+	seedPlan, err := deploy.NewPlanner(cfg).Plan(context.Background(), deploy.SpecFromWorkload(w), nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePlan(seedPlan, &buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"format":"mcss-plan","version":1}`)
+	f.Add(`{"format":"mcss-plan","version":1,"base_fingerprint":"x","tau":1,"message_bytes":1,` +
+		`"target":{"workload":{"rates":[],"sub_offsets":[0],"sub_topics":[]},"allocation":[]}}`)
+	f.Add(`{"format":"mcss-plan","version":1,"base_fingerprint":"x","tau":1,"message_bytes":1,` +
+		`"steps":[{"op":"boot-vm","vm":-3}],` +
+		`"target":{"workload":{"rates":[1],"sub_offsets":[0,1],"sub_topics":[0]},"allocation":[]}}`)
+	f.Add(`{"format":"mcss-plan","version":-1,"tau":-5,"cost_after":"999999999999999999999999"}`)
+	f.Add("garbage")
+	f.Add(`{}`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		plan, err := ReadPlan(strings.NewReader(input))
+		if err != nil {
+			if !errors.Is(err, ErrBadFormat) && !errors.Is(err, deploy.ErrInvalidPlan) {
+				t.Fatalf("untyped parse error: %v", err)
+			}
+			return
+		}
+		// Parsed successfully: the plan must re-serialize and re-parse to
+		// the same fingerprints and step sequence.
+		var out bytes.Buffer
+		if err := WritePlan(plan, &out); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		back, err := ReadPlan(&out)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if back.BaseFingerprint != plan.BaseFingerprint || back.TargetFingerprint() != plan.TargetFingerprint() {
+			t.Fatal("round trip moved the plan fingerprints")
+		}
+		if len(back.Steps) != len(plan.Steps) {
+			t.Fatalf("round trip changed step count %d → %d", len(plan.Steps), len(back.Steps))
 		}
 	})
 }

@@ -42,6 +42,18 @@
 // per started instance-hour in a BillingLedger, like EC2 actually
 // charges.
 //
+// Every change to a running deployment flows through one declarative
+// lifecycle: Spec → Plan → Diff → Apply. Planner.Plan computes a
+// serializable DeployPlan (the workload diff, an executable step sequence,
+// a forecast cost delta, and a fingerprint of the state it was computed
+// against); SavePlan/LoadPlan persist it as reviewable JSON; Apply enacts
+// it on a Provisioner, refusing stale plans with ErrStalePlan, supporting
+// dry runs and per-step progress, and rolling back on failure. The elastic
+// controller emits one such plan per epoch, so autoscaling decisions are
+// auditable artifacts; cmd/mcss drives the same lifecycle from the shell
+// (mcss plan / diff / apply) and examples/gitops shows the
+// plan-review-apply workflow end to end.
+//
 // The module also ships every substrate the paper's evaluation needs:
 // synthetic Spotify-like and Twitter-like trace generators, the 2014 EC2
 // pricing catalog, a fleet-aware lower bound, an exact solver for small

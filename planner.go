@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/deploy"
 	"github.com/pubsub-systems/mcss/internal/dynamic"
 	"github.com/pubsub-systems/mcss/internal/elastic"
 	"github.com/pubsub-systems/mcss/internal/exact"
@@ -288,6 +289,28 @@ func (p *Planner) Verify(w *Workload, sel *Selection, alloc *Allocation) error {
 // provisioner that keeps it current across workload deltas and failures.
 func (p *Planner) Provision(ctx context.Context, w *Workload) (*Provisioner, error) {
 	return dynamic.NewContext(ctx, w, p.cfg)
+}
+
+// Plan computes the declarative reconfiguration from current (nil = the
+// empty cluster) to the solved spec: a serializable DeployPlan carrying
+// the workload diff, the executable step sequence, the forecast cost
+// delta, and the fingerprint of the state it was computed against. Enact
+// it with Apply before the cluster drifts; persist it for review with
+// SavePlan. Spec fields override the planner's τ, message size, fleet, and
+// full-solve strategy for this plan only.
+func (p *Planner) Plan(ctx context.Context, spec DeploySpec, current *ClusterState) (*DeployPlan, error) {
+	return deploy.NewPlanner(p.cfg).Plan(ctx, spec, current)
+}
+
+// Diff is Plan without the commitment: it computes and returns only the
+// declarative difference (workload delta + placement churn, cost fields
+// included) between current and the solved spec — what `mcss diff` prints.
+func (p *Planner) Diff(ctx context.Context, spec DeploySpec, current *ClusterState) (DeployDiff, error) {
+	plan, err := p.Plan(ctx, spec, current)
+	if err != nil {
+		return DeployDiff{}, err
+	}
+	return plan.Diff, nil
 }
 
 // RunTimeline walks a workload timeline with an elastic controller under
