@@ -264,6 +264,49 @@ func BenchmarkAblationStage2Rungs(b *testing.B) {
 	}
 }
 
+// BenchmarkStage2IndexedVsNaive pits every indexed packer against its
+// retained O(P·V) reference implementation on the same Twitter-like GSP
+// selection — the complexity gap of this repo's sub-quadratic packing
+// engine, kept visible in every benchmark run. The differential property
+// tests in internal/core prove the pairs byte-identical; this benchmark
+// proves the index is worth its bookkeeping.
+func BenchmarkStage2IndexedVsNaive(b *testing.B) {
+	w, err := experiments.Generate(experiments.Twitter, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := experiments.ModelFor(pricing.C3Large, w)
+	sel := core.GreedySelectPairs(w, 1000)
+	base := core.Config{Tau: 1000, MessageBytes: experiments.MessageBytes, Model: model}
+	cbp := base
+	cbp.Opts = core.OptAll
+	packers := []struct {
+		name string
+		run  func() (*core.Allocation, error)
+	}{
+		{"FFBP/indexed", func() (*core.Allocation, error) { return core.FFBinPacking(sel, base) }},
+		{"FFBP/naive", func() (*core.Allocation, error) { return core.FFBinPackingNaive(sel, base) }},
+		{"CBP/indexed", func() (*core.Allocation, error) { return core.CustomBinPacking(sel, cbp) }},
+		{"CBP/naive", func() (*core.Allocation, error) { return core.CustomBinPackingNaive(sel, cbp) }},
+		{"BFD/indexed", func() (*core.Allocation, error) { return core.BFDBinPacking(sel, base) }},
+		{"BFD/naive", func() (*core.Allocation, error) { return core.BFDBinPackingNaive(sel, base) }},
+	}
+	for _, p := range packers {
+		b.Run(p.name, func(b *testing.B) {
+			var alloc *core.Allocation
+			for i := 0; i < b.N; i++ {
+				var err error
+				alloc, err = p.run()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(alloc.NumVMs()), "vms")
+			b.ReportMetric(float64(sel.NumPairs()), "pairs")
+		})
+	}
+}
+
 // BenchmarkGreedySelectPairs is the Stage-1 hot-path micro benchmark.
 func BenchmarkGreedySelectPairs(b *testing.B) {
 	w, err := tracegen.Twitter(tracegen.DefaultTwitterConfig().Scale(0.05))

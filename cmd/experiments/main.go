@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -34,11 +35,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure: 2a 2b 3a 3b 4 5 6 7 8 9 10 11 12, all, summary, hetero, diurnal, ablation, or scaling")
+		fig      = fs.String("fig", "all", "figure: 2a 2b 3a 3b 4 5 6 7 8 9 10 11 12, all, summary, hetero, diurnal, ablation, scaling, or scale")
 		scale    = fs.Float64("scale", 1.0, "workload scale factor")
-		outdir   = fs.String("outdir", "", "write CSV files to this directory")
+		outdir   = fs.String("outdir", "", "write CSV files (and -fig scale's BENCH_5.json) to this directory")
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 		progress = fs.Bool("progress", false, "stream per-stage solver progress to stderr")
+		sizes    = fs.String("sizes", "", "comma-separated pair counts for -fig scale (default: the full 10k→1.28M sweep)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,13 +56,18 @@ func run(args []string) error {
 		}
 	}
 
+	scaleSizes, err := parseSizes(*sizes)
+	if err != nil {
+		return err
+	}
+
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
 		figs = []string{"2a", "2b", "3a", "3b", "4", "5", "6", "7", "8", "9", "10", "11", "12", "summary", "hetero", "diurnal"}
 	}
 	for _, f := range figs {
 		start := time.Now()
-		if err := runFig(ctx, strings.TrimSpace(f), *scale, *outdir); err != nil {
+		if err := runFig(ctx, strings.TrimSpace(f), *scale, *outdir, scaleSizes); err != nil {
 			// Wrapping preserves the figure prefix while cli.ExitCode's
 			// errors.Is still recognizes a cancellation/deadline inside.
 			return fmt.Errorf("fig %s: %w", f, err)
@@ -70,7 +77,24 @@ func run(args []string) error {
 	return nil
 }
 
-func runFig(ctx context.Context, fig string, scale float64, outdir string) error {
+// parseSizes parses the -sizes flag into pair counts; empty means the
+// full default sweep.
+func parseSizes(s string) ([]int64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -sizes entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func runFig(ctx context.Context, fig string, scale float64, outdir string, sizes []int64) error {
 	switch fig {
 	case "2a":
 		return ladder(ctx, experiments.Spotify, pricing.C3Large, scale, outdir, "fig2a")
@@ -100,6 +124,8 @@ func runFig(ctx context.Context, fig string, scale float64, outdir string) error
 		return ablation(ctx, scale, outdir)
 	case "scaling":
 		return scaling(ctx, outdir)
+	case "scale":
+		return scaleSweep(ctx, outdir, sizes)
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
 	}
@@ -256,6 +282,43 @@ func scaling(ctx context.Context, outdir string) error {
 		return err
 	}
 	return writeCSV(t, outdir, "scaling")
+}
+
+// scaleSweep runs the stage-2 scale sweep and writes the machine-readable
+// BENCH_5.json next to the CSVs (or into the working directory when no
+// -outdir is given) — the perf trajectory future changes regress against.
+func scaleSweep(ctx context.Context, outdir string, sizes []int64) error {
+	res, err := experiments.RunScale(ctx, sizes)
+	if err != nil {
+		return err
+	}
+	t := res.Table()
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	for _, fleet := range []string{"homogeneous", "hetero"} {
+		for _, packer := range []string{"ffbp", "cbp"} {
+			if r := res.MaxDoublingRatio(fleet, packer); r > 0 {
+				fmt.Printf("%s/%s worst ratio per doubling %.2f× (2 = linear), growth exponent %.2f (1 = linear, 2 = quadratic)\n",
+					fleet, packer, r, res.GrowthExponent(fleet, packer))
+			}
+		}
+	}
+	dir := outdir
+	if dir == "" {
+		dir = "."
+	}
+	path := filepath.Join(dir, "BENCH_5.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return writeCSV(t, outdir, "scale")
 }
 
 func hetero(ctx context.Context, scale float64, outdir string) error {

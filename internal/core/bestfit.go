@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"sort"
 	"time"
 
 	"github.com/pubsub-systems/mcss/internal/workload"
@@ -25,64 +24,57 @@ func BFDBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
 // BFDBinPackingContext is BFDBinPacking with context cancellation and
 // Config.Observer progress callbacks — the Pack implementation of the
 // registered "bfd" strategy.
+//
+// "Tightest deployed VM that fits" is answered by an ordered
+// free-capacity index (a treap keyed by (free, VM index)): the ceiling
+// query at 2·rb yields the tightest VM that can take the topic's incoming
+// stream plus one pair, and the per-topic host list supplies the tightest
+// VM that already hosts the topic and needs only rb more. The
+// lexicographically smaller (free, index) of the two candidates is
+// exactly the VM the O(P·V) reference scan (BFDBinPackingNaive) selects,
+// which the differential property tests enforce.
 func BFDBinPackingContext(ctx context.Context, sel *Selection, cfg Config) (*Allocation, error) {
 	cfg.Observer = ResolveObserver(ctx, cfg)
 	start := time.Now()
 	fleet := cfg.EffectiveFleet()
-	maxCap := fleet.MaxCapacity()
 	msg := cfg.MessageBytes
 	tk := newTicker(ctx, cfg.Observer, StagePack, sel.NumPairs())
 
-	type item struct {
-		pair workload.Pair
-		rb   int64
-	}
-	items := make([]item, 0, sel.NumPairs())
-	var err error
-	sel.Pairs(func(p workload.Pair) bool {
-		rb := sel.w.Rate(p.Topic) * msg
-		if 2*rb > maxCap {
-			err = ErrInfeasible
-			return false
-		}
-		items = append(items, item{pair: p, rb: rb})
-		return true
-	})
+	items, err := bfdItems(sel, fleet.MaxCapacity(), msg)
 	if err != nil {
 		return nil, err
 	}
-	sort.SliceStable(items, func(i, j int) bool {
-		if items[i].rb != items[j].rb {
-			return items[i].rb > items[j].rb
-		}
-		if items[i].pair.Topic != items[j].pair.Topic {
-			return items[i].pair.Topic < items[j].pair.Topic
-		}
-		return items[i].pair.Sub < items[j].pair.Sub
-	})
 
-	var vms []*vmState
+	ix := newVMIndex(true, true)
 	one := make([]workload.SubID, 1)
 	for _, it := range items {
 		if err := tk.tick(1); err != nil {
 			return nil, err
 		}
-		var best *vmState
+		// Candidate 1: the tightest VM with room for incoming + pair.
+		best := int(ix.order.ceiling(2 * it.rb))
 		var bestFree int64
-		for _, b := range vms {
-			delta := b.deltaFor(it.pair.Topic, it.rb)
-			if delta <= b.free && (best == nil || b.free < bestFree) {
-				best, bestFree = b, b.free
+		if best >= 0 {
+			bestFree = ix.vms[best].free
+		}
+		// Candidate 2: the tightest VM already hosting the topic, which
+		// needs only the outgoing rate. Hosts with free ≥ 2·rb also appear
+		// under candidate 1; the lexicographic minimum is unaffected.
+		if h, hf := ix.tightestHost(it.pair.Topic, it.rb); h >= 0 {
+			if best < 0 || hf < bestFree || (hf == bestFree && h < best) {
+				best, bestFree = h, hf
 			}
 		}
-		if best == nil {
+		var b *vmState
+		if best >= 0 {
+			b = ix.vms[best]
+		} else {
 			ti := pickPairType(fleet, 2*it.rb)
-			best = newVMState(len(vms), fleet.Type(ti), fleet.Capacity(ti))
-			vms = append(vms, best)
+			b = ix.deploy(fleet.Type(ti), fleet.Capacity(ti))
 		}
 		one[0] = it.pair.Sub
-		best.place(it.pair.Topic, it.rb, one)
+		ix.place(b, it.pair.Topic, it.rb, one)
 	}
 	tk.finish(time.Since(start))
-	return finishAllocation(vms, fleet, cfg), nil
+	return ix.finish(fleet, cfg), nil
 }

@@ -1,9 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"github.com/pubsub-systems/mcss/internal/workload"
@@ -215,11 +216,11 @@ func greedySelectRange(w *workload.Workload, lo, hi int, tau int64, tk *ticker) 
 			subOff = append(subOff, int64(len(subTopics)))
 			continue
 		}
-		sort.Slice(scratch, func(i, j int) bool {
-			if scratch[i].rate != scratch[j].rate {
-				return scratch[i].rate > scratch[j].rate
+		slices.SortFunc(scratch, func(a, b rateTopic) int {
+			if a.rate != b.rate {
+				return cmp.Compare(b.rate, a.rate) // rate descending
 			}
-			return scratch[i].topic < scratch[j].topic
+			return cmp.Compare(a.topic, b.topic)
 		})
 		rem := tauV
 		start := len(subTopics)
@@ -253,7 +254,7 @@ type rateTopic struct {
 }
 
 func sortTopicIDs(s []workload.TopicID) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 }
 
 // RandomSelectPairs implements the paper's naive RSP baseline (Alg. 6): for

@@ -40,9 +40,12 @@ func stage1Workers(parallelism, numSubscribers int) int {
 }
 
 // greedySelectParallel shards GSP over worker goroutines. Every worker
-// polls the context on its own ticker (no shared state), so cancellation
-// aborts all shards within one checkInterval batch each; the goroutines
-// are always joined before returning, leaking nothing.
+// polls a shared derived context on its own ticker, and the first worker
+// to fail cancels that context so its siblings abort within one
+// checkInterval batch instead of finishing doomed shards; the goroutines
+// are always joined before returning, leaking nothing. The caller's
+// context error wins the report (every shard of a cancelled solve fails
+// with it anyway); otherwise the first error recorded is returned.
 func greedySelectParallel(ctx context.Context, w *workload.Workload, tau int64, workers int, obs Observer) (*Selection, error) {
 	start := time.Now()
 	n := w.NumSubscribers()
@@ -56,7 +59,13 @@ func greedySelectParallel(ctx context.Context, w *workload.Workload, tau int64, 
 		err       error
 	}
 	frags := make([]fragment, workers)
-	var wg sync.WaitGroup
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
 	per := (n + workers - 1) / workers
 	for k := 0; k < workers; k++ {
 		lo := k * per
@@ -73,18 +82,29 @@ func greedySelectParallel(ctx context.Context, w *workload.Workload, tau int64, 
 			defer wg.Done()
 			// Workers tick cancellation but not the observer: progress
 			// callbacks stay single-goroutine.
-			tk := &ticker{ctx: ctx, left: checkInterval}
+			tk := &ticker{ctx: wctx, left: checkInterval}
 			off, topics, err := greedySelectRange(w, lo, hi, tau, tk)
 			frags[k] = fragment{subOff: off, subTopics: topics, err: err}
+			if err != nil {
+				errOnce.Do(func() {
+					firstErr = err
+					cancel()
+				})
+			}
 		}(k, lo, hi)
 	}
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		// Every fragment error fires errOnce, so no f.err can survive
+		// past this point.
+		return nil, firstErr
+	}
 	var totalPairs int64
 	for _, f := range frags {
-		if f.err != nil {
-			return nil, f.err
-		}
 		totalPairs += int64(len(f.subTopics))
 	}
 	subOff := make([]int64, 1, n+1)

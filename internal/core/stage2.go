@@ -1,8 +1,11 @@
 package core
 
 import (
+	"cmp"
 	"context"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
 	"time"
 
 	"github.com/pubsub-systems/mcss/internal/pricing"
@@ -32,8 +35,9 @@ func (b *vmState) has(t workload.TopicID) bool {
 
 // place assigns subs of topic t (rate rb bytes/hour each) to the VM,
 // charging rb per subscriber (outgoing) plus rb once if the topic is new to
-// this VM (incoming). The caller has already verified capacity.
-func (b *vmState) place(t workload.TopicID, rb int64, subs []workload.SubID) {
+// this VM (incoming), and reports whether it was new. The caller has
+// already verified capacity.
+func (b *vmState) place(t workload.TopicID, rb int64, subs []workload.SubID) (newTopic bool) {
 	idx, ok := b.topicIdx[t]
 	if !ok {
 		idx = len(b.vm.Placements)
@@ -47,6 +51,7 @@ func (b *vmState) place(t workload.TopicID, rb int64, subs []workload.SubID) {
 	out := rb * int64(len(subs))
 	b.vm.OutBytesPerHour += out
 	b.free -= out
+	return !ok
 }
 
 // deltaFor reports the bandwidth this VM would gain by hosting one more pair
@@ -144,6 +149,13 @@ func FFBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
 // FFBinPackingContext is FFBinPacking with context cancellation (checked
 // every checkInterval pairs) and Config.Observer progress callbacks — the
 // Pack implementation of the registered "ffbp" strategy.
+//
+// The implementation is the indexed engine: "first deployed VM with room"
+// is answered in O(log V) by a positional segment tree over VM indices
+// (maximum free capacity per subtree), combined with a per-topic host-VM
+// list so the exact rb-vs-2rb capacity delta is preserved. The result is
+// byte-identical to the O(P·V) reference scan (FFBinPackingNaive), which
+// the differential property tests enforce.
 func FFBinPackingContext(ctx context.Context, sel *Selection, cfg Config) (*Allocation, error) {
 	cfg.Observer = ResolveObserver(ctx, cfg)
 	start := time.Now()
@@ -151,7 +163,7 @@ func FFBinPackingContext(ctx context.Context, sel *Selection, cfg Config) (*Allo
 	maxCap := fleet.MaxCapacity()
 	msg := cfg.MessageBytes
 	tk := newTicker(ctx, cfg.Observer, StagePack, sel.NumPairs())
-	var vms []*vmState
+	ix := newVMIndex(false, !cfg.LenientFirstFit)
 	var err error
 	one := make([]workload.SubID, 1)
 	sel.Pairs(func(p workload.Pair) bool {
@@ -164,33 +176,35 @@ func FFBinPackingContext(ctx context.Context, sel *Selection, cfg Config) (*Allo
 			return false
 		}
 		one[0] = p.Sub
-		for _, b := range vms {
-			var fits bool
-			if cfg.LenientFirstFit {
-				fits = rb <= b.free
-			} else {
-				fits = b.deltaFor(p.Topic, rb) <= b.free
-			}
-			if fits {
-				b.place(p.Topic, rb, one)
-				return true
-			}
+		var target int
+		if cfg.LenientFirstFit {
+			// The paper's literal test ignores the incoming increment:
+			// every VM fits iff rb ≤ free.
+			target = ix.firstFree(rb)
+		} else {
+			// A VM fits iff free ≥ 2rb, or it already hosts the topic and
+			// free ≥ rb. The first fitting VM is therefore the lower of
+			// the two candidate indices.
+			target = minIndex(ix.firstFree(2*rb), ix.firstHost(p.Topic, rb))
+		}
+		if target >= 0 {
+			ix.place(ix.vms[target], p.Topic, rb, one)
+			return true
 		}
 		need := 2 * rb
 		if cfg.LenientFirstFit {
 			need = rb
 		}
 		i := pickPairType(fleet, need)
-		b := newVMState(len(vms), fleet.Type(i), fleet.Capacity(i))
-		b.place(p.Topic, rb, one)
-		vms = append(vms, b)
+		b := ix.deploy(fleet.Type(i), fleet.Capacity(i))
+		ix.place(b, p.Topic, rb, one)
 		return true
 	})
 	if err != nil {
 		return nil, err
 	}
 	tk.finish(time.Since(start))
-	return finishAllocation(vms, fleet, cfg), nil
+	return ix.finish(fleet, cfg), nil
 }
 
 // topicGroup is one topic with its selected subscribers, as CBP consumes
@@ -199,6 +213,22 @@ type topicGroup struct {
 	topic workload.TopicID
 	rb    int64 // rate in bytes/hour
 	subs  []workload.SubID
+}
+
+// sortGroupsByVolume orders groups by non-increasing total selected volume
+// ev_t·|pairs| — the argmax of Alg. 4 line 3 — with ties to the lower
+// topic ID. The topic tie-break makes the order total (one group per
+// topic), so the unstable sort is deterministic and stability would buy
+// nothing.
+func sortGroupsByVolume(groups []topicGroup) {
+	slices.SortFunc(groups, func(a, b topicGroup) int {
+		wa := a.rb * int64(len(a.subs))
+		wb := b.rb * int64(len(b.subs))
+		if wa != wb {
+			return cmp.Compare(wb, wa)
+		}
+		return cmp.Compare(a.topic, b.topic)
+	})
 }
 
 // CustomBinPacking implements the paper's Alg. 4 (CBP) generalized to
@@ -217,6 +247,13 @@ func CustomBinPacking(sel *Selection, cfg Config) (*Allocation, error) {
 // (checked once per topic group, in checkInterval batches weighted by group
 // size) and Config.Observer progress callbacks — the Pack implementation of
 // the registered "cbp" strategy.
+//
+// Like FFBinPackingContext it runs on the indexed engine: most-free-VM
+// picks descend the free-capacity segment tree to the leftmost maximum,
+// first-fit picks combine a tree descent with the per-topic host list, and
+// the Alg. 7 what-if simulation runs against the tree with rollback
+// instead of copying every VM's free capacity per group. Byte-identical to
+// CustomBinPackingNaive.
 func CustomBinPackingContext(ctx context.Context, sel *Selection, cfg Config) (*Allocation, error) {
 	cfg.Observer = ResolveObserver(ctx, cfg)
 	start := time.Now()
@@ -227,20 +264,11 @@ func CustomBinPackingContext(ctx context.Context, sel *Selection, cfg Config) (*
 
 	groups := buildGroups(sel, msg)
 	if cfg.Opts&OptExpensiveTopicFirst != 0 {
-		// Non-increasing total selected volume ev_t·|pairs|, the
-		// argmax of Alg. 4 line 3.
-		sort.SliceStable(groups, func(i, j int) bool {
-			wi := groups[i].rb * int64(len(groups[i].subs))
-			wj := groups[j].rb * int64(len(groups[j].subs))
-			if wi != wj {
-				return wi > wj
-			}
-			return groups[i].topic < groups[j].topic
-		})
+		sortGroupsByVolume(groups)
 	}
 
 	var (
-		vms      []*vmState
+		ix       = newVMIndex(false, true)
 		cur      *vmState // most recently deployed VM
 		totalBW  int64    // running Σ bw_b (bytes/hour), for Alg. 7
 		costOpts = cfg.Opts&OptCostBased != 0
@@ -259,7 +287,7 @@ func CustomBinPackingContext(ctx context.Context, sel *Selection, cfg Config) (*
 		}
 		need := g.rb * int64(len(g.subs)+1)
 		if cur != nil && need <= cur.free {
-			cur.place(g.topic, g.rb, g.subs)
+			ix.place(cur, g.topic, g.rb, g.subs)
 			addBW(need)
 			continue
 		}
@@ -267,11 +295,11 @@ func CustomBinPackingContext(ctx context.Context, sel *Selection, cfg Config) (*
 		remaining := g.subs
 		distribute := true
 		if costOpts {
-			distribute = cheaperToDistribute(vms, g, fleet, totalBW, cfg.Model)
+			distribute = ix.cheaperToDistribute(g, fleet, totalBW, cfg.Model)
 		}
 		if distribute {
 			for len(remaining) > 0 {
-				b := pickExistingVM(vms, g, freeOpts)
+				b := ix.pickExisting(g, freeOpts)
 				if b == nil {
 					break
 				}
@@ -288,7 +316,7 @@ func CustomBinPackingContext(ctx context.Context, sel *Selection, cfg Config) (*
 					k = int64(len(remaining))
 				}
 				before := b.free
-				b.place(g.topic, g.rb, remaining[:k])
+				ix.place(b, g.topic, g.rb, remaining[:k])
 				addBW(before - b.free)
 				remaining = remaining[k:]
 			}
@@ -299,21 +327,101 @@ func CustomBinPackingContext(ctx context.Context, sel *Selection, cfg Config) (*
 		for len(remaining) > 0 {
 			ti := pickDeployType(fleet, g.rb, int64(len(remaining)))
 			cap := fleet.Capacity(ti)
-			b := newVMState(len(vms), fleet.Type(ti), cap)
-			vms = append(vms, b)
+			b := ix.deploy(fleet.Type(ti), cap)
 			cur = b
 			k := cap/g.rb - 1 // one slot of rb is the incoming stream
 			if k > int64(len(remaining)) {
 				k = int64(len(remaining))
 			}
 			before := b.free
-			b.place(g.topic, g.rb, remaining[:k])
+			ix.place(b, g.topic, g.rb, remaining[:k])
 			addBW(before - b.free)
 			remaining = remaining[k:]
 		}
 	}
 	tk.finish(time.Since(start))
-	return finishAllocation(vms, fleet, cfg), nil
+	return ix.finish(fleet, cfg), nil
+}
+
+// pickExisting is the indexed form of pickExistingVM. Most-free: the
+// segment tree's leftmost global maximum is the answer whenever it can
+// host a new topic (free ≥ 2rb); otherwise only VMs already hosting the
+// topic are eligible and the host list is scanned. First-fit: identical to
+// FFBP's candidate combination.
+func (ix *vmIndex) pickExisting(g topicGroup, mostFree bool) *vmState {
+	if mostFree {
+		m, idx := ix.tree.maxFree()
+		if idx < 0 {
+			return nil
+		}
+		if m >= 2*g.rb {
+			return ix.vms[idx]
+		}
+		// No VM can take the topic's incoming stream plus a pair; only
+		// existing hosts (which need just rb) remain eligible.
+		if h := ix.freestHost(g.topic, g.rb); h >= 0 {
+			return ix.vms[h]
+		}
+		return nil
+	}
+	if i := minIndex(ix.firstFree(2*g.rb), ix.firstHost(g.topic, g.rb)); i >= 0 {
+		return ix.vms[i]
+	}
+	return nil
+}
+
+// cheaperToDistribute is the indexed form of the naive helper of the same
+// name (see naive.go for the cost comparison it implements). The
+// distribution simulation repeatedly takes the most-free VM from the
+// segment tree, hypothetically updates it, and unwinds every touched leaf
+// afterwards — O(steps·log V) with zero allocations in steady state,
+// instead of the naive copy of all frees plus an O(V) argmax per step.
+// The tie-break among equally-free VMs cannot affect the aggregate outcome
+// (both candidates yield the same k and the same new free value), so the
+// decision is identical to the naive simulation's.
+func (ix *vmIndex) cheaperToDistribute(g topicGroup, f pricing.Fleet, totalBW int64, m pricing.Model) bool {
+	n := int64(len(g.subs))
+	if n == 0 {
+		return true
+	}
+	// (A) all pairs on fresh VMs.
+	freshRental, freshBW, _, ok := freshPlan(f, m, g.rb, n)
+	if !ok {
+		// No fleet type can host even one pair; distribution is the only
+		// option (the caller guards 2·rb ≤ maxCap, so this is
+		// unreachable, but keep the safe answer).
+		return true
+	}
+	costNew := freshRental + m.BandwidthCost(m.TransferBytes(totalBW+freshBW))
+
+	// (B) simulate distribution over existing VMs, most free first, on the
+	// tree itself; roll back afterwards.
+	ix.simIdx = ix.simIdx[:0]
+	ix.simOld = ix.simOld[:0]
+	remaining := n
+	var hostedVMs int64 // VMs that newly host the topic (incoming copies)
+	for remaining > 0 {
+		fr, idx := ix.tree.maxFree()
+		if idx < 0 || fr < 2*g.rb {
+			break
+		}
+		k := fr/g.rb - 1
+		if k > remaining {
+			k = remaining
+		}
+		ix.simIdx = append(ix.simIdx, int32(idx))
+		ix.simOld = append(ix.simOld, fr)
+		ix.tree.set(idx, fr-g.rb*(k+1))
+		hostedVMs++
+		remaining -= k
+	}
+	for i := len(ix.simIdx) - 1; i >= 0; i-- {
+		ix.tree.set(int(ix.simIdx[i]), ix.simOld[i])
+	}
+	extraRental, extraBW, _, _ := freshPlan(f, m, g.rb, remaining)
+	bwDist := totalBW + g.rb*(n-remaining+hostedVMs) + extraBW
+	costDist := extraRental + m.BandwidthCost(m.TransferBytes(bwDist))
+	return costDist < costNew
 }
 
 // buildGroups collects the selected subscribers per topic, in topic-ID order.
@@ -332,34 +440,6 @@ func buildGroups(sel *Selection, msg int64) []topicGroup {
 		})
 	}
 	return groups
-}
-
-// pickExistingVM chooses the deployed VM to receive (part of) group g:
-// the one with most free capacity when mostFree is set (optimization (d)),
-// otherwise the first deployed VM with room. It returns nil when no VM can
-// host at least one pair of g.
-func pickExistingVM(vms []*vmState, g topicGroup, mostFree bool) *vmState {
-	needFor := func(b *vmState) int64 {
-		if b.has(g.topic) {
-			return g.rb
-		}
-		return 2 * g.rb
-	}
-	if mostFree {
-		var best *vmState
-		for _, b := range vms {
-			if b.free >= needFor(b) && (best == nil || b.free > best.free) {
-				best = b
-			}
-		}
-		return best
-	}
-	for _, b := range vms {
-		if b.free >= needFor(b) {
-			return b
-		}
-	}
-	return nil
 }
 
 // freshPlan simulates packing n pairs of rb bytes/hour onto freshly
@@ -385,58 +465,6 @@ func freshPlan(f pricing.Fleet, m pricing.Model, rb, n int64) (rental pricing.Mi
 	return rental, bw, count, true
 }
 
-// cheaperToDistribute implements Alg. 7 over a heterogeneous fleet: it
-// compares the modeled total cost of (A) deploying fresh, cost-optimally
-// sized VMs for group g against (B) spreading g over the existing VMs
-// (most-free first, leftovers on fresh VMs), and reports whether (B) is
-// strictly cheaper. Rentals of already-deployed VMs are identical on both
-// sides and cancel. The simulation never mutates the packer state.
-func cheaperToDistribute(vms []*vmState, g topicGroup, f pricing.Fleet, totalBW int64, m pricing.Model) bool {
-	n := int64(len(g.subs))
-	if n == 0 {
-		return true
-	}
-	// (A) all pairs on fresh VMs.
-	freshRental, freshBW, _, ok := freshPlan(f, m, g.rb, n)
-	if !ok {
-		// No fleet type can host even one pair; distribution is the only
-		// option (the caller guards 2·rb ≤ maxCap, so this is
-		// unreachable, but keep the safe answer).
-		return true
-	}
-	costNew := freshRental + m.BandwidthCost(m.TransferBytes(totalBW+freshBW))
-
-	// (B) simulate distribution over existing VMs, most free first.
-	frees := make([]int64, len(vms))
-	for i, b := range vms {
-		frees[i] = b.free
-	}
-	remaining := n
-	var hostedVMs int64 // VMs that newly host the topic (incoming copies)
-	for remaining > 0 {
-		best := -1
-		for i, fr := range frees {
-			if fr >= 2*g.rb && (best == -1 || fr > frees[best]) {
-				best = i
-			}
-		}
-		if best == -1 {
-			break
-		}
-		k := frees[best]/g.rb - 1
-		if k > remaining {
-			k = remaining
-		}
-		frees[best] -= g.rb * (k + 1)
-		hostedVMs++
-		remaining -= k
-	}
-	extraRental, extraBW, _, _ := freshPlan(f, m, g.rb, remaining)
-	bwDist := totalBW + g.rb*(n-remaining+hostedVMs) + extraBW
-	costDist := extraRental + m.BandwidthCost(m.TransferBytes(bwDist))
-	return costDist < costNew
-}
-
 func ceilDiv(a, b int64) int64 {
 	if a <= 0 {
 		return 0
@@ -458,37 +486,130 @@ func packStage2(ctx context.Context, sel *Selection, cfg Config) (*Allocation, e
 	}
 }
 
+// PackSelection runs Stage 2 alone on an existing selection: the
+// configured packer on the configured fleet, including the heterogeneous
+// portfolio (mixed pack plus every single-type restriction, cheapest
+// wins) that SolveContext runs after Stage 1. It is the public entry
+// point for benchmarks and tools that manage their own selections.
+func PackSelection(ctx context.Context, sel *Selection, cfg Config) (*Allocation, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return runStage2(ctx, sel, cfg)
+}
+
+// portfolioWorkers resolves Config.Parallelism for the stage-2 portfolio
+// with the same convention as stage 1: 0 or 1 is serial, negative means
+// GOMAXPROCS, and the count never exceeds the number of portfolio runs.
+// The serial zero-value default also means a custom Stage2Strategy is
+// never invoked concurrently unless the caller asked for parallelism
+// (see Strategy.Pack's contract).
+func portfolioWorkers(parallelism, runs int) int {
+	w := parallelism
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > runs {
+		w = runs
+	}
+	return w
+}
+
+// portfolioRun packs one portfolio member: j == 0 is the primary
+// mixed-fleet pack, j > 0 the restriction to the fleet's (j−1)-th type.
+// The restrictions run silently — the stage's observer events come once,
+// from the primary pack — so both the config and the ambient context
+// observer are stripped.
+func portfolioRun(ctx context.Context, sel *Selection, cfg Config, fleet pricing.Fleet, j int) (*Allocation, error) {
+	if j > 0 {
+		cfg.Fleet = fleet.Single(j - 1)
+		cfg.Observer = nil
+		ctx = ContextWithObserver(ctx, nil)
+	}
+	return packStage2(ctx, sel, cfg)
+}
+
 // runStage2 packs the selection. For a heterogeneous fleet it runs a
 // portfolio: the mixed-fleet greedy plus every single-type restriction of
 // the fleet, returning the cheapest feasible allocation — so by
 // construction the heterogeneous solve never costs more than the best
-// homogeneous choice from the same catalog.
+// homogeneous choice from the same catalog. The portfolio members run
+// concurrently, bounded by Config.Parallelism workers (0 or 1 serial,
+// negative uses GOMAXPROCS); the winner is reduced in fixed order (mixed
+// first, then the types capacity-ascending, strictly-cheaper wins), so
+// the result is identical at every worker count. A failed restriction
+// (the type is too small for some topic) is skipped; a failure of the
+// primary mixed pack — or a context cancellation — cancels the remaining
+// members, and every goroutine is joined before returning.
 func runStage2(ctx context.Context, sel *Selection, cfg Config) (*Allocation, error) {
-	alloc, err := packStage2(ctx, sel, cfg)
-	if err != nil {
-		return nil, err
-	}
 	fleet := cfg.EffectiveFleet()
 	if fleet.Len() <= 1 {
-		return alloc, nil
+		return packStage2(ctx, sel, cfg)
 	}
-	best, bestCost := alloc, alloc.Cost(cfg.Model)
-	for i := 0; i < fleet.Len(); i++ {
-		sub := cfg
-		sub.Fleet = fleet.Single(i)
-		// The restrictions run silently — the stage's observer events come
-		// once, from the primary mixed-fleet pack — so both the config and
-		// the ambient context observer are stripped.
-		sub.Observer = nil
-		a, err := packStage2(ContextWithObserver(ctx, nil), sel, sub)
-		if err != nil {
-			if cerr := ctx.Err(); cerr != nil {
-				return nil, cerr
+	runs := fleet.Len() + 1
+	allocs := make([]*Allocation, runs)
+	errs := make([]error, runs)
+	workers := portfolioWorkers(cfg.Parallelism, runs)
+	if cfg.Stage2Strategy.Pack != nil && !cfg.Stage2Strategy.ConcurrencySafe {
+		// A custom packer that has not declared itself safe for
+		// concurrent invocation keeps the pre-portfolio sequential-calls
+		// contract regardless of Parallelism.
+		workers = 1
+	}
+	if workers <= 1 {
+		for j := 0; j < runs; j++ {
+			allocs[j], errs[j] = portfolioRun(ctx, sel, cfg, fleet, j)
+			if j == 0 && errs[0] != nil {
+				return nil, errs[0]
 			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		pctx, cancel := context.WithCancel(ctx)
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for j := 0; j < runs; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				a, err := portfolioRun(pctx, sel, cfg, fleet, j)
+				allocs[j], errs[j] = a, err
+				if err != nil && (j == 0 || pctx.Err() != nil) {
+					// Primary failure or cancellation: stop the rest.
+					cancel()
+					return
+				}
+				if a != nil {
+					// Warm the memoized cost while still parallel, so the
+					// serial reduction below is O(1) per member.
+					a.Cost(cfg.Model)
+				}
+			}(j)
+		}
+		wg.Wait()
+		cancel()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if errs[0] != nil {
+			return nil, errs[0]
+		}
+	}
+	best, bestCost := allocs[0], allocs[0].Cost(cfg.Model)
+	for j := 1; j < runs; j++ {
+		if errs[j] != nil || allocs[j] == nil {
 			continue // the type is too small for some topic; skip it
 		}
-		if c := a.Cost(cfg.Model); c < bestCost {
-			best, bestCost = a, c
+		if c := allocs[j].Cost(cfg.Model); c < bestCost {
+			best, bestCost = allocs[j], c
 		}
 	}
 	best.Fleet = fleet

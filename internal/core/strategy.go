@@ -29,7 +29,19 @@ type Strategy struct {
 	SelectPairs func(ctx context.Context, w *workload.Workload, cfg Config) (*Selection, error)
 	// Pack implements Stage 2: place a selection onto VMs. Nil when the
 	// strategy has no Stage-2 role.
+	//
+	// When Config.Parallelism asks for a concurrent solve (n > 1 or
+	// negative), the fleet is heterogeneous, and ConcurrencySafe is set,
+	// the stage-2 portfolio invokes Pack from multiple goroutines at
+	// once (the mixed fleet and each single-type restriction). Without
+	// ConcurrencySafe the portfolio always runs serially for this
+	// strategy, so implementations registered before the parallel
+	// portfolio existed keep their sequential-calls contract.
 	Pack func(ctx context.Context, sel *Selection, cfg Config) (*Allocation, error)
+	// ConcurrencySafe declares that Pack may be invoked from multiple
+	// goroutines simultaneously. The built-ins set it; leave it false
+	// for implementations with shared mutable state.
+	ConcurrencySafe bool
 	// Solve implements a complete solver, replacing both stages. Nil when
 	// the strategy composes from SelectPairs/Pack (or has no full role).
 	Solve func(ctx context.Context, w *workload.Workload, cfg Config) (*Result, error)
@@ -106,16 +118,19 @@ func init() {
 		SelectPairs: RandomSelectPairsContext,
 	}
 	cbp := Strategy{
-		Description: "CustomBinPacking (Alg. 4): topic-grouped packing with OptFlags",
-		Pack:        CustomBinPackingContext,
+		Description:     "CustomBinPacking (Alg. 4): topic-grouped packing with OptFlags",
+		Pack:            CustomBinPackingContext,
+		ConcurrencySafe: true,
 	}
 	ffbp := Strategy{
-		Description: "FFBinPacking (Alg. 3): pair-at-a-time first-fit baseline",
-		Pack:        FFBinPackingContext,
+		Description:     "FFBinPacking (Alg. 3): pair-at-a-time first-fit baseline",
+		Pack:            FFBinPackingContext,
+		ConcurrencySafe: true,
 	}
 	bfd := Strategy{
-		Description: "BFDBinPacking: best-fit-decreasing pair packing (non-paper baseline)",
-		Pack:        BFDBinPackingContext,
+		Description:     "BFDBinPacking: best-fit-decreasing pair packing (non-paper baseline)",
+		Pack:            BFDBinPackingContext,
+		ConcurrencySafe: true,
 	}
 	for name, s := range map[string]Strategy{
 		"gsp": gsp, "greedy": gsp,

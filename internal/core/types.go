@@ -15,6 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/pubsub-systems/mcss/internal/pricing"
@@ -148,9 +149,14 @@ type Config struct {
 	// lower bound, the exact solver, and the elastic controller. Nil
 	// disables all callbacks (the zero-overhead default).
 	Observer Observer
-	// Parallelism is the Stage-1 worker count: 0 or 1 solves serially,
-	// n > 1 shards across n goroutines, and any negative value uses
-	// GOMAXPROCS. The result is bit-identical to the serial path.
+	// Parallelism is the worker count for the parallel solver paths,
+	// with one convention everywhere: 0 or 1 runs serially, n > 1 uses n
+	// goroutines, and any negative value uses GOMAXPROCS. It bounds both
+	// the Stage-1 subscriber sharding and the Stage-2 heterogeneous
+	// portfolio (the mixed pack plus every single-type restriction run
+	// concurrently). Results are bit-identical at every worker count:
+	// Stage-1 shards are independent and the portfolio reduces its
+	// members in a fixed deterministic order.
 	Parallelism int
 
 	// Stage1Strategy, Stage2Strategy, and SolveStrategy optionally replace
@@ -269,6 +275,14 @@ func (vm *VM) NumPairs() int {
 // Allocation is Stage 2's output: the deployed VMs. Capacity is a per-VM
 // property (each VM carries its instance type's cap); there is no single
 // fleet-wide BC once the fleet is heterogeneous.
+//
+// Cost, RentalCost, HourlyRentalRate, and TotalBytesPerHour memoize their
+// whole-fleet aggregates on first use (the stage-2 portfolio and the
+// elastic controller's per-epoch policy checks query them repeatedly), so
+// code that mutates VMs or their placements after such a query must call
+// InvalidateCost. Every in-repo mutation path builds a fresh Allocation
+// (or private VM clones) before its first cost query, so only external
+// in-place editors need to care.
 type Allocation struct {
 	// VMs in deployment order.
 	VMs []*VM
@@ -277,6 +291,46 @@ type Allocation struct {
 	Fleet pricing.Fleet
 	// MessageBytes echoes the config.
 	MessageBytes int64
+
+	// Cached whole-fleet aggregates behind the cost methods. The model is
+	// not part of the cache: the aggregates (Σ bw_b, Σ hourly rates, and
+	// the count of untyped legacy VMs priced at the model's instance) are
+	// model-independent, so one pass serves every model.
+	aggMu       sync.Mutex
+	aggValid    bool
+	aggBW       int64
+	aggRateSum  int64
+	aggFallback int64
+}
+
+// aggregates returns (and on first use computes) Σ bw_b, the hourly-rate
+// sum of typed VMs, and the count of untyped VMs.
+func (a *Allocation) aggregates() (bw, rateSum, fallback int64) {
+	a.aggMu.Lock()
+	defer a.aggMu.Unlock()
+	if !a.aggValid {
+		a.aggBW, a.aggRateSum, a.aggFallback = 0, 0, 0
+		for _, vm := range a.VMs {
+			a.aggBW += vm.BytesPerHour()
+			if vm.Instance.Name == "" && vm.Instance.HourlyRate == 0 {
+				a.aggFallback++
+			} else {
+				a.aggRateSum += int64(vm.Instance.HourlyRate)
+			}
+		}
+		a.aggValid = true
+	}
+	return a.aggBW, a.aggRateSum, a.aggFallback
+}
+
+// InvalidateCost drops the memoized cost aggregates. Call it after
+// mutating VMs (or their placements) of an allocation whose Cost,
+// RentalCost, HourlyRentalRate, or TotalBytesPerHour has already been
+// queried.
+func (a *Allocation) InvalidateCost() {
+	a.aggMu.Lock()
+	a.aggValid = false
+	a.aggMu.Unlock()
 }
 
 // NumVMs reports |B|.
@@ -284,11 +338,8 @@ func (a *Allocation) NumVMs() int { return len(a.VMs) }
 
 // TotalBytesPerHour reports Σ_b bw_b.
 func (a *Allocation) TotalBytesPerHour() int64 {
-	var sum int64
-	for _, vm := range a.VMs {
-		sum += vm.BytesPerHour()
-	}
-	return sum
+	bw, _, _ := a.aggregates()
+	return bw
 }
 
 // TransferBytes reports the total transfer volume C2 bills for under the
@@ -301,15 +352,18 @@ func (a *Allocation) TransferBytes(m pricing.Model) int64 {
 // rate over the model's rental duration. A VM without a recorded instance
 // type (legacy construction) falls back to the model's instance.
 func (a *Allocation) RentalCost(m pricing.Model) pricing.MicroUSD {
-	var sum pricing.MicroUSD
-	for _, vm := range a.VMs {
-		it := vm.Instance
-		if it.Name == "" && it.HourlyRate == 0 {
-			it = m.Instance
-		}
-		sum += m.InstanceVMCost(it, 1)
-	}
-	return sum
+	_, rateSum, fallback := a.aggregates()
+	return pricing.MicroUSD(m.Hours*rateSum + fallback*m.Hours*int64(m.Instance.HourlyRate))
+}
+
+// HourlyRentalRate is RentalCost at one hour: Σ over VMs of the VM's own
+// hourly rate (untyped legacy VMs priced at the model's instance) — the
+// per-hour form of C1 the elastic controller's keep-vs-adopt policy
+// compares every epoch. Like RentalCost it reads the memoized aggregates,
+// so per-epoch policy checks stop re-summing the whole fleet.
+func (a *Allocation) HourlyRentalRate(m pricing.Model) pricing.MicroUSD {
+	_, rateSum, fallback := a.aggregates()
+	return pricing.MicroUSD(rateSum + fallback*int64(m.Instance.HourlyRate))
 }
 
 // Cost evaluates the paper's objective C1 + C2(Σ bw_b) under the given

@@ -483,13 +483,11 @@ func trueCapacity(vm *core.VM, trueFleet pricing.Fleet) int64 {
 }
 
 // hourlyCost is the epoch-rate objective the keep-vs-adopt decision
-// compares: active rental per hour plus transfer cost per hour.
+// compares: active rental per hour plus transfer cost per hour. Both
+// terms read the allocation's memoized aggregates, so the per-epoch
+// policy checks no longer re-sum the whole fleet.
 func hourlyCost(m pricing.Model, alloc *core.Allocation) pricing.MicroUSD {
-	var rental pricing.MicroUSD
-	for _, vm := range alloc.VMs {
-		rental = rental.Add(vm.Instance.HourlyRate)
-	}
-	return rental.Add(pricing.BandwidthCost(m.PerGB, alloc.TotalBytesPerHour()))
+	return alloc.HourlyRentalRate(m).Add(pricing.BandwidthCost(m.PerGB, alloc.TotalBytesPerHour()))
 }
 
 func countPairs(alloc *core.Allocation) int64 {

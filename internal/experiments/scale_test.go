@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+func TestScaleWorkloadShape(t *testing.T) {
+	w, err := ScaleWorkload(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := w.NumPairs(); p < 9_000 || p > 10_000 {
+		t.Errorf("NumPairs = %d, want ~10k", p)
+	}
+	// Deterministic: the same size must rebuild the identical workload.
+	w2, err := ScaleWorkload(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumPairs() != w2.NumPairs() || w.NumTopics() != w2.NumTopics() {
+		t.Fatal("ScaleWorkload is not deterministic")
+	}
+	for v := 0; v < 3; v++ {
+		a, b := w.Topics(workload.SubID(v)), w2.Topics(workload.SubID(v))
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("subscriber %d interests differ between builds", v)
+			}
+		}
+	}
+}
+
+// The short sweep must produce a verified row per (size, fleet, packer)
+// and a JSON document that round-trips.
+func TestRunScaleShortSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep timing run")
+	}
+	res, err := RunScale(context.Background(), ScaleSizesShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(ScaleSizesShort) * 2 * 2 // sizes × fleets × packers
+	if len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	for _, row := range res.Rows {
+		if row.VMs <= 0 || row.Seconds <= 0 || row.PairsPerSec <= 0 {
+			t.Errorf("degenerate row %+v", row)
+		}
+		// The density calibration must keep the fleet growing with the
+		// workload — the regime the sweep exists to measure.
+		if row.VMs < int(row.Pairs/(4*scalePairsPerVM)) {
+			t.Errorf("%s/%s at %d pairs: only %d VMs — density calibration broken",
+				row.Fleet, row.Packer, row.Pairs, row.VMs)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back ScaleResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Bench != "stage2-scale" || len(back.Rows) != len(res.Rows) {
+		t.Fatalf("JSON round-trip lost data: %+v", back)
+	}
+	if res.Table() == nil {
+		t.Fatal("nil table")
+	}
+}

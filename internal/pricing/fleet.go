@@ -1,8 +1,9 @@
 package pricing
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -96,15 +97,14 @@ func (f *Fleet) sort() {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		i, j := idx[a], idx[b]
-		if f.caps[i] != f.caps[j] {
-			return f.caps[i] < f.caps[j]
+	slices.SortStableFunc(idx, func(a, b int) int {
+		if f.caps[a] != f.caps[b] {
+			return cmp.Compare(f.caps[a], f.caps[b])
 		}
-		if f.types[i].HourlyRate != f.types[j].HourlyRate {
-			return f.types[i].HourlyRate < f.types[j].HourlyRate
+		if f.types[a].HourlyRate != f.types[b].HourlyRate {
+			return cmp.Compare(f.types[a].HourlyRate, f.types[b].HourlyRate)
 		}
-		return f.types[i].Name < f.types[j].Name
+		return cmp.Compare(f.types[a].Name, f.types[b].Name)
 	})
 	types := make([]InstanceType, len(f.types))
 	caps := make([]int64, len(f.caps))

@@ -16,7 +16,7 @@ package workload
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // TopicID densely identifies a topic within one Workload.
@@ -426,7 +426,7 @@ func (b *Builder) Build() (*Workload, error) {
 		// Keep each subscriber's interest sorted for deterministic output.
 		start := subOff[len(subOff)-1]
 		seg := subTopics[start:]
-		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+		slices.Sort(seg)
 		subOff = append(subOff, int64(len(subTopics)))
 		subNames = append(subNames, b.subNames[v])
 	}
