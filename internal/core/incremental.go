@@ -1,0 +1,982 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"sort"
+
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+// This file turns the Stage-2 index structures (vmindex.go) from per-solve
+// scratch state into the system's persistent online state. Two layers:
+//
+//   - Rehomer: a mutable slot-table index over a fleet of VMs — the
+//     max-free segment tree plus exact per-topic host lists — exposing the
+//     shared re-homing rule (host with room → most-free VM → deploy the
+//     cheapest fitting type). elastic.keepWithTopUp places its top-up
+//     pairs through it; the incremental engine uses it as its placement
+//     core.
+//
+//   - IncrementalState (built by Allocation.Index): Rehomer plus the full
+//     pair-level bookkeeping — per-subscriber selected-topic rows with the
+//     hosting slot of every pair, delivered rates, and the incrementally
+//     maintained lower bound — enough to absorb a workload delta in time
+//     proportional to the delta, not the fleet.
+
+// Rehomer indexes an allocation's VMs for delta-proportional placement:
+// a max-free segment tree over slot free capacities and exact (unpruned)
+// per-topic host lists. Unlike the per-solve vmIndex, entries are never
+// pruned — frees move in both directions under removals — so every query
+// sees the true current state.
+//
+// NewRehomer shares the allocation's VM pointers: placements mutate the
+// allocation in place and deployed VMs are appended to it. The zero value
+// is not usable.
+type Rehomer struct {
+	fleet pricing.Fleet
+	alloc *Allocation // when non-nil, deploys/trims keep alloc.VMs in sync
+	vms   []*VM
+	tree  freeTree
+	hosts map[workload.TopicID][]int32 // ascending slot indices per topic
+}
+
+// NewRehomer indexes alloc's VMs against the given deployable fleet. The
+// returned Rehomer shares alloc's VM pointers: every PlacePair mutates the
+// allocation in place, and freshly deployed VMs are appended to alloc.VMs.
+func NewRehomer(alloc *Allocation, fleet pricing.Fleet) *Rehomer {
+	r := newRehomer(alloc.VMs, fleet)
+	r.alloc = alloc
+	return r
+}
+
+// newRehomer indexes a private slot table (no attached allocation).
+func newRehomer(vms []*VM, fleet pricing.Fleet) *Rehomer {
+	r := &Rehomer{
+		fleet: fleet,
+		vms:   vms,
+		hosts: make(map[workload.TopicID][]int32),
+	}
+	for i, vm := range vms {
+		r.tree.add(vm.FreeBytesPerHour())
+		for _, p := range vm.Placements {
+			r.hosts[p.Topic] = append(r.hosts[p.Topic], int32(i))
+		}
+	}
+	return r
+}
+
+// VMs returns the current slot table, including VMs deployed by PlacePair.
+// The slice and its VMs are live state and must not be modified directly.
+func (r *Rehomer) VMs() []*VM { return r.vms }
+
+// free reports slot i's free capacity.
+func (r *Rehomer) free(i int32) int64 { return r.vms[i].FreeBytesPerHour() }
+
+// freestHost returns the slot already hosting t with the most free
+// capacity ≥ need (lowest slot on ties), or -1.
+func (r *Rehomer) freestHost(t workload.TopicID, need int64) int32 {
+	best, bestFree := int32(-1), int64(-1)
+	for _, s := range r.hosts[t] {
+		if f := r.free(s); f >= need && f > bestFree {
+			best, bestFree = s, f
+		}
+	}
+	return best
+}
+
+// placementIndex locates t among slot s's placements, or -1.
+func (r *Rehomer) placementIndex(s int32, t workload.TopicID) int {
+	for i := range r.vms[s].Placements {
+		if r.vms[s].Placements[i].Topic == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// addSubs appends subscribers to slot s's existing placement of t.
+func (r *Rehomer) addSubs(s int32, t workload.TopicID, rb int64, subs ...workload.SubID) {
+	vm := r.vms[s]
+	pi := r.placementIndex(s, t)
+	vm.Placements[pi].Subs = append(vm.Placements[pi].Subs, subs...)
+	vm.OutBytesPerHour += rb * int64(len(subs))
+	r.tree.set(int(s), vm.FreeBytesPerHour())
+}
+
+// addTopic opens a new placement of t on slot s. Ownership of subs
+// transfers to the placement.
+func (r *Rehomer) addTopic(s int32, t workload.TopicID, rb int64, subs []workload.SubID) {
+	vm := r.vms[s]
+	vm.Placements = append(vm.Placements, TopicPlacement{Topic: t, Subs: subs})
+	vm.InBytesPerHour += rb
+	vm.OutBytesPerHour += rb * int64(len(subs))
+	r.tree.set(int(s), vm.FreeBytesPerHour())
+	hs := r.hosts[t]
+	j, _ := slices.BinarySearch(hs, s)
+	r.hosts[t] = slices.Insert(hs, j, s)
+}
+
+// removeSub drops subscriber v from slot s's placement of t, dissolving
+// the placement (and its ingress) when it empties; it reports whether the
+// placement disappeared.
+func (r *Rehomer) removeSub(s int32, t workload.TopicID, rb int64, v workload.SubID) bool {
+	vm := r.vms[s]
+	pi := r.placementIndex(s, t)
+	subs := vm.Placements[pi].Subs
+	k := slices.Index(subs, v)
+	subs[k] = subs[len(subs)-1]
+	vm.Placements[pi].Subs = subs[:len(subs)-1]
+	vm.OutBytesPerHour -= rb
+	gone := false
+	if len(vm.Placements[pi].Subs) == 0 {
+		r.dropPlacementAt(s, pi, t, rb)
+		gone = true
+	}
+	r.tree.set(int(s), vm.FreeBytesPerHour())
+	return gone
+}
+
+// removePlacement detaches slot s's whole placement of t, returning its
+// subscribers (ownership transfers to the caller).
+func (r *Rehomer) removePlacement(s int32, t workload.TopicID, rb int64) []workload.SubID {
+	vm := r.vms[s]
+	pi := r.placementIndex(s, t)
+	subs := vm.Placements[pi].Subs
+	vm.Placements[pi].Subs = nil
+	vm.OutBytesPerHour -= rb * int64(len(subs))
+	r.dropPlacementAt(s, pi, t, rb)
+	r.tree.set(int(s), vm.FreeBytesPerHour())
+	return subs
+}
+
+// dropPlacementAt swap-removes placement pi from slot s and delists s from
+// t's host list. Outgoing accounting is the caller's; ingress is removed
+// here.
+func (r *Rehomer) dropPlacementAt(s int32, pi int, t workload.TopicID, rb int64) {
+	vm := r.vms[s]
+	last := len(vm.Placements) - 1
+	vm.Placements[pi] = vm.Placements[last]
+	vm.Placements[last] = TopicPlacement{}
+	vm.Placements = vm.Placements[:last]
+	vm.InBytesPerHour -= rb
+	hs := r.hosts[t]
+	j, _ := slices.BinarySearch(hs, s)
+	hs = slices.Delete(hs, j, j+1)
+	if len(hs) == 0 {
+		delete(r.hosts, t)
+	} else {
+		r.hosts[t] = hs
+	}
+}
+
+// deploy appends a fresh VM of fleet type ti and returns its slot.
+func (r *Rehomer) deploy(ti int) int32 {
+	vm := &VM{
+		ID:                   len(r.vms),
+		Instance:             r.fleet.Type(ti),
+		CapacityBytesPerHour: r.fleet.Capacity(ti),
+	}
+	r.vms = append(r.vms, vm)
+	r.tree.add(vm.FreeBytesPerHour())
+	if r.alloc != nil {
+		r.alloc.VMs = r.vms
+	}
+	return int32(len(r.vms) - 1)
+}
+
+// PlacePair homes one pair of topic t (rb = ev_t·MessageBytes): a VM
+// already hosting the topic with room for one more egress stream (most
+// free first), else the most-free VM with room for ingress plus egress,
+// else a fresh VM of the cheapest type that fits the topic at all. It
+// reports the chosen slot, or ok=false when no deployed VM has room and
+// no fleet type can host the topic — the caller's scale-up/infeasibility
+// signal (there is deliberately no lenient fallback here).
+func (r *Rehomer) PlacePair(t workload.TopicID, v workload.SubID, rb int64) (int32, bool) {
+	if s, ok := r.placeNoDeploy(t, v, rb); ok {
+		return s, true
+	}
+	ti := pickFittingType(r.fleet, 2*rb)
+	if ti < 0 {
+		return -1, false
+	}
+	s := r.deploy(ti)
+	r.addTopic(s, t, rb, []workload.SubID{v})
+	return s, true
+}
+
+// placeNoDeploy is PlacePair restricted to already-deployed VMs: a host of
+// t with room, else the most-free VM with room for ingress plus egress —
+// never a fresh deployment. The drain pass places through it so
+// consolidation cannot grow the fleet it is shrinking.
+func (r *Rehomer) placeNoDeploy(t workload.TopicID, v workload.SubID, rb int64) (int32, bool) {
+	if s := r.freestHost(t, rb); s >= 0 {
+		r.addSubs(s, t, rb, v)
+		return s, true
+	}
+	if f, i := r.tree.maxFree(); i >= 0 && f >= 2*rb {
+		r.addTopic(int32(i), t, rb, []workload.SubID{v})
+		return int32(i), true
+	}
+	return -1, false
+}
+
+// trimTrailingEmpty releases empty VMs at the end of the slot table.
+func (r *Rehomer) trimTrailingEmpty() {
+	n := len(r.vms)
+	for n > 0 && len(r.vms[n-1].Placements) == 0 {
+		n--
+	}
+	if n == len(r.vms) {
+		return
+	}
+	r.vms = r.vms[:n]
+	r.tree.shrink(n)
+	if r.alloc != nil {
+		r.alloc.VMs = r.vms
+	}
+}
+
+// EpochOutcome reports one incremental epoch: the materialized result,
+// churn counters, and the regret bookkeeping the fallback decision needs.
+type EpochOutcome struct {
+	// Result is the materialized selection + allocation after the epoch.
+	Result *Result
+	// Dropped counts placed pairs removed this epoch (unsubscribed, or
+	// evicted by a rate spike — evicted pairs that are re-added appear in
+	// Inserted too). Inserted counts pairs added by the indexed top-up;
+	// Improved counts pairs relocated by the local-improvement pass; Kept
+	// is the remainder that stayed on their VM.
+	Dropped, Inserted, Improved, Kept int64
+	// LB is the incrementally maintained lower bound for the epoch's
+	// workload, and Regret the materialized cost's fractional excess over
+	// it. BaseRegret is the same measure taken at the last full solve —
+	// regret drift beyond it is what triggers a full re-solve.
+	Regret, BaseRegret float64
+	LB                 Bound
+}
+
+// IncrementalState persists the Stage-2 index as live mutable state over
+// an adopted allocation, with the pair-level bookkeeping needed to absorb
+// workload deltas in O(delta): per-subscriber selected-topic rows aligned
+// with the hosting slot of each pair, delivered rates, and the running
+// Σ_v max(τ_v, min-rate) term of the lower bound.
+//
+// Lifecycle: build once from an allocation (Allocation.Index), then per
+// epoch call BeginEpoch (swaps in the next workload and re-rates changed
+// topics), Unsubscribe/Subscribe per delta pair, and FinishEpoch (evicts
+// over-capacity slots, tops dirty subscribers back up to τ_v, runs the
+// bounded local-improvement pass, releases empty VMs, and materializes a
+// fresh immutable Result). The state is not safe for concurrent use, and
+// an error from BeginEpoch/FinishEpoch leaves it unusable — discard it
+// and rebuild from the last adopted allocation.
+type IncrementalState struct {
+	cfg Config // normalized
+	msg int64
+	w   *workload.Workload
+	r   *Rehomer // over private VM clones
+
+	// Parallel per-subscriber rows: selRows[v] lists v's selected topics
+	// ascending; hostRows[v][i] is the slot serving (selRows[v][i], v).
+	selRows    [][]workload.TopicID
+	hostRows   [][]int32
+	delivered  []int64 // Σ rates of selected topics per subscriber
+	lbTerm     []int64 // max(τ_v, min-rate) per subscriber
+	lbEvents   int64   // Σ lbTerm
+	totalPairs int64
+
+	base       *Allocation // allocation this state currently mirrors
+	baseRegret float64     // regret at the last full solve
+
+	// Epoch scratch.
+	dirtyFlag                   []bool
+	dirty                       []workload.SubID
+	touched                     map[workload.TopicID]struct{}
+	emptied                     []int32
+	overfull                    []int32 // candidate slots, may contain duplicates
+	dropped, inserted, improved int64
+	epochOpen                   bool
+}
+
+// Index builds the persistent incremental layer over this allocation (see
+// IncrementalState). The allocation itself is neither retained mutable nor
+// modified — the state works on private VM clones — but it is remembered
+// by pointer as the state's base, which is how callers detect that a state
+// still corresponds to their current allocation. w must be the workload
+// the allocation was solved for; cfg the solve config.
+func (a *Allocation) Index(w *workload.Workload, cfg Config) (*IncrementalState, error) {
+	return NewIncrementalState(w, a, cfg)
+}
+
+// NewIncrementalState is Allocation.Index with the allocation explicit.
+func NewIncrementalState(w *workload.Workload, alloc *Allocation, cfg Config) (*IncrementalState, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	numV := w.NumSubscribers()
+	s := &IncrementalState{
+		cfg:       cfg,
+		msg:       cfg.MessageBytes,
+		w:         w,
+		selRows:   make([][]workload.TopicID, numV),
+		hostRows:  make([][]int32, numV),
+		delivered: make([]int64, numV),
+		lbTerm:    make([]int64, numV),
+		dirtyFlag: make([]bool, numV),
+		touched:   make(map[workload.TopicID]struct{}),
+		base:      alloc,
+	}
+	vms := make([]*VM, len(alloc.VMs))
+	for i, vm := range alloc.VMs {
+		vms[i] = snapshotVM(vm, i)
+	}
+	s.r = newRehomer(vms, cfg.Fleet)
+	for i, vm := range vms {
+		for _, p := range vm.Placements {
+			if int(p.Topic) >= w.NumTopics() {
+				return nil, fmt.Errorf("core: allocation places topic %d outside workload (%d topics)", p.Topic, w.NumTopics())
+			}
+			rate := w.Rate(p.Topic)
+			for _, v := range p.Subs {
+				if int(v) >= numV {
+					return nil, fmt.Errorf("core: allocation places subscriber %d outside workload (%d subscribers)", v, numV)
+				}
+				s.selRows[v] = append(s.selRows[v], p.Topic)
+				s.hostRows[v] = append(s.hostRows[v], int32(i))
+				s.delivered[v] += rate
+				s.totalPairs++
+			}
+		}
+	}
+	for v := range s.selRows {
+		sortRowPair(s.selRows[v], s.hostRows[v])
+		for i := 1; i < len(s.selRows[v]); i++ {
+			if s.selRows[v][i] == s.selRows[v][i-1] {
+				return nil, fmt.Errorf("core: pair (t=%d, v=%d) placed more than once", s.selRows[v][i], v)
+			}
+		}
+	}
+	for v := 0; v < numV; v++ {
+		s.lbTerm[v] = s.lbTermOf(workload.SubID(v))
+		s.lbEvents += s.lbTerm[v]
+	}
+	s.baseRegret = regretFrac(alloc.Cost(cfg.Model), boundFromEvents(s.lbEvents, cfg).Cost)
+	return s, nil
+}
+
+// Base returns the allocation this state currently mirrors: the one it was
+// built from, or the Result.Allocation of the last FinishEpoch. A caller
+// whose current allocation is no longer identical (by pointer) to Base
+// must rebuild the state before the next epoch.
+func (s *IncrementalState) Base() *Allocation { return s.base }
+
+// BaseRegret reports the cost regret versus the lower bound measured at
+// the last full solve — the floor incremental epochs are allowed to drift
+// above by the fallback threshold.
+func (s *IncrementalState) BaseRegret() float64 { return s.baseRegret }
+
+// lbTermOf computes subscriber v's lower-bound term max(τ_v, min-rate)
+// under the current workload.
+func (s *IncrementalState) lbTermOf(v workload.SubID) int64 {
+	tauV := s.w.TauV(v, s.cfg.Tau)
+	if m := s.w.MinRate(v); m > tauV {
+		tauV = m
+	}
+	return tauV
+}
+
+// setLBTerm refreshes v's lower-bound term, keeping the running sum.
+func (s *IncrementalState) setLBTerm(v workload.SubID) {
+	nt := s.lbTermOf(v)
+	s.lbEvents += nt - s.lbTerm[v]
+	s.lbTerm[v] = nt
+}
+
+func (s *IncrementalState) markDirty(v workload.SubID) {
+	if !s.dirtyFlag[v] {
+		s.dirtyFlag[v] = true
+		s.dirty = append(s.dirty, v)
+	}
+}
+
+// BeginEpoch opens an epoch against the next workload snapshot (IDs must
+// extend the current one): per-subscriber arrays grow for new subscribers,
+// changed topics are re-rated in place across their host VMs (collecting
+// slots pushed over capacity for FinishEpoch's eviction pass), and the
+// lower-bound terms of every affected subscriber are refreshed.
+func (s *IncrementalState) BeginEpoch(ctx context.Context, next *workload.Workload, rateChanged []workload.TopicID) error {
+	if s.epochOpen {
+		return errors.New("core: incremental epoch already open")
+	}
+	if next.NumTopics() < s.w.NumTopics() || next.NumSubscribers() < s.w.NumSubscribers() {
+		return fmt.Errorf("core: incremental epoch shrinks the workload %d/%d → %d/%d (IDs must be stable)",
+			s.w.NumTopics(), s.w.NumSubscribers(), next.NumTopics(), next.NumSubscribers())
+	}
+	s.epochOpen = true
+	s.dropped, s.inserted, s.improved = 0, 0, 0
+	clear(s.touched)
+	s.emptied = s.emptied[:0]
+	s.overfull = s.overfull[:0]
+
+	old := s.w
+	s.w = next
+	for v := old.NumSubscribers(); v < next.NumSubscribers(); v++ {
+		s.selRows = append(s.selRows, nil)
+		s.hostRows = append(s.hostRows, nil)
+		s.delivered = append(s.delivered, 0)
+		s.lbTerm = append(s.lbTerm, 0)
+		s.dirtyFlag = append(s.dirtyFlag, false)
+		s.markDirty(workload.SubID(v))
+	}
+
+	// Deduplicate so a topic listed twice is re-rated once (the delta is
+	// computed against the pre-epoch workload, so a second pass would apply
+	// it again).
+	rc := slices.Clone(rateChanged)
+	slices.Sort(rc)
+	rc = slices.Compact(rc)
+	for _, t := range rc {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if int(t) >= old.NumTopics() {
+			continue // a new topic: no hosts or delivered state yet
+		}
+		oldR, newR := old.Rate(t), next.Rate(t)
+		if oldR == newR {
+			continue
+		}
+		dR := newR - oldR
+		drb := dR * s.msg
+		s.touched[t] = struct{}{}
+		for _, slot := range s.r.hosts[t] {
+			vm := s.r.vms[slot]
+			pi := s.r.placementIndex(slot, t)
+			subs := vm.Placements[pi].Subs
+			vm.InBytesPerHour += drb
+			vm.OutBytesPerHour += drb * int64(len(subs))
+			s.r.tree.set(int(slot), vm.FreeBytesPerHour())
+			if vm.FreeBytesPerHour() < 0 {
+				s.overfull = append(s.overfull, slot)
+			}
+			for _, v := range subs {
+				s.delivered[v] += dR
+				// A rate increase on a placed pair cannot open a τ_v gap:
+				// need' = τ_v' − delivered' ≤ (τ_v + dR) − (delivered + dR).
+				// Only decreases send a subscriber to the top-up pass (the
+				// Subscribers loop below refreshes bound terms either way).
+				if dR < 0 {
+					s.markDirty(v)
+				}
+			}
+		}
+		// τ_v and min-rate shift for every interested subscriber, placed
+		// or not — the maintained bound must track all of them.
+		for _, v := range next.Subscribers(t) {
+			s.setLBTerm(v)
+		}
+	}
+	return nil
+}
+
+// Unsubscribe removes the pair (t, v) — freeing its slot capacity when it
+// was placed — and marks v for FinishEpoch's top-up/lower-bound refresh.
+// Must be called between BeginEpoch (whose workload no longer contains the
+// pair) and FinishEpoch.
+func (s *IncrementalState) Unsubscribe(t workload.TopicID, v workload.SubID) {
+	s.markDirty(v) // demand/min-rate changed even for unplaced pairs
+	i, ok := slices.BinarySearch(s.selRows[v], t)
+	if !ok {
+		return // interest was not selected: nothing placed to undo
+	}
+	slot := s.hostRows[v][i]
+	s.selRows[v] = slices.Delete(s.selRows[v], i, i+1)
+	s.hostRows[v] = slices.Delete(s.hostRows[v], i, i+1)
+	s.r.removeSub(slot, t, s.w.Rate(t)*s.msg, v)
+	if len(s.r.vms[slot].Placements) == 0 {
+		s.emptied = append(s.emptied, slot)
+	}
+	s.delivered[v] -= s.w.Rate(t)
+	s.totalPairs--
+	s.dropped++
+	s.touched[t] = struct{}{}
+}
+
+// Subscribe records the new pair (t, v) as a selection candidate: v is
+// marked dirty and FinishEpoch's top-up decides whether the pair must be
+// selected and placed to restore τ_v.
+func (s *IncrementalState) Subscribe(t workload.TopicID, v workload.SubID) {
+	_ = t // the interest itself already lives in the epoch's workload
+	s.markDirty(v)
+}
+
+// evictPair removes the placed pair (t, v) from slot so an over-capacity
+// VM shrinks back under its cap; the subscriber is dirtied and the top-up
+// pass re-homes the lost rate (not necessarily the same pair) elsewhere.
+func (s *IncrementalState) evictPair(slot int32, t workload.TopicID, v workload.SubID) {
+	i, _ := slices.BinarySearch(s.selRows[v], t)
+	s.selRows[v] = slices.Delete(s.selRows[v], i, i+1)
+	s.hostRows[v] = slices.Delete(s.hostRows[v], i, i+1)
+	s.r.removeSub(slot, t, s.w.Rate(t)*s.msg, v)
+	if len(s.r.vms[slot].Placements) == 0 {
+		s.emptied = append(s.emptied, slot)
+	}
+	s.delivered[v] -= s.w.Rate(t)
+	s.totalPairs--
+	s.dropped++
+	s.markDirty(v)
+}
+
+// FinishEpoch closes the epoch: evict rate-spiked slots back under
+// capacity, top dirty subscribers back up to τ_v through the indexed
+// placement rule, run the bounded local-improvement pass over touched
+// topics (improveBudget caps relocated pairs; ≤ 0 disables), release empty
+// VMs, and materialize an immutable Result with the epoch's regret
+// bookkeeping. On error the state must be discarded.
+func (s *IncrementalState) FinishEpoch(ctx context.Context, improveBudget int64) (EpochOutcome, error) {
+	if !s.epochOpen {
+		return EpochOutcome{}, errors.New("core: FinishEpoch without BeginEpoch")
+	}
+	if err := s.evictOverfull(ctx); err != nil {
+		return EpochOutcome{}, err
+	}
+	if err := s.topUpDirty(ctx); err != nil {
+		return EpochOutcome{}, err
+	}
+	if improveBudget > 0 {
+		rem, err := s.improveTouched(ctx, improveBudget)
+		if err != nil {
+			return EpochOutcome{}, err
+		}
+		if err := s.drainUnderused(ctx, rem); err != nil {
+			return EpochOutcome{}, err
+		}
+	}
+	s.compactEmpties()
+	out, sel := s.materialize()
+	s.base = out
+	s.epochOpen = false
+	lb := boundFromEvents(s.lbEvents, s.cfg)
+	regret := regretFrac(out.Cost(s.cfg.Model), lb.Cost)
+	kept := s.totalPairs - s.inserted - s.improved
+	if kept < 0 {
+		kept = 0
+	}
+	return EpochOutcome{
+		Result:     &Result{Selection: sel, Allocation: out},
+		Dropped:    s.dropped,
+		Inserted:   s.inserted,
+		Improved:   s.improved,
+		Kept:       kept,
+		Regret:     regret,
+		BaseRegret: s.baseRegret,
+		LB:         lb,
+	}, nil
+}
+
+// evictOverfull walks the slots a rate spike pushed over capacity and
+// evicts pairs of the re-rated topics (newest placements first) until each
+// slot fits again. Only touched topics are candidates: untouched groups
+// fit by the pre-epoch invariant, so eviction always terminates.
+func (s *IncrementalState) evictOverfull(ctx context.Context) error {
+	if len(s.overfull) == 0 {
+		return nil
+	}
+	slices.Sort(s.overfull)
+	s.overfull = slices.Compact(s.overfull)
+	for _, slot := range s.overfull {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for s.r.vms[slot].FreeBytesPerHour() < 0 {
+			vm := s.r.vms[slot]
+			evicted := false
+			for pi := len(vm.Placements) - 1; pi >= 0; pi-- {
+				t := vm.Placements[pi].Topic
+				if _, ok := s.touched[t]; !ok {
+					continue
+				}
+				subs := vm.Placements[pi].Subs
+				s.evictPair(slot, t, subs[len(subs)-1])
+				evicted = true
+				break
+			}
+			if !evicted {
+				return fmt.Errorf("core: slot %d over capacity with no touched pairs left", slot)
+			}
+		}
+	}
+	return nil
+}
+
+// topUpDirty restores τ_v for every dirty subscriber by selecting and
+// placing additional interests, minimal-overshoot first (largest rate ≤
+// the remaining need, else the smallest), through the shared placement
+// rule. It also refreshes each dirty subscriber's lower-bound term.
+func (s *IncrementalState) topUpDirty(ctx context.Context) error {
+	slices.Sort(s.dirty)
+	var cands []workload.TopicID
+	for n, v := range s.dirty {
+		if n%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		s.setLBTerm(v)
+		need := s.w.TauV(v, s.cfg.Tau) - s.delivered[v]
+		if need <= 0 {
+			continue
+		}
+		// Unselected interests, then rate-ascending for minimal overshoot.
+		cands = cands[:0]
+		row := s.selRows[v]
+		i := 0
+		for _, t := range s.w.Topics(v) {
+			for i < len(row) && row[i] < t {
+				i++
+			}
+			if i < len(row) && row[i] == t {
+				continue
+			}
+			cands = append(cands, t)
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			ra, rb := s.w.Rate(cands[a]), s.w.Rate(cands[b])
+			if ra != rb {
+				return ra < rb
+			}
+			return cands[a] < cands[b]
+		})
+		for need > 0 {
+			if len(cands) == 0 {
+				return fmt.Errorf("core: subscriber %d below τ_v with no interests left", v)
+			}
+			// Largest rate ≤ need, else the smallest closes the gap with
+			// the least excess (the Stage-1 greedy's tail rule).
+			j := sort.Search(len(cands), func(i int) bool { return s.w.Rate(cands[i]) > need })
+			if j > 0 {
+				j--
+			}
+			t := cands[j]
+			cands = append(cands[:j], cands[j+1:]...)
+			rate := s.w.Rate(t)
+			slot, ok := s.r.PlacePair(t, v, rate*s.msg)
+			if !ok {
+				return fmt.Errorf("%w: topic %d does not fit any fleet type", ErrInfeasible, t)
+			}
+			k, _ := slices.BinarySearch(s.selRows[v], t)
+			s.selRows[v] = slices.Insert(s.selRows[v], k, t)
+			s.hostRows[v] = slices.Insert(s.hostRows[v], k, slot)
+			s.delivered[v] += rate
+			need -= rate
+			s.totalPairs++
+			s.inserted++
+			s.touched[t] = struct{}{}
+		}
+	}
+	for _, v := range s.dirty {
+		s.dirtyFlag[v] = false
+	}
+	s.dirty = s.dirty[:0]
+	return nil
+}
+
+// improveTouched runs the bounded local-improvement pass: for each topic
+// touched this epoch that is split across several VMs, merge its smallest
+// group into the most-free other host with room — each merge removes one
+// duplicated ingress stream (and often frees a VM for release) without any
+// capacity risk. budget caps the total pairs relocated, keeping the pass
+// delta-proportional; the leftover budget is returned for the drain pass.
+func (s *IncrementalState) improveTouched(ctx context.Context, budget int64) (int64, error) {
+	topics := make([]workload.TopicID, 0, len(s.touched))
+	for t := range s.touched {
+		topics = append(topics, t)
+	}
+	slices.Sort(topics)
+	for _, t := range topics {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		if budget <= 0 {
+			break
+		}
+		rb := s.w.Rate(t) * s.msg
+		for budget > 0 {
+			hs := s.r.hosts[t]
+			if len(hs) < 2 {
+				break
+			}
+			// Smallest group (lowest slot on ties) is the cheapest merge.
+			a, ka := int32(-1), 0
+			for _, slot := range hs {
+				k := len(s.r.vms[slot].Placements[s.r.placementIndex(slot, t)].Subs)
+				if a < 0 || k < ka {
+					a, ka = slot, k
+				}
+			}
+			if int64(ka) > budget {
+				break
+			}
+			b, bf := int32(-1), int64(-1)
+			for _, slot := range hs {
+				if slot == a {
+					continue
+				}
+				if f := s.r.free(slot); f >= rb*int64(ka) && f > bf {
+					b, bf = slot, f
+				}
+			}
+			if b < 0 {
+				break // no receiver has room for even the smallest group
+			}
+			subs := s.r.removePlacement(a, t, rb)
+			s.r.addSubs(b, t, rb, subs...)
+			for _, v := range subs {
+				i, _ := slices.BinarySearch(s.selRows[v], t)
+				s.hostRows[v][i] = b
+			}
+			if len(s.r.vms[a].Placements) == 0 {
+				s.emptied = append(s.emptied, a)
+			}
+			budget -= int64(ka)
+			s.improved += int64(ka)
+		}
+	}
+	return budget, nil
+}
+
+// drainUnderused consolidates VMs left underused by this epoch's
+// removals: candidate slots (ascending by bytes served) are drained
+// pair-by-pair onto the rest of the fleet through the no-deploy placement
+// rule and released when they empty. Scattered unsubscribes strand free
+// capacity across the whole fleet — the lower bound falls with the
+// removed pairs while rental cost only falls when a VM empties
+// completely, so without consolidation a removal-heavy epoch's regret
+// drifts by roughly its removed-pair fraction. A slot whose pairs do not
+// all fit elsewhere is restored untouched, and the pass stops after a few
+// consecutive failures (denser slots only drain harder). budget caps
+// relocated pairs, keeping the pass delta-proportional; epochs that
+// removed nothing skip it entirely.
+func (s *IncrementalState) drainUnderused(ctx context.Context, budget int64) error {
+	if budget <= 0 || s.dropped == 0 || len(s.r.vms) < 2 {
+		return nil
+	}
+	order := make([]int32, 0, len(s.r.vms))
+	for i, vm := range s.r.vms {
+		if len(vm.Placements) > 0 {
+			order = append(order, int32(i))
+		}
+	}
+	used := func(i int32) int64 {
+		return s.r.vms[i].InBytesPerHour + s.r.vms[i].OutBytesPerHour
+	}
+	sort.Slice(order, func(i, j int) bool {
+		ui, uj := used(order[i]), used(order[j])
+		if ui != uj {
+			return ui < uj
+		}
+		return order[i] < order[j]
+	})
+	const maxConsecutiveFailures = 4
+	fails := 0
+	for _, a := range order {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if budget <= 0 || fails >= maxConsecutiveFailures {
+			break
+		}
+		moved, ok := s.drainSlot(a, budget)
+		budget -= moved
+		if ok {
+			fails = 0
+		} else {
+			fails++
+		}
+	}
+	return nil
+}
+
+type drainMove struct {
+	t  workload.TopicID
+	v  workload.SubID
+	to int32
+}
+
+// drainSlot re-homes every pair on slot a onto other deployed VMs,
+// leaving a empty for compaction — or restores it untouched when the
+// fleet has no room (or the budget runs out mid-drain). It reports the
+// pairs relocated, counted against the budget even on rollback: the work
+// was done either way.
+func (s *IncrementalState) drainSlot(a int32, budget int64) (int64, bool) {
+	saved := snapshotVM(s.r.vms[a], int(a))
+	var moves []drainMove
+	// A zero free-capacity leaf hides a from the most-free rule for the
+	// duration (its host-list entries disappear with each removePlacement
+	// below), so nothing re-fills the slot being drained.
+	s.r.tree.set(int(a), 0)
+	ok := true
+drain:
+	for len(s.r.vms[a].Placements) > 0 {
+		t := s.r.vms[a].Placements[len(s.r.vms[a].Placements)-1].Topic
+		rb := s.w.Rate(t) * s.msg
+		subs := s.r.removePlacement(a, t, rb)
+		// removePlacement recomputed a's leaf from its true (grown) free —
+		// re-hide it, or the most-free rule hands the pairs straight back.
+		s.r.tree.set(int(a), 0)
+		for _, v := range subs {
+			if int64(len(moves)) >= budget {
+				ok = false
+				break drain
+			}
+			slot, placed := s.r.placeNoDeploy(t, v, rb)
+			if !placed {
+				ok = false
+				break drain
+			}
+			i, _ := slices.BinarySearch(s.selRows[v], t)
+			s.hostRows[v][i] = slot
+			moves = append(moves, drainMove{t: t, v: v, to: slot})
+		}
+	}
+	if ok {
+		s.emptied = append(s.emptied, a)
+		s.improved += int64(len(moves))
+		return int64(len(moves)), true
+	}
+	// Rollback: undo the relocations newest-first (a placement opened by a
+	// drained group dissolves as its last subscriber leaves), then restore
+	// a's snapshot and the host-list entries of its fully-removed groups.
+	for i := len(moves) - 1; i >= 0; i-- {
+		m := moves[i]
+		s.r.removeSub(m.to, m.t, s.w.Rate(m.t)*s.msg, m.v)
+		j, _ := slices.BinarySearch(s.selRows[m.v], m.t)
+		s.hostRows[m.v][j] = a
+	}
+	still := make(map[workload.TopicID]bool, len(s.r.vms[a].Placements))
+	for _, p := range s.r.vms[a].Placements {
+		still[p.Topic] = true
+	}
+	s.r.vms[a] = saved
+	for _, p := range saved.Placements {
+		if !still[p.Topic] {
+			hs := s.r.hosts[p.Topic]
+			j, _ := slices.BinarySearch(hs, a)
+			s.r.hosts[p.Topic] = slices.Insert(hs, j, a)
+		}
+	}
+	s.r.tree.set(int(a), saved.FreeBytesPerHour())
+	return int64(len(moves)), false
+}
+
+// compactEmpties releases VMs emptied this epoch: trailing empties are
+// trimmed, interior holes are filled by relocating the last VM's slot
+// (re-pointing its host lists and pair rows), so rental cost never carries
+// dead VMs across epochs.
+func (s *IncrementalState) compactEmpties() {
+	s.r.trimTrailingEmpty()
+	if len(s.emptied) == 0 {
+		return
+	}
+	slices.Sort(s.emptied)
+	s.emptied = slices.Compact(s.emptied)
+	for _, e := range s.emptied {
+		last := int32(len(s.r.vms) - 1)
+		if e >= last {
+			continue // already trimmed, or it is the last slot
+		}
+		if len(s.r.vms[e].Placements) != 0 {
+			continue // refilled by top-up after it emptied
+		}
+		s.moveSlot(last, e)
+		s.r.trimTrailingEmpty()
+	}
+	s.emptied = s.emptied[:0]
+}
+
+// moveSlot relocates the (non-empty) VM in slot from into the empty slot
+// to, updating host lists and the pair rows of every subscriber it serves.
+func (s *IncrementalState) moveSlot(from, to int32) {
+	vm := s.r.vms[from]
+	vm.ID = int(to)
+	s.r.vms[to] = vm
+	s.r.tree.set(int(to), vm.FreeBytesPerHour())
+	s.r.vms[from] = &VM{} // empty; the follow-up trim releases it
+	s.r.tree.set(int(from), 0)
+	for _, p := range vm.Placements {
+		hs := s.r.hosts[p.Topic]
+		j, _ := slices.BinarySearch(hs, from)
+		hs = slices.Delete(hs, j, j+1)
+		j, _ = slices.BinarySearch(hs, to)
+		s.r.hosts[p.Topic] = slices.Insert(hs, j, to)
+		for _, v := range p.Subs {
+			i, _ := slices.BinarySearch(s.selRows[v], p.Topic)
+			s.hostRows[v][i] = to
+		}
+	}
+}
+
+// materialize snapshots the live state into an immutable Result: a fresh
+// allocation (deep VM clones, so later epochs never mutate what callers
+// adopted — its memoized cost caches start cold by construction) and the
+// selection flattened from the maintained rows.
+func (s *IncrementalState) materialize() (*Allocation, *Selection) {
+	out := &Allocation{
+		VMs:          make([]*VM, len(s.r.vms)),
+		Fleet:        s.cfg.Fleet,
+		MessageBytes: s.msg,
+	}
+	for i, vm := range s.r.vms {
+		out.VMs[i] = snapshotVM(vm, i)
+	}
+	subOff := make([]int64, 1, len(s.selRows)+1)
+	subTopics := make([]workload.TopicID, 0, s.totalPairs)
+	for v := range s.selRows {
+		subTopics = append(subTopics, s.selRows[v]...)
+		subOff = append(subOff, int64(len(subTopics)))
+	}
+	return out, &Selection{w: s.w, subOff: subOff, subTopics: subTopics}
+}
+
+// snapshotVM deep-copies a VM into slot id.
+func snapshotVM(vm *VM, id int) *VM {
+	nv := &VM{
+		ID:                   id,
+		Instance:             vm.Instance,
+		CapacityBytesPerHour: vm.CapacityBytesPerHour,
+		Placements:           make([]TopicPlacement, len(vm.Placements)),
+		OutBytesPerHour:      vm.OutBytesPerHour,
+		InBytesPerHour:       vm.InBytesPerHour,
+	}
+	for i, p := range vm.Placements {
+		nv.Placements[i] = TopicPlacement{Topic: p.Topic, Subs: slices.Clone(p.Subs)}
+	}
+	return nv
+}
+
+// sortRowPair insertion-sorts row ascending, keeping hosts aligned. Rows
+// are one subscriber's interests — short — so insertion sort beats the
+// allocation cost of a permutation sort.
+func sortRowPair(row []workload.TopicID, hosts []int32) {
+	for i := 1; i < len(row); i++ {
+		t, h := row[i], hosts[i]
+		j := i - 1
+		for j >= 0 && row[j] > t {
+			row[j+1], hosts[j+1] = row[j], hosts[j]
+			j--
+		}
+		row[j+1], hosts[j+1] = t, h
+	}
+}
+
+// regretFrac is the fractional excess of cost over the lower bound.
+func regretFrac(cost, lb pricing.MicroUSD) float64 {
+	if lb <= 0 {
+		return 0
+	}
+	return (float64(cost) - float64(lb)) / float64(lb)
+}

@@ -74,6 +74,15 @@ func LowerBoundContext(ctx context.Context, w *workload.Workload, cfg Config) (B
 		}
 		events += tauV
 	}
+	tk.finish(time.Since(start))
+	return boundFromEvents(events, cfg), nil
+}
+
+// boundFromEvents converts the summed per-subscriber event floor
+// Σ_v max(τ_v, min_{t∈T_v} ev_t) into the fleet-aware Bound. cfg must be
+// normalized. The incremental layer maintains the event sum across deltas
+// and calls this per epoch, so the bound stays O(fleet) to refresh.
+func boundFromEvents(events int64, cfg Config) Bound {
 	bytesPerHour := events * cfg.MessageBytes
 	fleet := cfg.Fleet
 	vms := int(ceilDiv(bytesPerHour, fleet.MaxCapacity()))
@@ -94,10 +103,9 @@ func LowerBoundContext(ctx context.Context, w *workload.Workload, cfg Config) (B
 	if fracRental > rental {
 		rental = fracRental
 	}
-	tk.finish(time.Since(start))
 	return Bound{
 		OutBytesPerHour: bytesPerHour,
 		VMs:             vms,
 		Cost:            rental + cfg.Model.BandwidthCost(cfg.Model.TransferBytes(bytesPerHour)),
-	}, nil
+	}
 }

@@ -82,6 +82,18 @@ func finishAllocation(vms []*vmState, fleet pricing.Fleet, cfg Config) *Allocati
 // it falls back to the largest type, mirroring the paper's literal Alg. 3
 // which deploys regardless and overshoots.
 func pickPairType(f pricing.Fleet, need int64) int {
+	if best := pickFittingType(f, need); best >= 0 {
+		return best
+	}
+	return f.Len() - 1
+}
+
+// pickFittingType returns the lowest-rate fleet type whose capacity fits
+// the given load (the first such type — i.e. the smaller capacity — on
+// rate ties), or -1 when none does. Unlike pickPairType it has no lenient
+// fallback: callers that cannot tolerate an over-capacity VM (the elastic
+// keep path, the incremental inserter) use it directly.
+func pickFittingType(f pricing.Fleet, need int64) int {
 	best := -1
 	for i := 0; i < f.Len(); i++ {
 		if f.Capacity(i) < need {
@@ -90,9 +102,6 @@ func pickPairType(f pricing.Fleet, need int64) int {
 		if best < 0 || f.Type(i).HourlyRate < f.Type(best).HourlyRate {
 			best = i
 		}
-	}
-	if best < 0 {
-		return f.Len() - 1
 	}
 	return best
 }

@@ -101,6 +101,16 @@ func (ft *freeTree) firstAtLeast(need int64) int {
 	return k - ft.leafCap
 }
 
+// shrink truncates the tree to its first n leaves, marking the dropped
+// tail unused. It is the inverse of trailing add calls and lets the
+// incremental layer release empty VMs at the end of the slot table.
+func (ft *freeTree) shrink(n int) {
+	for i := ft.n - 1; i >= n; i-- {
+		ft.set(i, unusedLeaf)
+	}
+	ft.n = n
+}
+
 // maxFree returns the maximum free capacity and the lowest VM index
 // achieving it, or (unusedLeaf, -1) for an empty fleet.
 func (ft *freeTree) maxFree() (int64, int) {

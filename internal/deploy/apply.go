@@ -119,11 +119,7 @@ func Apply(ctx context.Context, plan *Plan, prov *dynamic.Provisioner, opts ...A
 		return nil, fmt.Errorf("%w: steps replay to %s, target is %s", ErrInvalidPlan, got, want)
 	}
 
-	stats := dynamic.MigrationBetween(pre.Allocation, work)
-	stats.VMsBefore = pre.Allocation.NumVMs()
-	stats.VMsAfter = work.NumVMs()
-	stats.CostBefore = pre.Allocation.Cost(plan.Model)
-	stats.CostAfter = work.Cost(plan.Model)
+	stats := dynamic.MigrationStatsBetween(pre.Allocation, work, plan.Model)
 	report := &Report{
 		DryRun:       o.dryRun,
 		StepsApplied: total,
@@ -134,10 +130,38 @@ func Apply(ctx context.Context, plan *Plan, prov *dynamic.Provisioner, opts ...A
 		return report, nil
 	}
 
+	// Adopt the plan's own target allocation when the replay proves it
+	// faithful (the fingerprint pins instances and placements; the extra
+	// accounting check below covers the derived fields the fingerprint
+	// deliberately excludes). Pointer identity with the planner's target
+	// is what lets a persistent incremental index survive a plan-mediated
+	// adoption instead of reindexing every epoch. A hand-crafted plan
+	// whose target carries stale accounting falls back to the replayed
+	// copy.
+	adopt := work
+	if t := plan.Target.Allocation; accountingMatches(t, work) && !t.Fleet.IsZero() {
+		adopt = t
+	}
 	sel, err := core.SelectionFromPairs(plan.Target.Workload, placedPairs(work))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidPlan, err)
 	}
-	prov.Adopt(plan.Target.Workload, &core.Result{Selection: sel, Allocation: work})
+	prov.Adopt(plan.Target.Workload, &core.Result{Selection: sel, Allocation: adopt})
 	return report, nil
+}
+
+// accountingMatches reports whether two allocations with fingerprint-equal
+// placements also agree on the derived per-VM bandwidth accounting.
+func accountingMatches(a, b *core.Allocation) bool {
+	if a == nil || len(a.VMs) != len(b.VMs) {
+		return false
+	}
+	for i, vm := range a.VMs {
+		o := b.VMs[i]
+		if vm.InBytesPerHour != o.InBytesPerHour || vm.OutBytesPerHour != o.OutBytesPerHour ||
+			vm.CapacityBytesPerHour != o.CapacityBytesPerHour || vm.Instance != o.Instance {
+			return false
+		}
+	}
+	return true
 }

@@ -293,11 +293,7 @@ func NewPlan(cfg core.Config, current, target *State) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	stats := dynamic.MigrationBetween(current.Allocation, target.Allocation)
-	stats.VMsBefore = current.Allocation.NumVMs()
-	stats.VMsAfter = target.Allocation.NumVMs()
-	stats.CostBefore = current.Allocation.Cost(cfg.Model)
-	stats.CostAfter = target.Allocation.Cost(cfg.Model)
+	stats := dynamic.MigrationStatsBetween(current.Allocation, target.Allocation, cfg.Model)
 	plan := &Plan{
 		Version:         PlanVersion,
 		BaseFingerprint: current.Fingerprint(),
@@ -315,6 +311,21 @@ func NewPlan(cfg core.Config, current, target *State) (*Plan, error) {
 		return nil, err
 	}
 	return plan, nil
+}
+
+// PlanIncremental previews an incremental update of the delta on the
+// provisioner and wraps the candidate in the standard plan lifecycle: the
+// plan's base is the provisioner's current state, its target the
+// incrementally updated state, with the usual fingerprint pinning, step
+// extraction, and cost forecast. The provisioner is not adopted — Apply
+// the plan to enact it (the provisioner's persistent index then follows
+// the adopted allocation, so the next incremental plan needs no reindex).
+func PlanIncremental(ctx context.Context, cfg core.Config, prov *dynamic.Provisioner, d dynamic.Delta) (*Plan, error) {
+	next, res, _, err := prov.PreviewIncremental(ctx, d)
+	if err != nil {
+		return nil, err
+	}
+	return NewPlan(cfg, StateOf(prov), NewState(next, res.Allocation))
 }
 
 // Snapshot returns the zero-step plan whose base and target are both the

@@ -388,3 +388,66 @@ func TestSpecFromEpoch(t *testing.T) {
 		t.Fatal("out-of-range epoch accepted")
 	}
 }
+
+// TestPlanIncrementalApply plans a delta through the incremental engine and
+// applies it: the plan must carry the standard fingerprint/step semantics
+// (stale detection, replay-to-target), and after the apply the
+// provisioner's state must be the plan's target — with the persistent index
+// still coherent, so a follow-up incremental update needs no reindex.
+func TestPlanIncrementalApply(t *testing.T) {
+	cfg := testConfig()
+	w := testWorkload(t, 7)
+	ctx := context.Background()
+
+	boot, err := NewPlanner(cfg).Plan(ctx, SpecFromWorkload(w), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := EmptyState().Provisioner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(ctx, boot, prov); err != nil {
+		t.Fatal(err)
+	}
+
+	d := dynamic.Delta{
+		RateChanges: map[workload.TopicID]int64{0: w.Rate(0) + 40},
+		Unsubscribe: []workload.Pair{},
+	}
+	plan, err := PlanIncremental(ctx, cfg, prov, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if plan.BaseFingerprint != StateOf(prov).Fingerprint() {
+		t.Fatal("incremental plan not pinned to the provisioner's state")
+	}
+	rep, err := Apply(ctx, plan, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := StateOf(prov).Fingerprint(); got != plan.TargetFingerprint() {
+		t.Fatalf("post-apply fingerprint %s != plan target %s", got, plan.TargetFingerprint())
+	}
+	if rep.Cost != plan.CostAfter {
+		t.Fatalf("applied cost %v != forecast %v", rep.Cost, plan.CostAfter)
+	}
+	if err := core.VerifyAllocation(prov.Workload(), prov.Selection(), prov.Allocation(), cfg); err != nil {
+		t.Fatalf("applied allocation fails verification: %v", err)
+	}
+	// Replaying the same plan must now be stale — the state moved.
+	if _, err := Apply(ctx, plan, prov); !errors.Is(err, ErrStalePlan) {
+		t.Fatalf("second apply err = %v, want ErrStalePlan", err)
+	}
+	// An incremental no-op plan after the apply is a clean no-op.
+	noop, err := PlanIncremental(ctx, cfg, prov, dynamic.Delta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !noop.IsNoop() {
+		t.Fatalf("empty-delta incremental plan has %d steps", len(noop.Steps))
+	}
+}

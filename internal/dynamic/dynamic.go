@@ -173,6 +173,19 @@ type MigrationStats struct {
 	VMsBefore, VMsAfter int
 	// CostBefore and CostAfter evaluate the objective around the event.
 	CostBefore, CostAfter pricing.MicroUSD
+
+	// Incremental-path diagnostics, zero on the full-solve paths.
+	//
+	// PairsImproved counts pairs relocated by UpdateIncremental's bounded
+	// local-improvement pass (a subset of PairsMoved). RegretFrac and
+	// BaseRegretFrac are the measured cost regret versus the maintained
+	// lower bound after this update and at the last full solve; Fallback
+	// reports that the incremental candidate was discarded for a full
+	// re-solve because the drift between them exceeded the policy
+	// threshold.
+	PairsImproved              int64
+	RegretFrac, BaseRegretFrac float64
+	Fallback                   bool
 }
 
 // RepairStats quantifies a crash repair.
@@ -191,6 +204,13 @@ type Provisioner struct {
 	cfg core.Config
 	w   *workload.Workload
 	res *core.Result
+
+	// inc is the persistent incremental index over res.Allocation, built
+	// lazily by the first PreviewIncremental/UpdateIncremental and kept
+	// while the adopted allocation is the one it mirrors (see
+	// ensureIndex); incPol tunes the incremental path.
+	inc    *core.IncrementalState
+	incPol IncrementalPolicy
 }
 
 // New solves the initial allocation.
@@ -258,11 +278,7 @@ func (p *Provisioner) PreviewContext(ctx context.Context, d Delta) (*workload.Wo
 	if err != nil {
 		return nil, nil, MigrationStats{}, err
 	}
-	stats := migrationBetween(p.res.Allocation, res.Allocation)
-	stats.VMsBefore = p.res.Allocation.NumVMs()
-	stats.VMsAfter = res.Allocation.NumVMs()
-	stats.CostBefore = p.res.Cost(p.cfg.Model)
-	stats.CostAfter = res.Cost(p.cfg.Model)
+	stats := MigrationStatsBetween(p.res.Allocation, res.Allocation, p.cfg.Model)
 	return next, res, stats, nil
 }
 

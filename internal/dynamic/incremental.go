@@ -1,0 +1,301 @@
+package dynamic
+
+import (
+	"context"
+	"slices"
+	"sort"
+
+	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+// IncrementalPolicy tunes Provisioner.UpdateIncremental.
+type IncrementalPolicy struct {
+	// MaxRegretFrac is how far the measured cost regret (versus the
+	// incrementally maintained lower bound) may drift above the regret at
+	// the last full solve before UpdateIncremental falls back to a full
+	// re-solve. ≤ 0 means the default 2%.
+	MaxRegretFrac float64
+	// MaxImprovePairs caps the pairs relocated by the per-epoch
+	// local-improvement pass. 0 means automatic (64 + 4× the delta's pair
+	// operations); negative disables the pass.
+	MaxImprovePairs int64
+}
+
+// DefaultIncrementalPolicy returns the defaults: 2% regret drift before a
+// full re-solve, automatic improvement budget.
+func DefaultIncrementalPolicy() IncrementalPolicy {
+	return IncrementalPolicy{MaxRegretFrac: 0.02}
+}
+
+// SetIncrementalPolicy installs the policy governing UpdateIncremental's
+// fallback threshold and improvement budget. The zero policy means the
+// defaults.
+func (p *Provisioner) SetIncrementalPolicy(pol IncrementalPolicy) { p.incPol = pol }
+
+// maxRegretFrac resolves the policy's fallback threshold.
+func (pol IncrementalPolicy) maxRegretFrac() float64 {
+	if pol.MaxRegretFrac <= 0 {
+		return 0.02
+	}
+	return pol.MaxRegretFrac
+}
+
+// improveBudget resolves the policy's improvement budget for a delta with
+// the given number of pair operations.
+func (pol IncrementalPolicy) improveBudget(deltaPairs int) int64 {
+	switch {
+	case pol.MaxImprovePairs < 0:
+		return 0
+	case pol.MaxImprovePairs > 0:
+		return pol.MaxImprovePairs
+	default:
+		return 64 + 4*int64(deltaPairs)
+	}
+}
+
+// isZero reports a delta with no changes at all.
+func (d Delta) isZero() bool {
+	return len(d.NewTopics) == 0 && d.NewSubscribers == 0 &&
+		len(d.RateChanges) == 0 && len(d.Subscribe) == 0 && len(d.Unsubscribe) == 0
+}
+
+// UpdateIncremental absorbs the delta by mutating the persistent index
+// over the current allocation instead of re-solving from scratch: removals
+// free their slots (empty VMs are released), additions and rate spikes are
+// placed via indexed best-fit against existing hosts with spill to the
+// cheapest fitting instance type, and a bounded local-improvement pass
+// keeps quality from drifting — all in time proportional to the delta, not
+// the fleet. When the measured regret versus the incrementally maintained
+// lower bound drifts beyond the policy threshold, it transparently falls
+// back to a full re-solve (reported in the stats). The result is adopted;
+// on error the provisioner keeps its previous state.
+func (p *Provisioner) UpdateIncremental(ctx context.Context, d Delta) (MigrationStats, error) {
+	next, res, stats, err := p.PreviewIncremental(ctx, d)
+	if err != nil {
+		return MigrationStats{}, err
+	}
+	p.Adopt(next, res)
+	return stats, nil
+}
+
+// PreviewIncremental is UpdateIncremental without the adoption: it returns
+// the candidate workload, result, and stats for a controller to weigh
+// first. The persistent index advances to mirror the returned candidate —
+// if the caller adopts something else instead, the next incremental call
+// rebuilds the index from the adopted allocation (an O(pairs) reindex, no
+// solve).
+func (p *Provisioner) PreviewIncremental(ctx context.Context, d Delta) (*workload.Workload, *core.Result, MigrationStats, error) {
+	if err := d.Validate(p.w.NumTopics(), p.w.NumSubscribers()); err != nil {
+		return nil, nil, MigrationStats{}, err
+	}
+	if err := p.ensureIndex(); err != nil {
+		return nil, nil, MigrationStats{}, err
+	}
+	if d.isZero() {
+		// Nothing to do: the current state is already the answer, and
+		// returning it untouched keeps the no-op fingerprint-identical.
+		stats := finishStats(MigrationStats{
+			PairsKept:      p.res.Selection.NumPairs(),
+			BaseRegretFrac: p.inc.BaseRegret(),
+			RegretFrac:     p.inc.BaseRegret(),
+		}, p.res.Allocation, p.res.Allocation, p.cfg.Model)
+		return p.w, p.res, stats, nil
+	}
+	next, err := applyDeltaFast(p.w, d)
+	if err != nil {
+		return nil, nil, MigrationStats{}, err
+	}
+	// Rate changes sorted for a deterministic re-rate order.
+	changed := make([]workload.TopicID, 0, len(d.RateChanges))
+	for t := range d.RateChanges {
+		changed = append(changed, t)
+	}
+	slices.Sort(changed)
+
+	deltaPairs := len(d.Subscribe) + len(d.Unsubscribe)
+	if err := p.inc.BeginEpoch(ctx, next, changed); err != nil {
+		p.inc = nil
+		return nil, nil, MigrationStats{}, err
+	}
+	for _, pr := range d.Unsubscribe {
+		p.inc.Unsubscribe(pr.Topic, pr.Sub)
+	}
+	for _, pr := range d.Subscribe {
+		p.inc.Subscribe(pr.Topic, pr.Sub)
+	}
+	out, err := p.inc.FinishEpoch(ctx, p.incPol.improveBudget(deltaPairs))
+	if err != nil {
+		p.inc = nil
+		return nil, nil, MigrationStats{}, err
+	}
+
+	if out.Regret > out.BaseRegret+p.incPol.maxRegretFrac() {
+		return p.fallbackResolve(ctx, next, out)
+	}
+	stats := finishStats(MigrationStats{
+		PairsMoved:     out.Dropped + out.Inserted + out.Improved,
+		PairsKept:      out.Kept,
+		PairsImproved:  out.Improved,
+		RegretFrac:     out.Regret,
+		BaseRegretFrac: out.BaseRegret,
+	}, p.res.Allocation, out.Result.Allocation, p.cfg.Model)
+	return next, out.Result, stats, nil
+}
+
+// fallbackResolve discards the incrementally updated candidate, re-solves
+// the epoch's workload from scratch, and rebuilds the persistent index on
+// the fresh result (resetting the base regret the drift is measured
+// against).
+func (p *Provisioner) fallbackResolve(ctx context.Context, next *workload.Workload, out core.EpochOutcome) (*workload.Workload, *core.Result, MigrationStats, error) {
+	res, err := core.SolveContext(ctx, next, p.cfg)
+	if err != nil {
+		p.inc = nil
+		return nil, nil, MigrationStats{}, err
+	}
+	stats := MigrationStatsBetween(p.res.Allocation, res.Allocation, p.cfg.Model)
+	stats.Fallback = true
+	stats.BaseRegretFrac = out.BaseRegret
+	inc, err := res.Allocation.Index(next, p.cfg)
+	if err != nil {
+		p.inc = nil
+		return nil, nil, MigrationStats{}, err
+	}
+	p.inc = inc
+	stats.RegretFrac = inc.BaseRegret()
+	return next, res, stats, nil
+}
+
+// ensureIndex (re)builds the persistent incremental index when it does not
+// yet mirror the current allocation — after construction, an external
+// Adopt, a crash repair, or a preview the caller discarded.
+func (p *Provisioner) ensureIndex() error {
+	if p.inc != nil && p.inc.Base() == p.res.Allocation {
+		return nil
+	}
+	inc, err := p.res.Allocation.Index(p.w, p.cfg)
+	if err != nil {
+		p.inc = nil
+		return err
+	}
+	p.inc = inc
+	return nil
+}
+
+// MigrationStatsBetween diffs two allocations like MigrationBetween and
+// additionally fills the VM-count and cost fields under the given pricing
+// model. Preview, UpdateIncremental, and the deploy planner all route
+// their stats through this one helper.
+func MigrationStatsBetween(before, after *core.Allocation, m pricing.Model) MigrationStats {
+	return finishStats(migrationBetween(before, after), before, after, m)
+}
+
+// finishStats fills the VM-count and cost fields common to every path.
+func finishStats(stats MigrationStats, before, after *core.Allocation, m pricing.Model) MigrationStats {
+	stats.VMsBefore = before.NumVMs()
+	stats.VMsAfter = after.NumVMs()
+	stats.CostBefore = before.Cost(m)
+	stats.CostAfter = after.Cost(m)
+	return stats
+}
+
+// applyDeltaFast materializes the delta'd workload by patching the CSR
+// arrays directly — a sorted three-way merge per edited subscriber instead
+// of applyDelta's per-subscriber interest maps — so the epoch's workload
+// swap costs O(pairs) array copies plus O(delta log delta), keeping the
+// incremental path's constant factor low. Semantics are identical to
+// applyDelta (property-tested), including dropping topic/subscriber names.
+func applyDeltaFast(w *workload.Workload, d Delta) (*workload.Workload, error) {
+	if err := d.Validate(w.NumTopics(), w.NumSubscribers()); err != nil {
+		return nil, err
+	}
+	numT := w.NumTopics() + len(d.NewTopics)
+	numV := w.NumSubscribers() + d.NewSubscribers
+
+	rates := make([]int64, numT)
+	copy(rates, w.Rates())
+	copy(rates[w.NumTopics():], d.NewTopics)
+	for t, r := range d.RateChanges {
+		rates[t] = r
+	}
+
+	// Group the pair edits per subscriber (delta-sized, not fleet-sized).
+	type rowEdit struct{ add, del []workload.TopicID }
+	edits := make(map[workload.SubID]*rowEdit, len(d.Subscribe)+len(d.Unsubscribe))
+	edit := func(v workload.SubID) *rowEdit {
+		e := edits[v]
+		if e == nil {
+			e = &rowEdit{}
+			edits[v] = e
+		}
+		return e
+	}
+	for _, pr := range d.Subscribe {
+		e := edit(pr.Sub)
+		e.add = append(e.add, pr.Topic)
+	}
+	for _, pr := range d.Unsubscribe {
+		e := edit(pr.Sub)
+		e.del = append(e.del, pr.Topic)
+	}
+	for _, e := range edits {
+		slices.Sort(e.add)
+		slices.Sort(e.del)
+	}
+
+	subOff := make([]int64, 1, numV+1)
+	subTopics := make([]workload.TopicID, 0, w.NumPairs()+int64(len(d.Subscribe)))
+	for v := 0; v < numV; v++ {
+		var old []workload.TopicID
+		if v < w.NumSubscribers() {
+			old = w.Topics(workload.SubID(v))
+		}
+		if e := edits[workload.SubID(v)]; e == nil {
+			subTopics = append(subTopics, old...)
+		} else {
+			subTopics = mergeRow(subTopics, old, e.add, e.del)
+		}
+		subOff = append(subOff, int64(len(subTopics)))
+	}
+	return workload.FromCSR(rates, subOff, subTopics, nil, nil)
+}
+
+// mergeRow appends (old ∪ add) \ del to dst, deduplicated ascending. All
+// three inputs are sorted ascending; add and del never share a topic
+// (Delta.Validate rejects that).
+func mergeRow(dst, old, add, del []workload.TopicID) []workload.TopicID {
+	start := len(dst)
+	i, j := 0, 0
+	emit := func(t workload.TopicID) {
+		if _, dead := slices.BinarySearch(del, t); dead {
+			return
+		}
+		if n := len(dst); n > start && dst[n-1] == t {
+			return // duplicate (re-subscribe of an existing interest)
+		}
+		dst = append(dst, t)
+	}
+	for i < len(old) || j < len(add) {
+		switch {
+		case j >= len(add) || (i < len(old) && old[i] <= add[j]):
+			emit(old[i])
+			i++
+		default:
+			emit(add[j])
+			j++
+		}
+	}
+	return dst
+}
+
+// sortPairs orders pairs subscriber-major then topic — the canonical order
+// tests and tools use when comparing deltas.
+func sortPairs(ps []workload.Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Sub != ps[j].Sub {
+			return ps[i].Sub < ps[j].Sub
+		}
+		return ps[i].Topic < ps[j].Topic
+	})
+}

@@ -57,6 +57,14 @@ type Policy struct {
 	// invalidate a kept allocation. Zero packs to the brim (the oracle
 	// setting — with no keep path, headroom is pure waste).
 	HeadroomFrac float64
+	// Incremental switches the per-epoch fresh candidate from a full
+	// re-solve to Provisioner.PreviewIncremental: the persistent index
+	// absorbs the epoch delta in churn-proportional time, falling back to
+	// a full solve only when the measured regret versus the maintained
+	// lower bound drifts past IncrementalMaxRegret (≤ 0 means the
+	// incremental default of 2%).
+	Incremental          bool
+	IncrementalMaxRegret float64
 }
 
 // DefaultPolicy returns the hysteresis controller setting used by the
@@ -213,6 +221,9 @@ func (c *Controller) Run(ctx context.Context, tl *timeline.Timeline) (*RunReport
 	if err != nil {
 		return nil, fmt.Errorf("elastic: %w", err)
 	}
+	if c.policy.Incremental {
+		prov.SetIncrementalPolicy(dynamic.IncrementalPolicy{MaxRegretFrac: c.policy.IncrementalMaxRegret})
+	}
 
 	// held[name] is the billed VM count per type (≥ the active count);
 	// lastAcquire[name] is the most recent epoch that acquired the type
@@ -252,8 +263,14 @@ func (c *Controller) Run(ctx context.Context, tl *timeline.Timeline) (*RunReport
 			if err != nil {
 				return nil, fmt.Errorf("elastic: epoch %d: %w", e, err)
 			}
-			// Preview validates the delta before solving.
-			_, fresh, stats, err := prov.PreviewContext(ctx, delta)
+			// Preview validates the delta before solving. Incremental
+			// mode updates the persistent index in churn-proportional
+			// time instead of re-solving the whole workload.
+			preview := prov.PreviewContext
+			if c.policy.Incremental {
+				preview = prov.PreviewIncremental
+			}
+			_, fresh, stats, err := preview(ctx, delta)
 			if err != nil {
 				if cerr := ctx.Err(); cerr != nil {
 					return nil, cerr

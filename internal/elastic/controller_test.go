@@ -295,3 +295,35 @@ func TestKeepWithTopUpRejectsCapacityOvershoot(t *testing.T) {
 		t.Error("keepWithTopUp accepted a 10× rate spike that overflows every VM")
 	}
 }
+
+// TestControllerIncrementalModeEveryEpochSatisfied runs the controller with
+// the incremental re-solve path enabled and holds it to the same
+// postcondition as the full-preview path: every epoch satisfied within true
+// capacity. The incremental path may not cost more than a modest factor
+// over the standard hysteresis controller.
+func TestControllerIncrementalModeEveryEpochSatisfied(t *testing.T) {
+	tl, cfg := testTimeline(t, 12, 60)
+	fleet := cfg.EffectiveFleet()
+
+	pol := DefaultPolicy()
+	pol.Incremental = true
+	rep, err := NewController(cfg, pol).Run(context.Background(), tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Allocations) != tl.NumEpochs() {
+		t.Fatalf("report covers %d epochs, want %d", len(rep.Allocations), tl.NumEpochs())
+	}
+	for e, alloc := range rep.Allocations {
+		assertEpochSatisfied(t, e, tl.Epochs[e], alloc, cfg, fleet)
+	}
+
+	std, err := NewController(cfg, DefaultPolicy()).Run(context.Background(), tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(rep.TotalCost()) > 1.25*float64(std.TotalCost()) {
+		t.Errorf("incremental mode cost %v more than 1.25× the standard controller %v",
+			rep.TotalCost(), std.TotalCost())
+	}
+}

@@ -42,7 +42,6 @@ func keepWithTopUp(prev *core.Allocation, w *workload.Workload, cfg core.Config,
 	}
 	delivered := make([]int64, w.NumSubscribers())
 	placed := make(map[workload.Pair]bool)
-	hosts := make(map[workload.TopicID][]*core.VM)
 
 	for i, vm := range prev.VMs {
 		nv := &core.VM{
@@ -73,7 +72,6 @@ func keepWithTopUp(prev *core.Allocation, w *workload.Workload, cfg core.Config,
 			nv.Placements = append(nv.Placements, core.TopicPlacement{Topic: p.Topic, Subs: subs})
 			nv.InBytesPerHour += rb
 			nv.OutBytesPerHour += rb * int64(len(subs))
-			hosts[p.Topic] = append(hosts[p.Topic], nv)
 			// Placements hold each selected pair exactly once (a solver
 			// invariant both re-solving and topping up preserve), so the
 			// delivered sum needs no dedup.
@@ -90,6 +88,11 @@ func keepWithTopUp(prev *core.Allocation, w *workload.Workload, cfg core.Config,
 		out.VMs[i] = nv
 	}
 
+	// Top-up placement goes through the shared indexed re-homing engine
+	// (host with room → most-free VM → deploy the cheapest fitting type);
+	// it shares out's VM pointers, so placements and deploys land directly
+	// in the kept allocation.
+	rh := core.NewRehomer(out, solveFleet)
 	var added int64
 	var cands []workload.TopicID
 	for v := 0; v < w.NumSubscribers(); v++ {
@@ -117,7 +120,7 @@ func keepWithTopUp(prev *core.Allocation, w *workload.Workload, cfg core.Config,
 				return nil, 0, false // interests exhausted below τ_v
 			}
 			cands = rest
-			if !placePair(out, hosts, solveFleet, t, id, w.Rate(t)*msg) {
+			if _, ok := rh.PlacePair(t, id, w.Rate(t)*msg); !ok {
 				return nil, 0, false
 			}
 			placed[workload.Pair{Topic: t, Sub: id}] = true
@@ -151,68 +154,4 @@ func pickMinimalOvershoot(w *workload.Workload, cands []workload.TopicID, need i
 	}
 	t := cands[i]
 	return t, append(cands[:i], cands[i+1:]...), true
-}
-
-// placePair homes one added pair: a VM already hosting the topic with room
-// for one more egress stream (most free first), else the most-free VM with
-// room for ingress plus egress, else a fresh VM of the cheapest type that
-// fits the topic at all.
-func placePair(out *core.Allocation, hosts map[workload.TopicID][]*core.VM, fleet pricing.Fleet, t workload.TopicID, v workload.SubID, rb int64) bool {
-	var best *core.VM
-	var bestFree int64 = -1
-	for _, vm := range hosts[t] {
-		if free := vm.FreeBytesPerHour(); free >= rb && free > bestFree {
-			best, bestFree = vm, free
-		}
-	}
-	if best != nil {
-		for i := range best.Placements {
-			if best.Placements[i].Topic == t {
-				best.Placements[i].Subs = append(best.Placements[i].Subs, v)
-				break
-			}
-		}
-		best.OutBytesPerHour += rb
-		return true
-	}
-	for _, vm := range out.VMs {
-		if free := vm.FreeBytesPerHour(); free >= 2*rb && free > bestFree {
-			best, bestFree = vm, free
-		}
-	}
-	if best == nil {
-		best = deployCheapestFitting(out, fleet, 2*rb)
-		if best == nil {
-			return false
-		}
-	}
-	best.Placements = append(best.Placements, core.TopicPlacement{Topic: t, Subs: []workload.SubID{v}})
-	best.InBytesPerHour += rb
-	best.OutBytesPerHour += rb
-	hosts[t] = append(hosts[t], best)
-	return true
-}
-
-// deployCheapestFitting appends a fresh VM of the lowest-rate fleet type
-// whose capacity fits the given load, or nil when none does.
-func deployCheapestFitting(out *core.Allocation, fleet pricing.Fleet, load int64) *core.VM {
-	bestIdx := -1
-	for i := 0; i < fleet.Len(); i++ {
-		if fleet.Capacity(i) < load {
-			continue
-		}
-		if bestIdx < 0 || fleet.Type(i).HourlyRate < fleet.Type(bestIdx).HourlyRate {
-			bestIdx = i
-		}
-	}
-	if bestIdx < 0 {
-		return nil
-	}
-	vm := &core.VM{
-		ID:                   len(out.VMs),
-		Instance:             fleet.Type(bestIdx),
-		CapacityBytesPerHour: fleet.Capacity(bestIdx),
-	}
-	out.VMs = append(out.VMs, vm)
-	return vm
 }

@@ -143,16 +143,45 @@ func SolveContext(ctx context.Context, w *workload.Workload, cfg core.Config) (S
 	}
 
 	// Packing DP: cost[m] = optimal packing of exactly the pairs in m.
-	// We track (vms, bwSum) per mask and minimize C1+C2 — both additive
-	// per block since C1 is linear in the VM count. pick[m] records the
-	// winning block so the optimal packing can be reconstructed.
+	// The canonical objective (Allocation.TotalCost, the lower bound, the
+	// heuristic pipeline) prices bandwidth once on the TOTAL transfer
+	// volume: Σ rentals + floor(PerGB·TransferBytes(Σ bw)/GB). Summing
+	// per-block floor prices inside the DP undercounts that by up to one
+	// microdollar per block, which is enough to report a "optimum" below
+	// the lower bound on micro instances. So the DP minimizes the exact
+	// rational value scaled by GB — rental·GB + PerGB·TransferBytes(bw),
+	// all integer, no rounding — which also minimizes its floor, i.e. the
+	// canonical cost. The winner is repriced canonically at the end.
+	// Additions saturate at inf so a pathological model degrades to "block
+	// never wins" rather than wrapping. pick[m] records the winning block
+	// so the optimal packing can be reconstructed.
 	obs := core.ResolveObserver(ctx, cfg)
 	if obs != nil {
 		obs.OnStageStart(core.StageExact, 2*int64(size))
 	}
 	const inf = int64(1) << 62
-	cost := make([]int64, size) // microdollars
+	satAdd := func(a, b int64) int64 {
+		if a >= inf-b {
+			return inf
+		}
+		return a + b
+	}
+	satScale := func(a, b int64) int64 {
+		if a <= 0 || b <= 0 {
+			return 0
+		}
+		if a > inf/b {
+			return inf
+		}
+		return a * b
+	}
+	perGB := int64(cfg.Model.PerGB)
+	blockScaled := func(rental, bwBlock int64) int64 {
+		return satAdd(satScale(rental, pricing.GB), satScale(cfg.Model.TransferBytes(bwBlock), perGB))
+	}
+	cost := make([]int64, size) // microdollars·GB (scaled, exact)
 	vms := make([]int, size)
+	rent := make([]int64, size) // microdollars, rental term only
 	bwSum := make([]int64, size)
 	pick := make([]int, size)
 	for m := 1; m < size; m++ {
@@ -179,10 +208,11 @@ func SolveContext(ctx context.Context, w *workload.Workload, cfg core.Config) (S
 				continue
 			}
 			rental := blockRental(bw[s])
-			c := cost[rest] + rental + int64(cfg.Model.BandwidthCost(cfg.Model.TransferBytes(bw[s])))
+			c := satAdd(cost[rest], blockScaled(rental, bw[s]))
 			if c < cost[m] {
 				cost[m] = c
 				vms[m] = vms[rest] + 1
+				rent[m] = rent[rest] + rental
 				bwSum[m] = bwSum[rest] + bw[s]
 				pick[m] = s
 			}
@@ -245,8 +275,12 @@ func SolveContext(ctx context.Context, w *workload.Workload, cfg core.Config) (S
 	if bestMask < 0 {
 		return Solution{}, core.ErrInfeasible
 	}
+	// Reprice the winning partition with the canonical cost function —
+	// one bandwidth charge on the total transfer volume — so Cost is
+	// directly comparable to heuristic and lower-bound figures.
 	sol := Solution{
-		Cost:         pricing.MicroUSD(best),
+		Cost: pricing.MicroUSD(rent[bestMask]) +
+			cfg.Model.BandwidthCost(cfg.Model.TransferBytes(bwSum[bestMask])),
 		VMs:          vms[bestMask],
 		BytesPerHour: bwSum[bestMask],
 	}

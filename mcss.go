@@ -321,6 +321,10 @@ type (
 	MigrationStats = dynamic.MigrationStats
 	// RepairStats quantifies a crash repair.
 	RepairStats = dynamic.RepairStats
+	// IncrementalPolicy tunes Provisioner.UpdateIncremental: the regret
+	// drift allowed before a full re-solve and the local-improvement
+	// budget.
+	IncrementalPolicy = dynamic.IncrementalPolicy
 )
 
 // NewProvisioner solves the initial allocation for online re-provisioning.
@@ -337,6 +341,19 @@ func DeltaBetween(old, next *Workload) (Delta, error) { return dynamic.DeltaBetw
 
 // ApplyDelta materializes a workload with the (validated) delta applied.
 func ApplyDelta(w *Workload, d Delta) (*Workload, error) { return dynamic.ApplyDelta(w, d) }
+
+// DefaultIncrementalPolicy returns the incremental-update defaults: 2%
+// regret drift versus the maintained lower bound before UpdateIncremental
+// falls back to a full re-solve, automatic improvement budget.
+func DefaultIncrementalPolicy() IncrementalPolicy { return dynamic.DefaultIncrementalPolicy() }
+
+// MigrationStatsBetween diffs primary pair hosts between two allocations
+// and fills the VM-count and cost fields under the model — the one helper
+// Preview, UpdateIncremental, and the deploy planner all route their stats
+// through.
+func MigrationStatsBetween(before, after *Allocation, m Model) MigrationStats {
+	return dynamic.MigrationStatsBetween(before, after, m)
+}
 
 // Timelines and the elastic control plane.
 type (
