@@ -24,6 +24,7 @@ import (
 	"github.com/pubsub-systems/mcss/internal/core"
 	"github.com/pubsub-systems/mcss/internal/dynamic"
 	"github.com/pubsub-systems/mcss/internal/experiments"
+	"github.com/pubsub-systems/mcss/internal/obs"
 	"github.com/pubsub-systems/mcss/internal/pricing"
 	"github.com/pubsub-systems/mcss/internal/pubsub"
 	"github.com/pubsub-systems/mcss/internal/tracegen"
@@ -410,6 +411,36 @@ func BenchmarkPlannerSolve(b *testing.B) {
 	}
 	model := experiments.ModelFor(pricing.C3Large, w)
 	p, err := mcss.NewPlanner(mcss.WithTau(100), mcss.WithModel(model))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	var res *mcss.Result
+	for i := 0; i < b.N; i++ {
+		res, err = p.Solve(ctx, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(w.NumPairs()), "pairs")
+	b.ReportMetric(float64(res.Allocation.NumVMs()), "vms")
+}
+
+// BenchmarkPlannerSolveMetrics is BenchmarkPlannerSolve with the full
+// metrics observer attached — the registry-overhead guard. Compare against
+// BenchmarkPlannerSolve in the same run: the instrumented solve must stay
+// within ~2% (the observer only touches the registry at stage completion,
+// never inside the per-batch progress path).
+func BenchmarkPlannerSolveMetrics(b *testing.B) {
+	w, err := experiments.Generate(experiments.Twitter, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := experiments.ModelFor(pricing.C3Large, w)
+	m := obs.NewMetrics(nil)
+	p, err := mcss.NewPlanner(mcss.WithTau(100), mcss.WithModel(model),
+		mcss.WithObserver(m.Observer()))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,423 @@
+// Command allocatord is the serving daemon around the allocator: it loads
+// a cluster snapshot, solves a workload, or replays a timeline through the
+// elastic controller, holds the resulting cluster state live, and exposes
+// the observability surface over HTTP — Prometheus text /metrics, liveness
+// and readiness probes, a JSON /state summary, and pprof.
+//
+// Readiness is tied to the first allocation: /healthz answers as soon as
+// the listener is up, /readyz stays 503 until the snapshot is restored,
+// the initial solve finishes, or the first timeline epoch lands. SIGTERM
+// and SIGINT drain gracefully and exit 0 — the daemon treats a signal as
+// a normal shutdown, not an interrupted solve.
+//
+// Examples:
+//
+//	allocatord -dataset twitter -scale 0.01 -tau 10
+//	allocatord -snapshot cluster.json -addr :9090
+//	allocatord -dataset twitter -scale 0.005 -diurnal -epochs 24 -epoch-interval 2s -incremental
+//	allocatord -timeline day.timeline.gz -once -metrics-dump final.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/pubsub-systems/mcss/internal/cli"
+	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/deploy"
+	"github.com/pubsub-systems/mcss/internal/elastic"
+	"github.com/pubsub-systems/mcss/internal/experiments"
+	"github.com/pubsub-systems/mcss/internal/obs"
+	"github.com/pubsub-systems/mcss/internal/obs/slogx"
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/timeline"
+	"github.com/pubsub-systems/mcss/internal/tracegen"
+	"github.com/pubsub-systems/mcss/internal/traceio"
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+func main() {
+	os.Exit(cli.ExitCode("allocatord", run(os.Args[1:], os.Stderr), os.Stderr))
+}
+
+// options collects the parsed flag set — one struct so the daemon's load
+// path is testable without a real command line.
+type options struct {
+	addr     string
+	snapshot string
+	trace    string
+	dataset  string
+	scale    float64
+	tau      int64
+
+	timelinePath  string
+	diurnal       bool
+	epochs        int
+	epochMinutes  int64
+	epochInterval time.Duration
+	incremental   bool
+	maxRegret     float64
+	once          bool
+	metricsDump   string
+}
+
+func run(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("allocatord", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.addr, "addr", ":9090", "HTTP listen address")
+	fs.StringVar(&o.snapshot, "snapshot", "", "cluster state file (a snapshot plan): restore without solving")
+	fs.StringVar(&o.trace, "trace", "", "workload trace file: solve at startup")
+	fs.StringVar(&o.dataset, "dataset", "", "synthetic dataset: twitter or spotify")
+	fs.Float64Var(&o.scale, "scale", 0.01, "synthetic dataset scale factor")
+	fs.Int64Var(&o.tau, "tau", 50, "satisfaction threshold τ (events/hour)")
+	fs.StringVar(&o.timelinePath, "timeline", "", "timeline file: replay epochs through the elastic controller")
+	fs.BoolVar(&o.diurnal, "diurnal", false, "modulate the dataset into a diurnal timeline and replay it")
+	fs.IntVar(&o.epochs, "epochs", 24, "diurnal timeline epochs")
+	fs.Int64Var(&o.epochMinutes, "epoch-minutes", 60, "diurnal epoch duration (virtual minutes)")
+	fs.DurationVar(&o.epochInterval, "epoch-interval", 0, "wall-clock pause between replayed epochs (0 = replay at full speed)")
+	fs.BoolVar(&o.incremental, "incremental", false, "use the incremental re-solve path for per-epoch candidates")
+	fs.Float64Var(&o.maxRegret, "max-regret", 0, "regret bound triggering full-solve fallback (0 = incremental default)")
+	fs.BoolVar(&o.once, "once", false, "exit after the timeline replay completes instead of serving until signalled")
+	fs.StringVar(&o.metricsDump, "metrics-dump", "", "write the final metrics registry as JSON to this file on exit")
+	logLevel := slogx.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger := slogx.Setup(stderr, *logLevel)
+
+	ctx, stop := cli.Context(0)
+	defer stop()
+
+	d := newDaemon(logger)
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	logger.Info("listening", "addr", ln.Addr().String())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- d.serve(ctx, ln) }()
+
+	if err := d.load(ctx, o); err != nil && !errors.Is(err, context.Canceled) {
+		stop()
+		<-serveErr
+		return err
+	}
+	if o.once {
+		stop()
+	}
+	err = <-serveErr
+	if dumpErr := d.dumpMetrics(o.metricsDump); dumpErr != nil && err == nil {
+		err = dumpErr
+	}
+	return err
+}
+
+// daemon holds the live cluster state and the metrics registry behind the
+// HTTP surface. All fields behind mu; the registry is internally safe.
+type daemon struct {
+	m   *obs.Metrics
+	log *slog.Logger
+
+	mu     sync.RWMutex
+	state  *deploy.State
+	model  pricing.Model
+	epoch  int
+	epochs int
+	ready  bool
+}
+
+func newDaemon(logger *slog.Logger) *daemon {
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &daemon{m: obs.NewMetrics(nil), log: logger}
+}
+
+// setState installs a new live state, refreshes the allocation gauges, and
+// flips readiness on the first call.
+func (d *daemon) setState(st *deploy.State, model pricing.Model, epoch, epochs int) {
+	d.m.RecordAllocation(st.Allocation, model)
+	d.mu.Lock()
+	d.state, d.model = st, model
+	d.epoch, d.epochs = epoch, epochs
+	d.ready = true
+	d.mu.Unlock()
+}
+
+// load dispatches on the input mode: snapshot restore, one-shot solve, or
+// timeline replay through the elastic controller.
+func (d *daemon) load(ctx context.Context, o options) error {
+	switch {
+	case o.snapshot != "":
+		plan, err := traceio.LoadPlan(o.snapshot)
+		if err != nil {
+			return err
+		}
+		d.setState(plan.Target, plan.Model, 0, 0)
+		d.log.Info("snapshot restored", "path", o.snapshot,
+			"fingerprint", plan.Target.Fingerprint(), "vms", plan.Target.Allocation.NumVMs())
+		return nil
+	case o.timelinePath != "" || o.diurnal:
+		return d.runTimeline(ctx, o)
+	default:
+		w, err := loadWorkload(o.trace, o.dataset, o.scale)
+		if err != nil {
+			return err
+		}
+		model := experiments.ModelFor(pricing.C3Large, w)
+		cfg := core.DefaultConfig(o.tau, model)
+		cfg.Observer = d.m.Observer()
+		start := time.Now()
+		res, err := core.SolveContext(ctx, w, cfg)
+		if err != nil {
+			return err
+		}
+		st := deploy.NewState(w, res.Allocation)
+		d.setState(st, model, 0, 0)
+		d.log.Info("solved", "topics", w.NumTopics(), "subscribers", w.NumSubscribers(),
+			"vms", res.Allocation.NumVMs(), "fingerprint", st.Fingerprint(),
+			"elapsed", time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+}
+
+// runTimeline drives the elastic controller epoch by epoch via the Walk
+// stepper, pushing every epoch's report, allocation, and ledger totals into
+// the registry and updating the live state the endpoints serve.
+func (d *daemon) runTimeline(ctx context.Context, o options) error {
+	tl, err := loadTimeline(o)
+	if err != nil {
+		return err
+	}
+	env, err := tl.Envelope()
+	if err != nil {
+		return err
+	}
+	model := experiments.ModelFor(pricing.C3Large, env)
+	cfg := core.DefaultConfig(o.tau, model)
+	cfg.Fleet = experiments.FleetFor(env)
+	cfg.Observer = d.m.Observer()
+	policy := elastic.DefaultPolicy()
+	policy.Incremental = o.incremental
+	policy.IncrementalMaxRegret = o.maxRegret
+
+	wk, err := elastic.NewController(cfg, policy).Start(ctx, tl)
+	if err != nil {
+		return err
+	}
+	d.log.Info("timeline replay starting", "epochs", tl.NumEpochs(),
+		"epoch_minutes", tl.EpochMinutes, "incremental", o.incremental)
+	for !wk.Done() {
+		ep, err := wk.Step(ctx)
+		if err != nil {
+			return err
+		}
+		d.m.RecordEpochReport(ep)
+		d.m.RecordLedger(wk.Ledger())
+		d.setState(deploy.NewState(wk.Workload(), wk.Allocation()), model, ep.Epoch+1, tl.NumEpochs())
+		d.log.Info("epoch", "n", ep.Epoch, "adopted", ep.Adopted, "forced", ep.Forced,
+			"active_vms", ep.ActiveVMs, "billed_vms", ep.BilledVMs,
+			"moved", ep.PairsMoved, "fallback", ep.CandidateStats.Fallback,
+			"elapsed", ep.Duration.Round(time.Millisecond))
+		if o.epochInterval > 0 && !wk.Done() {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(o.epochInterval):
+			}
+		}
+	}
+	rep, err := wk.Finish()
+	if err != nil {
+		return err
+	}
+	d.m.RecordLedger(rep.Ledger)
+	d.log.Info("timeline complete", "epochs", tl.NumEpochs(),
+		"total_cost", rep.TotalCost().String(), "started_hours", rep.Ledger.StartedHours(),
+		"pairs_moved", rep.TotalMoved())
+	return nil
+}
+
+// serve runs the HTTP server until ctx is cancelled, then drains it
+// gracefully. A signal-driven cancellation returns nil: for a daemon that
+// is a clean exit, not an interruption.
+func (d *daemon) serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           d.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		d.log.Info("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+func (d *daemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /readyz", d.handleReadyz)
+	mux.HandleFunc("GET /state", d.handleState)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return d.logRequests(mux)
+}
+
+func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := d.m.Registry.WritePrometheus(w); err != nil {
+		d.log.Error("metrics write", "err", err)
+	}
+}
+
+func (d *daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+func (d *daemon) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	d.mu.RLock()
+	ready := d.ready
+	d.mu.RUnlock()
+	if !ready {
+		http.Error(w, "starting: no allocation yet", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// stateDoc is the /state JSON shape: the live cluster's fingerprint plus a
+// small cost/size summary — enough for a dashboard or a smoke test without
+// scraping the full metrics page.
+type stateDoc struct {
+	Ready         bool    `json:"ready"`
+	Fingerprint   string  `json:"fingerprint"`
+	Epoch         int     `json:"epoch"`
+	NumEpochs     int     `json:"num_epochs,omitempty"`
+	VMs           int     `json:"vms"`
+	Pairs         int64   `json:"pairs"`
+	HourlyRateUSD float64 `json:"hourly_rate_usd"`
+	CostUSD       float64 `json:"cost_usd"`
+}
+
+func (d *daemon) handleState(w http.ResponseWriter, r *http.Request) {
+	d.mu.RLock()
+	doc := stateDoc{Ready: d.ready, Epoch: d.epoch, NumEpochs: d.epochs}
+	if d.state != nil {
+		doc.Fingerprint = d.state.Fingerprint()
+		if alloc := d.state.Allocation; alloc != nil {
+			doc.VMs = alloc.NumVMs()
+			for _, vm := range alloc.VMs {
+				doc.Pairs += int64(vm.NumPairs())
+			}
+			doc.HourlyRateUSD = alloc.HourlyRentalRate(d.model).USD()
+			doc.CostUSD = alloc.Cost(d.model).USD()
+		}
+	}
+	d.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		d.log.Error("state write", "err", err)
+	}
+}
+
+// statusWriter captures the response code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (d *daemon) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		d.log.Debug("request", "method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "elapsed", time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// dumpMetrics writes the final registry as JSON — the same shape the
+// -metrics-dump flags of experiments and simulate produce.
+func (d *daemon) dumpMetrics(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.m.Registry.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func loadWorkload(tracePath, dataset string, scale float64) (*workload.Workload, error) {
+	switch {
+	case tracePath != "":
+		return traceio.Load(tracePath)
+	case strings.EqualFold(dataset, "twitter"):
+		return tracegen.Twitter(tracegen.DefaultTwitterConfig().Scale(scale))
+	case strings.EqualFold(dataset, "spotify"):
+		return tracegen.Spotify(tracegen.DefaultSpotifyConfig().Scale(scale))
+	case dataset == "":
+		return nil, fmt.Errorf("need -snapshot, -trace, -dataset, or -timeline")
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+}
+
+func loadTimeline(o options) (*timeline.Timeline, error) {
+	if o.timelinePath != "" {
+		return traceio.LoadTimeline(o.timelinePath)
+	}
+	base, err := loadWorkload(o.trace, o.dataset, o.scale)
+	if err != nil {
+		return nil, err
+	}
+	cfg := experiments.DiurnalModulation()
+	cfg.Epochs = o.epochs
+	cfg.EpochMinutes = o.epochMinutes
+	if cfg.FlashEpoch >= cfg.Epochs {
+		cfg.FlashEpoch = cfg.Epochs / 2
+	}
+	return tracegen.Diurnal(base, cfg)
+}

@@ -23,6 +23,8 @@ import (
 	"github.com/pubsub-systems/mcss/internal/cli"
 	"github.com/pubsub-systems/mcss/internal/core"
 	"github.com/pubsub-systems/mcss/internal/experiments"
+	"github.com/pubsub-systems/mcss/internal/obs"
+	"github.com/pubsub-systems/mcss/internal/obs/slogx"
 	"github.com/pubsub-systems/mcss/internal/pricing"
 	"github.com/pubsub-systems/mcss/internal/report"
 	"github.com/pubsub-systems/mcss/internal/stats"
@@ -42,15 +44,32 @@ func run(args []string) error {
 		progress = fs.Bool("progress", false, "stream per-stage solver progress to stderr")
 		sizes    = fs.String("sizes", "", "comma-separated pair counts for -fig scale (default: the full 10k→1.28M sweep)")
 		churn    = fs.Bool("churn", false, "with -fig scale: run the incremental-vs-full churn sweep (BENCH_6.json) instead of the stage-2 sweep")
+
+		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics on this address for the life of the run")
+		metricsDump = fs.String("metrics-dump", "", "write the final metrics registry as JSON (relative paths land in -outdir, next to the BENCH output)")
 	)
+	logLevel := slogx.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	slogx.Setup(os.Stderr, *logLevel)
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
-	if *progress {
-		ctx = core.ContextWithObserver(ctx, report.NewProgress(os.Stderr))
+
+	m := obs.NewMetrics(nil)
+	if *metricsAddr != "" {
+		addr, stopMetrics, err := obs.ServeMetrics(*metricsAddr, m.Registry)
+		if err != nil {
+			return err
+		}
+		defer stopMetrics()
+		fmt.Fprintf(os.Stderr, "serving metrics on %s\n", addr)
 	}
+	watchers := []core.Observer{m.Observer()}
+	if *progress {
+		watchers = append(watchers, report.NewProgress(os.Stderr))
+	}
+	ctx = core.ContextWithObserver(ctx, obs.Tee(watchers...))
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
 			return err
@@ -75,7 +94,28 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "[fig %s done in %s]\n\n", f, time.Since(start).Round(time.Millisecond))
 	}
-	return nil
+	return dumpMetrics(m, *metricsDump, *outdir)
+}
+
+// dumpMetrics writes the registry as JSON so a perf run carries its
+// telemetry; a relative path lands in outdir, next to the BENCH output.
+// Empty path is a no-op.
+func dumpMetrics(m *obs.Metrics, path, outdir string) error {
+	if path == "" {
+		return nil
+	}
+	if outdir != "" && !filepath.IsAbs(path) {
+		path = filepath.Join(outdir, path)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Registry.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseSizes parses the -sizes flag into pair counts; empty means the

@@ -8,6 +8,7 @@ import (
 
 	mcss "github.com/pubsub-systems/mcss"
 	"github.com/pubsub-systems/mcss/internal/cli"
+	"github.com/pubsub-systems/mcss/internal/obs/slogx"
 	"github.com/pubsub-systems/mcss/internal/report"
 )
 
@@ -87,7 +88,12 @@ func runPlan(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	w, p, _, _, err := sf.build()
+	m, stopMetrics, err := sf.instrument()
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
+	w, p, _, _, err := sf.build(m)
 	if err != nil {
 		return err
 	}
@@ -137,7 +143,12 @@ func runDiff(args []string) error {
 		}
 		return printPlan(plan, *showSteps)
 	}
-	w, p, _, _, err := sf.build()
+	m, stopMetrics, err := sf.instrument()
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
+	w, p, _, _, err := sf.build(m)
 	if err != nil {
 		return err
 	}
@@ -164,9 +175,11 @@ func runApply(args []string) error {
 		quiet     = fs.Bool("quiet", false, "suppress per-step progress")
 		timeout   = fs.Duration("timeout", 0, "abort the apply after this duration (0 = none)")
 	)
+	logLevel := slogx.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	slogx.Setup(os.Stderr, *logLevel)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: mcss apply [-state cluster.json] [-dry-run] plan.json")
 	}

@@ -29,12 +29,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
 	mcss "github.com/pubsub-systems/mcss"
 	"github.com/pubsub-systems/mcss/internal/cli"
 	"github.com/pubsub-systems/mcss/internal/experiments"
+	"github.com/pubsub-systems/mcss/internal/obs"
+	"github.com/pubsub-systems/mcss/internal/obs/slogx"
 	"github.com/pubsub-systems/mcss/internal/pricing"
 	"github.com/pubsub-systems/mcss/internal/report"
 )
@@ -69,6 +72,7 @@ type solverFlags struct {
 	capacity, msgBytes                *int64
 	stage1, stage2, optSpec, strategy *string
 	progress                          *bool
+	metricsAddr, logLevel             *string
 }
 
 func registerSolverFlags(fs *flag.FlagSet) *solverFlags {
@@ -86,12 +90,33 @@ func registerSolverFlags(fs *flag.FlagSet) *solverFlags {
 		optSpec:   fs.String("opts", "all", "CBP optimizations: all, none, or comma list of expensive,mostfree,cost"),
 		strategy:  fs.String("strategy", "", "full-solve strategy replacing both stages (e.g. exact)"),
 		progress:  fs.Bool("progress", false, "stream per-stage solver progress to stderr"),
+		metricsAddr: fs.String("metrics-addr", "",
+			"serve Prometheus /metrics on this address for the life of the run"),
+		logLevel: slogx.Register(fs),
 	}
 }
 
+// instrument installs leveled logging and, when -metrics-addr is given,
+// starts the background /metrics listener over a fresh registry. The
+// returned Metrics is nil when metrics are off; stop drains the listener.
+func (sf *solverFlags) instrument() (*obs.Metrics, func(), error) {
+	slogx.Setup(os.Stderr, *sf.logLevel)
+	if *sf.metricsAddr == "" {
+		return nil, func() {}, nil
+	}
+	m := obs.NewMetrics(nil)
+	addr, stop, err := obs.ServeMetrics(*sf.metricsAddr, m.Registry)
+	if err != nil {
+		return nil, nil, err
+	}
+	slog.Info("serving metrics", "addr", addr)
+	return m, stop, nil
+}
+
 // build loads the workload and assembles the Planner (plus the resolved
-// model and fleet) from the parsed flags.
-func (sf *solverFlags) build() (*mcss.Workload, *mcss.Planner, mcss.Model, mcss.Fleet, error) {
+// model and fleet) from the parsed flags; a non-nil m attaches the metrics
+// observer alongside any -progress reporter.
+func (sf *solverFlags) build(m *obs.Metrics) (*mcss.Workload, *mcss.Planner, mcss.Model, mcss.Fleet, error) {
 	fail := func(err error) (*mcss.Workload, *mcss.Planner, mcss.Model, mcss.Fleet, error) {
 		return nil, nil, mcss.Model{}, mcss.Fleet{}, err
 	}
@@ -137,8 +162,15 @@ func (sf *solverFlags) build() (*mcss.Workload, *mcss.Planner, mcss.Model, mcss.
 	if *sf.strategy != "" {
 		popts = append(popts, mcss.WithStrategy(*sf.strategy))
 	}
+	var watchers []mcss.Observer
 	if *sf.progress {
-		popts = append(popts, mcss.WithObserver(report.NewProgress(os.Stderr)))
+		watchers = append(watchers, report.NewProgress(os.Stderr))
+	}
+	if m != nil {
+		watchers = append(watchers, m.Observer())
+	}
+	if tee := obs.Tee(watchers...); tee != nil {
+		popts = append(popts, mcss.WithObserver(tee))
 	}
 	p, err := mcss.NewPlanner(popts...)
 	if err != nil {
@@ -158,7 +190,12 @@ func runSolve(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	w, p, model, fleet, err := sf.build()
+	m, stopMetrics, err := sf.instrument()
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
+	w, p, model, fleet, err := sf.build(m)
 	if err != nil {
 		return err
 	}
@@ -182,6 +219,9 @@ func runSolve(args []string) error {
 	lb, err := p.LowerBound(ctx, w)
 	if err != nil {
 		return err
+	}
+	if m != nil {
+		m.RecordAllocation(res.Allocation, model)
 	}
 
 	t := report.NewTable("solution",

@@ -28,6 +28,8 @@ import (
 	mcss "github.com/pubsub-systems/mcss"
 	"github.com/pubsub-systems/mcss/internal/cli"
 	"github.com/pubsub-systems/mcss/internal/experiments"
+	"github.com/pubsub-systems/mcss/internal/obs"
+	"github.com/pubsub-systems/mcss/internal/obs/slogx"
 	"github.com/pubsub-systems/mcss/internal/pricing"
 	"github.com/pubsub-systems/mcss/internal/report"
 	"github.com/pubsub-systems/mcss/internal/satisfy"
@@ -60,22 +62,44 @@ func run(args []string) error {
 
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 		progress = fs.Bool("progress", false, "stream per-stage solver progress to stderr")
+
+		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics on this address for the life of the run")
+		metricsDump = fs.String("metrics-dump", "", "write the final metrics registry as JSON to this file")
 	)
+	logLevel := slogx.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	slogx.Setup(os.Stderr, *logLevel)
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
-	if *progress {
-		ctx = mcss.ContextWithObserver(ctx, report.NewProgress(os.Stderr))
+
+	m := obs.NewMetrics(nil)
+	if *metricsAddr != "" {
+		addr, stopMetrics, err := obs.ServeMetrics(*metricsAddr, m.Registry)
+		if err != nil {
+			return err
+		}
+		defer stopMetrics()
+		fmt.Fprintf(os.Stderr, "serving metrics on %s\n", addr)
 	}
+	watchers := []mcss.Observer{m.Observer()}
+	if *progress {
+		watchers = append(watchers, report.NewProgress(os.Stderr))
+	}
+	ctx = mcss.ContextWithObserver(ctx, obs.Tee(watchers...))
 
 	if *timelinePath != "" || *diurnal {
-		return runTimeline(ctx, timelineArgs{
+		err := runTimeline(ctx, timelineArgs{
 			path: *timelinePath, dataset: *dataset, scale: *scale,
 			tau: *tau, epochs: *epochs, epochMinutes: *epochMinutes,
 			maxEvents: *maxEvents, satisfyFrac: *satisfyFrac,
+			metrics: m,
 		})
+		if derr := dumpMetrics(m, *metricsDump); derr != nil && err == nil {
+			err = derr
+		}
+		return err
 	}
 
 	w, err := loadWorkload(*tracePath, *dataset, *scale)
@@ -94,6 +118,7 @@ func run(args []string) error {
 		return err
 	}
 	alloc := prov.Allocation()
+	m.RecordAllocation(alloc, model)
 	u := alloc.ComputeUtilization()
 	fmt.Printf("workload: %d topics / %d subscribers / %d pairs\n",
 		w.NumTopics(), w.NumSubscribers(), w.NumPairs())
@@ -133,7 +158,24 @@ func run(args []string) error {
 		}
 		printSim(w, sim, *tau)
 	}
-	return nil
+	return dumpMetrics(m, *metricsDump)
+}
+
+// dumpMetrics writes the registry as JSON so a perf run carries its
+// telemetry next to the printed report. Empty path is a no-op.
+func dumpMetrics(m *obs.Metrics, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Registry.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printSim(w *mcss.Workload, sim *mcss.SimResult, tau int64) {
@@ -166,6 +208,7 @@ type timelineArgs struct {
 	epochMinutes  int64
 	maxEvents     int64
 	satisfyFrac   float64
+	metrics       *obs.Metrics
 }
 
 // runTimeline drives the elastic controller over a timeline and replays
@@ -217,6 +260,15 @@ func runTimeline(ctx context.Context, a timelineArgs) error {
 	rep, err := p.RunTimeline(ctx, tl, mcss.DefaultElasticPolicy())
 	if err != nil {
 		return err
+	}
+	if a.metrics != nil {
+		for _, ep := range rep.Epochs {
+			a.metrics.RecordEpochReport(ep)
+		}
+		a.metrics.RecordLedger(rep.Ledger)
+		if n := len(rep.Allocations); n > 0 {
+			a.metrics.RecordAllocation(rep.Allocations[n-1], p.Config().Model)
+		}
 	}
 	fmt.Printf("timeline: %d epochs × %d min, %d topics / %d subscribers\n",
 		tl.NumEpochs(), tl.EpochMinutes, tl.Epochs[0].NumTopics(), tl.Epochs[0].NumSubscribers())

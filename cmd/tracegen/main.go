@@ -21,6 +21,8 @@ import (
 
 	mcss "github.com/pubsub-systems/mcss"
 	"github.com/pubsub-systems/mcss/internal/cli"
+	"github.com/pubsub-systems/mcss/internal/obs"
+	"github.com/pubsub-systems/mcss/internal/obs/slogx"
 	"github.com/pubsub-systems/mcss/internal/workload"
 )
 
@@ -48,12 +50,24 @@ func run(args []string) error {
 
 		timeout  = fs.Duration("timeout", 0, "abort generation after this duration (0 = none)")
 		progress = fs.Bool("progress", false, "report generation phases to stderr")
+
+		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics on this address for the life of the run")
 	)
+	logLevel := slogx.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	slogx.Setup(os.Stderr, *logLevel)
 	if *out == "" {
 		return fmt.Errorf("need -out")
+	}
+	if *metricsAddr != "" {
+		addr, stopMetrics, err := obs.ServeMetrics(*metricsAddr, obs.NewMetrics(nil).Registry)
+		if err != nil {
+			return err
+		}
+		defer stopMetrics()
+		fmt.Fprintf(os.Stderr, "serving metrics on %s\n", addr)
 	}
 	ctx, stop := cli.Context(*timeout)
 	defer stop()

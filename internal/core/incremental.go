@@ -257,6 +257,19 @@ type EpochOutcome struct {
 	// regret drift beyond it is what triggers a full re-solve.
 	Regret, BaseRegret float64
 	LB                 Bound
+
+	// Per-pass telemetry for the observability layer. Evicted counts pairs
+	// forced out by the over-capacity eviction pass (a subset of Dropped);
+	// DrainMoved counts pairs relocated by the consolidation drain (a
+	// subset of Improved, rolled-back drain work included). TouchedTopics
+	// and DirtySubs size the epoch's repair frontier. ImproveBudget is the
+	// relocation budget granted to FinishEpoch and BudgetSpent what the
+	// improve + drain passes actually consumed of it. ReleasedVMs counts
+	// VMs freed by end-of-epoch compaction.
+	Evicted, DrainMoved        int64
+	TouchedTopics, DirtySubs   int64
+	ImproveBudget, BudgetSpent int64
+	ReleasedVMs                int64
 }
 
 // IncrementalState persists the Stage-2 index as live mutable state over
@@ -298,6 +311,8 @@ type IncrementalState struct {
 	emptied                     []int32
 	overfull                    []int32 // candidate slots, may contain duplicates
 	dropped, inserted, improved int64
+	evicted, drainMoved         int64
+	budgetSpent, releasedVMs    int64
 	epochOpen                   bool
 }
 
@@ -418,6 +433,8 @@ func (s *IncrementalState) BeginEpoch(ctx context.Context, next *workload.Worklo
 	}
 	s.epochOpen = true
 	s.dropped, s.inserted, s.improved = 0, 0, 0
+	s.evicted, s.drainMoved = 0, 0
+	s.budgetSpent, s.releasedVMs = 0, 0
 	clear(s.touched)
 	s.emptied = s.emptied[:0]
 	s.overfull = s.overfull[:0]
@@ -528,6 +545,7 @@ func (s *IncrementalState) evictPair(slot int32, t workload.TopicID, v workload.
 	s.delivered[v] -= s.w.Rate(t)
 	s.totalPairs--
 	s.dropped++
+	s.evicted++
 	s.markDirty(v)
 }
 
@@ -544,6 +562,7 @@ func (s *IncrementalState) FinishEpoch(ctx context.Context, improveBudget int64)
 	if err := s.evictOverfull(ctx); err != nil {
 		return EpochOutcome{}, err
 	}
+	dirtySubs := int64(len(s.dirty))
 	if err := s.topUpDirty(ctx); err != nil {
 		return EpochOutcome{}, err
 	}
@@ -552,10 +571,13 @@ func (s *IncrementalState) FinishEpoch(ctx context.Context, improveBudget int64)
 		if err != nil {
 			return EpochOutcome{}, err
 		}
+		s.budgetSpent = improveBudget - rem
 		if err := s.drainUnderused(ctx, rem); err != nil {
 			return EpochOutcome{}, err
 		}
+		s.budgetSpent += s.drainMoved
 	}
+	touchedTopics := int64(len(s.touched))
 	s.compactEmpties()
 	out, sel := s.materialize()
 	s.base = out
@@ -567,14 +589,21 @@ func (s *IncrementalState) FinishEpoch(ctx context.Context, improveBudget int64)
 		kept = 0
 	}
 	return EpochOutcome{
-		Result:     &Result{Selection: sel, Allocation: out},
-		Dropped:    s.dropped,
-		Inserted:   s.inserted,
-		Improved:   s.improved,
-		Kept:       kept,
-		Regret:     regret,
-		BaseRegret: s.baseRegret,
-		LB:         lb,
+		Result:        &Result{Selection: sel, Allocation: out},
+		Dropped:       s.dropped,
+		Inserted:      s.inserted,
+		Improved:      s.improved,
+		Kept:          kept,
+		Regret:        regret,
+		BaseRegret:    s.baseRegret,
+		LB:            lb,
+		Evicted:       s.evicted,
+		DrainMoved:    s.drainMoved,
+		TouchedTopics: touchedTopics,
+		DirtySubs:     dirtySubs,
+		ImproveBudget: improveBudget,
+		BudgetSpent:   s.budgetSpent,
+		ReleasedVMs:   s.releasedVMs,
 	}, nil
 }
 
@@ -792,6 +821,7 @@ func (s *IncrementalState) drainUnderused(ctx context.Context, budget int64) err
 		}
 		moved, ok := s.drainSlot(a, budget)
 		budget -= moved
+		s.drainMoved += moved
 		if ok {
 			fails = 0
 		} else {
@@ -878,6 +908,8 @@ drain:
 // (re-pointing its host lists and pair rows), so rental cost never carries
 // dead VMs across epochs.
 func (s *IncrementalState) compactEmpties() {
+	before := int64(len(s.r.vms))
+	defer func() { s.releasedVMs += before - int64(len(s.r.vms)) }()
 	s.r.trimTrailingEmpty()
 	if len(s.emptied) == 0 {
 		return

@@ -28,6 +28,46 @@ type Observer interface {
 	OnEpoch(epoch, total int)
 }
 
+// StageStats is the consolidated per-stage completion record: final unit
+// count, total, and wall time in one value. It exists so stage timing and
+// throughput don't require wall-clock bookkeeping at every Observer call
+// site — implementations that also satisfy StatsObserver receive it once
+// per completed stage, immediately after OnStageDone.
+type StageStats struct {
+	Stage   string
+	Done    int64
+	Total   int64
+	Elapsed time.Duration
+}
+
+// StatsObserver is the optional extension of Observer for implementations
+// that want consolidated StageStats (the metrics layer does). Plain
+// Observers — report.NewProgress among them — keep working untouched: the
+// solver detects the extension by type assertion, which is the adapter
+// between the two shapes.
+type StatsObserver interface {
+	Observer
+	// OnStageStats fires once per completed stage, after OnStageDone,
+	// with the final flushed unit count and elapsed wall time.
+	OnStageStats(StageStats)
+}
+
+// FinishStage is the single exit path for stage completion: it flushes the
+// final progress (so any sub-checkInterval remainder is always reported),
+// fires OnStageDone, and hands StageStats to observers that want it.
+// Every solver path — ticker-driven or not — must complete through here;
+// the remainder-flush regression test pins the invariant.
+func FinishStage(obs Observer, stage string, done, total int64, elapsed time.Duration) {
+	if obs == nil {
+		return
+	}
+	obs.OnProgress(stage, done, total)
+	obs.OnStageDone(stage, elapsed)
+	if so, ok := obs.(StatsObserver); ok {
+		so.OnStageStats(StageStats{Stage: stage, Done: done, Total: total, Elapsed: elapsed})
+	}
+}
+
 // NopObserver is an Observer that ignores every callback. Attach it (e.g.
 // via the Planner's WithObserver(nil), which maps to it) to explicitly
 // silence a solve even when the context carries an ambient observer —
@@ -122,10 +162,8 @@ func (t *ticker) tick(n int64) error {
 	return nil
 }
 
-// finish reports stage completion to the observer.
+// finish reports stage completion to the observer, flushing the final
+// (possibly sub-checkInterval) progress remainder.
 func (t *ticker) finish(elapsed time.Duration) {
-	if t.obs != nil {
-		t.obs.OnProgress(t.stage, t.done, t.total)
-		t.obs.OnStageDone(t.stage, elapsed)
-	}
+	FinishStage(t.obs, t.stage, t.done, t.total, elapsed)
 }

@@ -116,9 +116,6 @@ func greedySelectParallel(ctx context.Context, w *workload.Workload, tau int64, 
 			subOff = append(subOff, base+off)
 		}
 	}
-	if obs != nil {
-		obs.OnProgress(StageSelect, int64(n), int64(n))
-		obs.OnStageDone(StageSelect, time.Since(start))
-	}
+	FinishStage(obs, StageSelect, int64(n), int64(n), time.Since(start))
 	return &Selection{w: w, subOff: subOff, subTopics: subTopics}, nil
 }

@@ -186,6 +186,13 @@ type MigrationStats struct {
 	PairsImproved              int64
 	RegretFrac, BaseRegretFrac float64
 	Fallback                   bool
+
+	// Epoch carries the incremental engine's per-pass telemetry for the
+	// update that produced these stats (zero value on full-solve paths) —
+	// eviction/top-up/improve/drain counts, budget spent, and VMs
+	// released, consumed by the observability layer. Its Result pointer is
+	// always nil here; the adopted result travels separately.
+	Epoch core.EpochOutcome
 }
 
 // RepairStats quantifies a crash repair.

@@ -134,12 +134,15 @@ func (p *Provisioner) PreviewIncremental(ctx context.Context, d Delta) (*workloa
 	if out.Regret > out.BaseRegret+p.incPol.maxRegretFrac() {
 		return p.fallbackResolve(ctx, next, out)
 	}
+	counters := out
+	counters.Result = nil // the adopted result travels separately
 	stats := finishStats(MigrationStats{
 		PairsMoved:     out.Dropped + out.Inserted + out.Improved,
 		PairsKept:      out.Kept,
 		PairsImproved:  out.Improved,
 		RegretFrac:     out.Regret,
 		BaseRegretFrac: out.BaseRegret,
+		Epoch:          counters,
 	}, p.res.Allocation, out.Result.Allocation, p.cfg.Model)
 	return next, out.Result, stats, nil
 }

@@ -20,12 +20,14 @@ package elastic
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"github.com/pubsub-systems/mcss/internal/core"
 	"github.com/pubsub-systems/mcss/internal/deploy"
 	"github.com/pubsub-systems/mcss/internal/dynamic"
 	"github.com/pubsub-systems/mcss/internal/pricing"
 	"github.com/pubsub-systems/mcss/internal/timeline"
+	"github.com/pubsub-systems/mcss/internal/workload"
 )
 
 // Policy is the hysteresis knob set.
@@ -112,6 +114,15 @@ type EpochReport struct {
 	Utilization float64
 	// ActiveMix counts active VMs per instance-type name.
 	ActiveMix map[string]int
+	// Duration is the wall time the epoch took end to end (solve/preview,
+	// policy decision, plan apply, ledger accounting).
+	Duration time.Duration
+	// CandidateStats is the migration-stats record of the epoch's fresh
+	// candidate (zero for epoch 0's bootstrap solve): churn, cost deltas,
+	// incremental repair-pass telemetry, and the fallback flag — what the
+	// observability layer reads regardless of whether the candidate was
+	// adopted.
+	CandidateStats dynamic.MigrationStats
 	// Plan is the deployment plan this epoch's decision was enacted
 	// through: every autoscale event is the same serializable,
 	// fingerprint-pinned artifact the Spec → Plan → Apply lifecycle
@@ -196,6 +207,46 @@ func NewController(cfg core.Config, policy Policy) *Controller {
 // an OnEpoch callback after each completed epoch (on top of the per-solve
 // stage callbacks).
 func (c *Controller) Run(ctx context.Context, tl *timeline.Timeline) (*RunReport, error) {
+	wk, err := c.Start(ctx, tl)
+	if err != nil {
+		return nil, err
+	}
+	for !wk.Done() {
+		if _, err := wk.Step(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return wk.Finish()
+}
+
+// Walk is an in-flight controller run, stepped one epoch at a time — the
+// shape a long-running process needs: allocatord replays a timeline on a
+// wall-clock cadence, inspecting the live state between epochs, where Run
+// drives the same walk to completion in one call. Build with
+// Controller.Start; not safe for concurrent use (serve reads of the state
+// it exposes from one goroutine, or copy what Step returns).
+type Walk struct {
+	c        *Controller
+	tl       *timeline.Timeline
+	fleet    pricing.Fleet
+	solveCfg core.Config
+	prov     *dynamic.Provisioner
+	obs      core.Observer
+	ledger   *BillingLedger
+	report   *RunReport
+
+	// held[name] is the billed VM count per type (≥ the active count);
+	// lastAcquire[name] is the most recent epoch that acquired the type
+	// (the scale-down cooldown is per type, so mix churn in one size
+	// cannot starve releases of another).
+	held        map[string]int
+	lastAcquire map[string]int
+	next        int
+}
+
+// Start validates the timeline and builds the walk's provisioner, ledger,
+// and report. No epoch work happens until Step.
+func (c *Controller) Start(ctx context.Context, tl *timeline.Timeline) (*Walk, error) {
 	if err := tl.Validate(); err != nil {
 		return nil, err
 	}
@@ -208,7 +259,6 @@ func (c *Controller) Run(ctx context.Context, tl *timeline.Timeline) (*RunReport
 	if c.policy == (Policy{}) {
 		report.Strategy = "oracle"
 	}
-	obs := core.ResolveObserver(ctx, c.cfg)
 	ledger := NewLedger(c.cfg.Model.PerGB)
 	report.Ledger = ledger
 
@@ -224,171 +274,225 @@ func (c *Controller) Run(ctx context.Context, tl *timeline.Timeline) (*RunReport
 	if c.policy.Incremental {
 		prov.SetIncrementalPolicy(dynamic.IncrementalPolicy{MaxRegretFrac: c.policy.IncrementalMaxRegret})
 	}
+	return &Walk{
+		c:           c,
+		tl:          tl,
+		fleet:       fleet,
+		solveCfg:    solveCfg,
+		prov:        prov,
+		obs:         core.ResolveObserver(ctx, c.cfg),
+		ledger:      ledger,
+		report:      report,
+		held:        make(map[string]int, fleet.Len()),
+		lastAcquire: make(map[string]int, fleet.Len()),
+	}, nil
+}
 
-	// held[name] is the billed VM count per type (≥ the active count);
-	// lastAcquire[name] is the most recent epoch that acquired the type
-	// (the scale-down cooldown is per type, so mix churn in one size
-	// cannot starve releases of another).
-	held := make(map[string]int, fleet.Len())
-	lastAcquire := make(map[string]int, fleet.Len())
+// Done reports whether every epoch has been stepped.
+func (wk *Walk) Done() bool { return wk.next >= wk.tl.NumEpochs() }
 
-	for e := 0; e < tl.NumEpochs(); e++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		w := tl.Epochs[e]
-		now := tl.StartMinute(e)
-		ep := EpochReport{Epoch: e, StartMinute: now}
+// Epoch reports the index the next Step will process.
+func (wk *Walk) Epoch() int { return wk.next }
 
-		// Decide the epoch's target: the fresh solve, or the kept
-		// (repriced, topped-up) previous placements.
-		var (
-			target   *core.Allocation
-			freshSel *core.Selection
-		)
-		if e == 0 {
-			res, err := core.SolveContext(ctx, w, solveCfg)
-			if err != nil {
-				if cerr := ctx.Err(); cerr != nil {
-					return nil, cerr
-				}
-				return nil, fmt.Errorf("elastic: epoch 0: %w", err)
-			}
-			target, freshSel = res.Allocation, res.Selection
-			ep.Adopted, ep.Forced = true, true
-			ep.PairsMoved = countPairs(target)
-			ep.CandidateMoves = ep.PairsMoved
-		} else {
-			delta, err := dynamic.DeltaBetween(prov.Workload(), w)
-			if err != nil {
-				return nil, fmt.Errorf("elastic: epoch %d: %w", e, err)
-			}
-			// Preview validates the delta before solving. Incremental
-			// mode updates the persistent index in churn-proportional
-			// time instead of re-solving the whole workload.
-			preview := prov.PreviewContext
-			if c.policy.Incremental {
-				preview = prov.PreviewIncremental
-			}
-			_, fresh, stats, err := preview(ctx, delta)
-			if err != nil {
-				if cerr := ctx.Err(); cerr != nil {
-					return nil, cerr
-				}
-				return nil, fmt.Errorf("elastic: epoch %d: %w", e, err)
-			}
-			ep.CandidateMoves = stats.PairsMoved
+// NumEpochs reports the timeline length.
+func (wk *Walk) NumEpochs() int { return wk.tl.NumEpochs() }
 
-			// The low-churn alternative: previous placements repriced
-			// under the new snapshot, topped up where falling rates left
-			// subscribers under-served. The oracle setting (zero
-			// utilization guard) never keeps, so skip the work.
-			var kept *core.Allocation
-			var added int64
-			keptOK := false
-			if c.policy.ScaleUpUtilization > 0 {
-				kept, added, keptOK = keepWithTopUp(prov.Allocation(), w, c.cfg, solveCfg.EffectiveFleet(), fleet)
-			}
-			forced := !keptOK || utilization(kept, fleet) > c.policy.ScaleUpUtilization
-
-			switch {
-			case forced:
-				ep.Adopted, ep.Forced = true, true
-			case c.policy.MaxMigrationsPerEpoch > 0 && stats.PairsMoved > c.policy.MaxMigrationsPerEpoch:
-				// Over the churn budget: keep the verified placements.
-			default:
-				// Adopt only when the fresh solve clears the savings bar
-				// for this epoch (hourly rental + transfer): marginal
-				// wins are not worth re-homing pairs and thrashing the
-				// instance mix.
-				freshCost := hourlyCost(c.cfg.Model, fresh.Allocation)
-				keptCost := hourlyCost(c.cfg.Model, kept)
-				ep.Adopted = float64(freshCost) < (1-c.policy.ScaleDownSavingsFrac)*float64(keptCost)
-			}
-
-			if ep.Adopted {
-				target, freshSel = fresh.Allocation, fresh.Selection
-				ep.PairsMoved = stats.PairsMoved
-			} else {
-				target = kept
-				ep.AddedPairs = added
-			}
-		}
-
-		// Enact the decision. The plan path is the production one; the
-		// direct path exists only to measure its overhead.
-		var adopted *core.Allocation
-		if c.directAdopt {
-			sel := freshSel
-			if sel == nil {
-				sel = prov.Selection()
-			}
-			prov.Adopt(w, &core.Result{Selection: sel, Allocation: target})
-			adopted = target
-		} else {
-			plan, err := deploy.NewPlan(c.cfg, deploy.StateOf(prov), deploy.NewState(w, target))
-			if err != nil {
-				return nil, fmt.Errorf("elastic: epoch %d: plan: %w", e, err)
-			}
-			if _, err := deploy.Apply(ctx, plan, prov); err != nil {
-				if cerr := ctx.Err(); cerr != nil {
-					return nil, cerr
-				}
-				return nil, fmt.Errorf("elastic: epoch %d: apply: %w", e, err)
-			}
-			ep.Plan = plan
-			// The report references the plan's own target allocation
-			// (fingerprint-verified identical to the adopted replay), so
-			// retaining plans in the report does not hold a second full
-			// cluster copy per epoch alive.
-			adopted = plan.Target.Allocation
-		}
-
-		// Fleet accounting: acquire shortfalls immediately (correctness),
-		// release surplus only past the cooldown and the savings bar.
-		active := adopted.InstanceMix()
-		for name, n := range active {
-			if short := n - held[name]; short > 0 {
-				it, ok := instanceByName(fleet, name)
-				if !ok {
-					return nil, fmt.Errorf("elastic: epoch %d deploys unknown instance type %q", e, name)
-				}
-				if err := ledger.Acquire(it, short, now); err != nil {
-					return nil, err
-				}
-				held[name] += short
-				ep.AcquiredVMs += short
-				lastAcquire[name] = e
-			}
-		}
-		for name, surplus := range c.releasable(e, lastAcquire, fleet, held, active) {
-			it, _ := instanceByName(fleet, name)
-			if err := ledger.Release(it, surplus, now); err != nil {
-				return nil, err
-			}
-			held[name] -= surplus
-			ep.ReleasedVMs += surplus
-		}
-
-		ep.ActiveVMs = adopted.NumVMs()
-		for _, n := range held {
-			ep.BilledVMs += n
-		}
-		ep.Utilization = utilization(adopted, fleet)
-		ep.ActiveMix = active
-		ep.TransferBytes = adopted.TotalBytesPerHour() * tl.EpochMinutes / 60
-		ledger.AddTransfer(ep.TransferBytes)
-
-		report.Epochs = append(report.Epochs, ep)
-		report.Allocations = append(report.Allocations, adopted)
-		if obs != nil {
-			obs.OnEpoch(e, tl.NumEpochs())
-		}
+// Allocation returns the allocation serving the last stepped epoch (nil
+// before the first Step). Live state — read between Steps, don't mutate.
+func (wk *Walk) Allocation() *core.Allocation {
+	if n := len(wk.report.Allocations); n > 0 {
+		return wk.report.Allocations[n-1]
 	}
-	if err := ledger.Close(tl.HorizonMinutes()); err != nil {
+	return nil
+}
+
+// Workload returns the workload of the last stepped epoch (nil before the
+// first Step).
+func (wk *Walk) Workload() *workload.Workload {
+	if wk.next == 0 {
+		return nil
+	}
+	return wk.prov.Workload()
+}
+
+// Ledger exposes the walk's live billing ledger.
+func (wk *Walk) Ledger() *BillingLedger { return wk.ledger }
+
+// Finish closes the ledger over the timeline horizon and returns the
+// report. Call once, after Done (finishing early leaves the remaining
+// epochs unwalked but still bills open rentals to the full horizon).
+func (wk *Walk) Finish() (*RunReport, error) {
+	if err := wk.ledger.Close(wk.tl.HorizonMinutes()); err != nil {
 		return nil, err
 	}
-	return report, nil
+	return wk.report, nil
+}
+
+// Step processes the next epoch — preview, policy decision, plan-mediated
+// adoption, ledger accounting — and returns its report entry.
+func (wk *Walk) Step(ctx context.Context) (EpochReport, error) {
+	c := wk.c
+	if wk.Done() {
+		return EpochReport{}, fmt.Errorf("elastic: walk already finished all %d epochs", wk.tl.NumEpochs())
+	}
+	if err := ctx.Err(); err != nil {
+		return EpochReport{}, err
+	}
+	e := wk.next
+	tl, fleet, solveCfg, prov, ledger := wk.tl, wk.fleet, wk.solveCfg, wk.prov, wk.ledger
+	epochStart := time.Now()
+	w := tl.Epochs[e]
+	now := tl.StartMinute(e)
+	ep := EpochReport{Epoch: e, StartMinute: now}
+
+	// Decide the epoch's target: the fresh solve, or the kept
+	// (repriced, topped-up) previous placements.
+	var (
+		target   *core.Allocation
+		freshSel *core.Selection
+	)
+	if e == 0 {
+		res, err := core.SolveContext(ctx, w, solveCfg)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return EpochReport{}, cerr
+			}
+			return EpochReport{}, fmt.Errorf("elastic: epoch 0: %w", err)
+		}
+		target, freshSel = res.Allocation, res.Selection
+		ep.Adopted, ep.Forced = true, true
+		ep.PairsMoved = countPairs(target)
+		ep.CandidateMoves = ep.PairsMoved
+	} else {
+		delta, err := dynamic.DeltaBetween(prov.Workload(), w)
+		if err != nil {
+			return EpochReport{}, fmt.Errorf("elastic: epoch %d: %w", e, err)
+		}
+		// Preview validates the delta before solving. Incremental
+		// mode updates the persistent index in churn-proportional
+		// time instead of re-solving the whole workload.
+		preview := prov.PreviewContext
+		if c.policy.Incremental {
+			preview = prov.PreviewIncremental
+		}
+		_, fresh, stats, err := preview(ctx, delta)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return EpochReport{}, cerr
+			}
+			return EpochReport{}, fmt.Errorf("elastic: epoch %d: %w", e, err)
+		}
+		ep.CandidateMoves = stats.PairsMoved
+		ep.CandidateStats = stats
+
+		// The low-churn alternative: previous placements repriced
+		// under the new snapshot, topped up where falling rates left
+		// subscribers under-served. The oracle setting (zero
+		// utilization guard) never keeps, so skip the work.
+		var kept *core.Allocation
+		var added int64
+		keptOK := false
+		if c.policy.ScaleUpUtilization > 0 {
+			kept, added, keptOK = keepWithTopUp(prov.Allocation(), w, c.cfg, solveCfg.EffectiveFleet(), fleet)
+		}
+		forced := !keptOK || utilization(kept, fleet) > c.policy.ScaleUpUtilization
+
+		switch {
+		case forced:
+			ep.Adopted, ep.Forced = true, true
+		case c.policy.MaxMigrationsPerEpoch > 0 && stats.PairsMoved > c.policy.MaxMigrationsPerEpoch:
+			// Over the churn budget: keep the verified placements.
+		default:
+			// Adopt only when the fresh solve clears the savings bar
+			// for this epoch (hourly rental + transfer): marginal
+			// wins are not worth re-homing pairs and thrashing the
+			// instance mix.
+			freshCost := hourlyCost(c.cfg.Model, fresh.Allocation)
+			keptCost := hourlyCost(c.cfg.Model, kept)
+			ep.Adopted = float64(freshCost) < (1-c.policy.ScaleDownSavingsFrac)*float64(keptCost)
+		}
+
+		if ep.Adopted {
+			target, freshSel = fresh.Allocation, fresh.Selection
+			ep.PairsMoved = stats.PairsMoved
+		} else {
+			target = kept
+			ep.AddedPairs = added
+		}
+	}
+
+	// Enact the decision. The plan path is the production one; the
+	// direct path exists only to measure its overhead.
+	var adopted *core.Allocation
+	if c.directAdopt {
+		sel := freshSel
+		if sel == nil {
+			sel = prov.Selection()
+		}
+		prov.Adopt(w, &core.Result{Selection: sel, Allocation: target})
+		adopted = target
+	} else {
+		plan, err := deploy.NewPlan(c.cfg, deploy.StateOf(prov), deploy.NewState(w, target))
+		if err != nil {
+			return EpochReport{}, fmt.Errorf("elastic: epoch %d: plan: %w", e, err)
+		}
+		if _, err := deploy.Apply(ctx, plan, prov); err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return EpochReport{}, cerr
+			}
+			return EpochReport{}, fmt.Errorf("elastic: epoch %d: apply: %w", e, err)
+		}
+		ep.Plan = plan
+		// The report references the plan's own target allocation
+		// (fingerprint-verified identical to the adopted replay), so
+		// retaining plans in the report does not hold a second full
+		// cluster copy per epoch alive.
+		adopted = plan.Target.Allocation
+	}
+
+	// Fleet accounting: acquire shortfalls immediately (correctness),
+	// release surplus only past the cooldown and the savings bar.
+	active := adopted.InstanceMix()
+	for name, n := range active {
+		if short := n - wk.held[name]; short > 0 {
+			it, ok := instanceByName(fleet, name)
+			if !ok {
+				return EpochReport{}, fmt.Errorf("elastic: epoch %d deploys unknown instance type %q", e, name)
+			}
+			if err := ledger.Acquire(it, short, now); err != nil {
+				return EpochReport{}, err
+			}
+			wk.held[name] += short
+			ep.AcquiredVMs += short
+			wk.lastAcquire[name] = e
+		}
+	}
+	for name, surplus := range c.releasable(e, wk.lastAcquire, fleet, wk.held, active) {
+		it, _ := instanceByName(fleet, name)
+		if err := ledger.Release(it, surplus, now); err != nil {
+			return EpochReport{}, err
+		}
+		wk.held[name] -= surplus
+		ep.ReleasedVMs += surplus
+	}
+
+	ep.ActiveVMs = adopted.NumVMs()
+	for _, n := range wk.held {
+		ep.BilledVMs += n
+	}
+	ep.Utilization = utilization(adopted, fleet)
+	ep.ActiveMix = active
+	ep.TransferBytes = adopted.TotalBytesPerHour() * tl.EpochMinutes / 60
+	ledger.AddTransfer(ep.TransferBytes)
+	ep.Duration = time.Since(epochStart)
+
+	wk.report.Epochs = append(wk.report.Epochs, ep)
+	wk.report.Allocations = append(wk.report.Allocations, adopted)
+	wk.next++
+	if wk.obs != nil {
+		wk.obs.OnEpoch(e, tl.NumEpochs())
+	}
+	return ep, nil
 }
 
 // releasable applies the scale-down half of the policy and returns the

@@ -51,6 +51,10 @@ type BillingLedger struct {
 	transferBytes int64
 	nowMinute     int64
 	closed        bool
+
+	// Charge event counters for the observability layer: VMs acquired and
+	// released over the ledger's lifetime (monotone, unlike OpenVMs).
+	acquired, released int64
 }
 
 // NewLedger returns an empty ledger pricing transfer at perGB per decimal
@@ -85,6 +89,7 @@ func (l *BillingLedger) Acquire(it pricing.InstanceType, n int, atMinute int64) 
 		l.open[it.Name] = append(l.open[it.Name], r)
 		l.all = append(l.all, r)
 	}
+	l.acquired += int64(n)
 	return nil
 }
 
@@ -108,6 +113,7 @@ func (l *BillingLedger) Release(it pricing.InstanceType, n int, atMinute int64) 
 		r.EndMinute = atMinute
 	}
 	l.open[it.Name] = stack
+	l.released += int64(n)
 	return nil
 }
 
@@ -136,6 +142,12 @@ func (l *BillingLedger) Close(atMinute int64) error {
 
 // OpenVMs reports the number of currently open rentals of the named type.
 func (l *BillingLedger) OpenVMs(name string) int { return len(l.open[name]) }
+
+// AcquiredVMs and ReleasedVMs report the lifetime charge-event counts —
+// every VM ever acquired/released, regardless of what is still open. The
+// metrics layer mirrors them into monotone counters.
+func (l *BillingLedger) AcquiredVMs() int64 { return l.acquired }
+func (l *BillingLedger) ReleasedVMs() int64 { return l.released }
 
 // TransferBytes reports the accrued transfer volume.
 func (l *BillingLedger) TransferBytes() int64 { return l.transferBytes }

@@ -317,10 +317,7 @@ func SolveContext(ctx context.Context, w *workload.Workload, cfg core.Config) (S
 	}
 	sol.Allocation = alloc
 
-	if obs != nil {
-		obs.OnProgress(core.StageExact, 2*int64(size), 2*int64(size))
-		obs.OnStageDone(core.StageExact, time.Since(start))
-	}
+	core.FinishStage(obs, core.StageExact, 2*int64(size), 2*int64(size), time.Since(start))
 	return sol, nil
 }
 

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// ServeMetrics exposes the registry at /metrics (Prometheus text format,
+// plus a trivial /healthz) on addr in a background goroutine — the
+// sidecar-style wiring the batch cmds use so a long experiment or
+// simulation can be scraped while it runs. It returns the bound address
+// (useful with ":0") and a stop function that drains the listener. An
+// empty addr is a no-op with a no-op stop.
+func ServeMetrics(addr string, reg *Registry) (string, func(), error) {
+	if addr == "" {
+		return "", func() {}, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+	return ln.Addr().String(), stop, nil
+}

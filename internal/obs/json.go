@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// jsonHistogram is the JSON shape of one histogram series.
+type jsonHistogram struct {
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets map[string]uint64 `json:"buckets"` // upper bound → cumulative count
+}
+
+// WriteJSON renders the registry as an expvar-style JSON document:
+// one top-level key per family; unlabeled families map to their value
+// directly, labeled families to an object keyed by the joined label
+// values ("a,b"). encoding/json sorts map keys, so output is
+// deterministic — the shape written by the -metrics-dump flags next to
+// BENCH output.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+
+	doc := make(map[string]any, len(fams))
+	for _, f := range fams {
+		doc[f.name] = f.jsonValue()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func (f *family) jsonValue() any {
+	f.mu.Lock()
+	children := make(map[string]*metric, len(f.children))
+	for k, m := range f.children {
+		children[k] = m
+	}
+	f.mu.Unlock()
+
+	one := func(m *metric) any {
+		switch f.kind {
+		case kindHistogram:
+			m.hmu.Lock()
+			h := jsonHistogram{
+				Count:   m.hcount,
+				Sum:     m.hsum,
+				Buckets: make(map[string]uint64, len(f.bounds)),
+			}
+			cum := uint64(0)
+			for i, bound := range f.bounds {
+				cum += m.buckets[i]
+				h.Buckets[formatFloat(bound)] = cum
+			}
+			h.Buckets["+Inf"] = m.hcount
+			m.hmu.Unlock()
+			return h
+		default:
+			return math.Float64frombits(m.bits.Load())
+		}
+	}
+
+	if len(f.labels) == 0 {
+		if m, ok := children[""]; ok {
+			return one(m)
+		}
+		if f.kind == kindHistogram {
+			return jsonHistogram{Buckets: map[string]uint64{}}
+		}
+		return 0.0
+	}
+	out := make(map[string]any, len(children))
+	for _, m := range children {
+		key := ""
+		for i, v := range m.labelValues {
+			if i > 0 {
+				key += ","
+			}
+			key += v
+		}
+		out[key] = one(m)
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"time"
+
+	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/dynamic"
+	"github.com/pubsub-systems/mcss/internal/elastic"
+	"github.com/pubsub-systems/mcss/internal/pricing"
+)
+
+// Metrics is the canonical mcss_* metric set over one Registry: the solver
+// stages feed it through the core.Observer/StatsObserver it exposes, and
+// the controller/daemon layers push migration stats, epoch reports, and
+// ledger totals through the Record* hooks. Everything is safe for
+// concurrent use (the registry is), so one Metrics can absorb parallel
+// portfolio branches and a serving HTTP handler at once. The full family
+// taxonomy is documented in DESIGN.md §12.
+type Metrics struct {
+	Registry *Registry
+
+	// Solver stages (labeled by the core.Stage* names).
+	stageDuration HistogramVec // mcss_solve_stage_duration_seconds
+	stageUnits    CounterVec   // mcss_solve_stage_units_total
+	stageRuns     CounterVec   // mcss_solve_stage_runs_total
+	epochTicks    Counter      // mcss_timeline_epochs_total
+
+	// Incremental repair passes.
+	incEpochs     Counter    // mcss_incremental_epochs_total
+	incPairs      CounterVec // mcss_incremental_pairs_total{pass}
+	incTouched    Counter    // mcss_incremental_touched_topics_total
+	incDirty      Counter    // mcss_incremental_dirty_subscribers_total
+	incBudget     Counter    // mcss_incremental_improve_budget_total
+	incSpent      Counter    // mcss_incremental_budget_spent_total
+	incReleased   Counter    // mcss_incremental_released_vms_total
+	incRegret     Gauge      // mcss_incremental_regret_frac
+	incBaseRegret Gauge      // mcss_incremental_base_regret_frac
+	fallbacks     Counter    // mcss_solve_fallbacks_total
+
+	// Migration churn (every re-allocation, incremental or full).
+	migMoved Counter // mcss_migration_pairs_moved_total
+	migKept  Counter // mcss_migration_pairs_kept_total
+
+	// Elastic controller.
+	ctlEpochs    Counter    // mcss_controller_epochs_total
+	ctlDuration  Histogram  // mcss_controller_epoch_duration_seconds
+	ctlDecisions CounterVec // mcss_controller_scale_decisions_total{direction}
+	ctlAdoptions CounterVec // mcss_controller_adoptions_total{decision}
+	ctlMoved     Counter    // mcss_controller_pairs_moved_total
+	ctlActive    Gauge      // mcss_controller_active_vms
+	ctlBilled    Gauge      // mcss_controller_billed_vms
+	ctlUtil      Gauge      // mcss_controller_utilization
+	vmsByType    GaugeVec   // mcss_vms{type}
+	hourlyRate   Gauge      // mcss_hourly_rental_rate_usd
+
+	// Billing ledger mirrors (monotone Counter.Set).
+	billAcquired Counter // mcss_billing_vms_acquired_total
+	billReleased Counter // mcss_billing_vms_released_total
+	billHours    Counter // mcss_billing_started_hours_total
+	billTransfer Counter // mcss_billing_transfer_bytes_total
+	billRental   Gauge   // mcss_billing_rental_cost_usd
+	billXferCost Gauge   // mcss_billing_transfer_cost_usd
+	billTotal    Gauge   // mcss_billing_total_cost_usd
+
+	// Allocation / packer-index statistics.
+	allocVMs        Gauge // mcss_alloc_vms
+	allocPairs      Gauge // mcss_alloc_pairs
+	allocPlacements Gauge // mcss_alloc_placements
+	allocSpread     Gauge // mcss_alloc_topic_spread_avg
+	allocFree       Gauge // mcss_alloc_free_bytes_per_hour
+	allocCost       Gauge // mcss_alloc_cost_usd
+}
+
+// NewMetrics registers the full mcss_* family set on reg (a nil reg gets a
+// fresh registry) and returns the instrumentation facade.
+func NewMetrics(reg *Registry) *Metrics {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	m := &Metrics{Registry: reg}
+
+	m.stageDuration = reg.HistogramVec("mcss_solve_stage_duration_seconds",
+		"Wall time per completed solver stage.", nil, "stage")
+	m.stageUnits = reg.CounterVec("mcss_solve_stage_units_total",
+		"Units processed per solver stage (subscribers, pairs, DP nodes).", "stage")
+	m.stageRuns = reg.CounterVec("mcss_solve_stage_runs_total",
+		"Completed runs per solver stage.", "stage")
+	m.epochTicks = reg.Counter("mcss_timeline_epochs_total",
+		"Timeline epochs reported through the observer.")
+
+	m.incEpochs = reg.Counter("mcss_incremental_epochs_total",
+		"Incremental re-solve epochs absorbed by the persistent index.")
+	m.incPairs = reg.CounterVec("mcss_incremental_pairs_total",
+		"Pairs handled per incremental repair pass.", "pass")
+	m.incTouched = reg.Counter("mcss_incremental_touched_topics_total",
+		"Topics touched by incremental epochs.")
+	m.incDirty = reg.Counter("mcss_incremental_dirty_subscribers_total",
+		"Subscribers dirtied by incremental epochs.")
+	m.incBudget = reg.Counter("mcss_incremental_improve_budget_total",
+		"Relocation budget granted to improve/drain passes.")
+	m.incSpent = reg.Counter("mcss_incremental_budget_spent_total",
+		"Relocation budget consumed by improve/drain passes.")
+	m.incReleased = reg.Counter("mcss_incremental_released_vms_total",
+		"VMs released by incremental end-of-epoch compaction.")
+	m.incRegret = reg.Gauge("mcss_incremental_regret_frac",
+		"Cost regret vs the maintained lower bound after the last incremental epoch.")
+	m.incBaseRegret = reg.Gauge("mcss_incremental_base_regret_frac",
+		"Cost regret vs the lower bound at the last full solve.")
+	m.fallbacks = reg.Counter("mcss_solve_fallbacks_total",
+		"Incremental epochs that fell back to a full re-solve on regret drift.")
+
+	m.migMoved = reg.Counter("mcss_migration_pairs_moved_total",
+		"Pairs whose host VM changed across re-allocations.")
+	m.migKept = reg.Counter("mcss_migration_pairs_kept_total",
+		"Pairs kept on their VM across re-allocations.")
+
+	m.ctlEpochs = reg.Counter("mcss_controller_epochs_total",
+		"Epochs processed by the elastic controller.")
+	m.ctlDuration = reg.Histogram("mcss_controller_epoch_duration_seconds",
+		"End-to-end wall time per controller epoch.", nil)
+	m.ctlDecisions = reg.CounterVec("mcss_controller_scale_decisions_total",
+		"Controller scale decisions by direction (up = acquired VMs, down = released VMs).", "direction")
+	m.ctlAdoptions = reg.CounterVec("mcss_controller_adoptions_total",
+		"Epoch decisions: adopted, forced, or kept placements.", "decision")
+	m.ctlMoved = reg.Counter("mcss_controller_pairs_moved_total",
+		"Pair migrations actually incurred by controller epochs.")
+	m.ctlActive = reg.Gauge("mcss_controller_active_vms",
+		"VMs serving placements after the last epoch.")
+	m.ctlBilled = reg.Gauge("mcss_controller_billed_vms",
+		"VMs billed (active + cooldown-held) after the last epoch.")
+	m.ctlUtil = reg.Gauge("mcss_controller_utilization",
+		"Bandwidth utilization of the adopted allocation.")
+	m.vmsByType = reg.GaugeVec("mcss_vms",
+		"Active VMs by instance type.", "type")
+	m.hourlyRate = reg.Gauge("mcss_hourly_rental_rate_usd",
+		"Hourly rental rate of the current allocation (memoized cost cache).")
+
+	m.billAcquired = reg.Counter("mcss_billing_vms_acquired_total",
+		"VM acquisitions charged to the billing ledger.")
+	m.billReleased = reg.Counter("mcss_billing_vms_released_total",
+		"VM releases recorded by the billing ledger.")
+	m.billHours = reg.Counter("mcss_billing_started_hours_total",
+		"Started instance-hours billed so far.")
+	m.billTransfer = reg.Counter("mcss_billing_transfer_bytes_total",
+		"Transfer bytes accrued by the billing ledger.")
+	m.billRental = reg.Gauge("mcss_billing_rental_cost_usd",
+		"Rental cost of the run so far.")
+	m.billXferCost = reg.Gauge("mcss_billing_transfer_cost_usd",
+		"Transfer cost of the run so far.")
+	m.billTotal = reg.Gauge("mcss_billing_total_cost_usd",
+		"Total bill of the run so far.")
+
+	m.allocVMs = reg.Gauge("mcss_alloc_vms",
+		"VMs in the current allocation.")
+	m.allocPairs = reg.Gauge("mcss_alloc_pairs",
+		"Placed (topic, subscriber) pairs in the current allocation.")
+	m.allocPlacements = reg.Gauge("mcss_alloc_placements",
+		"Topic placements (ingress streams) in the current allocation.")
+	m.allocSpread = reg.Gauge("mcss_alloc_topic_spread_avg",
+		"Mean placements per hosted topic (1.0 = no duplicated ingress).")
+	m.allocFree = reg.Gauge("mcss_alloc_free_bytes_per_hour",
+		"Unused bandwidth capacity across the current allocation.")
+	m.allocCost = reg.Gauge("mcss_alloc_cost_usd",
+		"Objective cost of the current allocation.")
+	return m
+}
+
+// Observer returns the core observer that feeds solver-stage metrics into
+// this set. It satisfies core.StatsObserver, so stage durations and unit
+// throughput arrive via the consolidated StageStats callback; the
+// per-batch OnProgress path stays free of registry work.
+func (m *Metrics) Observer() core.StatsObserver { return metricsObserver{m} }
+
+type metricsObserver struct{ m *Metrics }
+
+func (o metricsObserver) OnStageStart(stage string, total int64)     {}
+func (o metricsObserver) OnProgress(stage string, done, total int64) {}
+func (o metricsObserver) OnStageDone(stage string, _ time.Duration) {
+	_ = stage // recorded via OnStageStats, which always follows
+}
+func (o metricsObserver) OnEpoch(epoch, total int) { o.m.epochTicks.Inc() }
+func (o metricsObserver) OnStageStats(s core.StageStats) {
+	o.m.stageDuration.With(s.Stage).Observe(s.Elapsed.Seconds())
+	o.m.stageUnits.With(s.Stage).Add(float64(s.Done))
+	o.m.stageRuns.With(s.Stage).Inc()
+}
+
+// RecordMigrationStats absorbs one re-allocation's stats: churn counters,
+// the incremental engine's per-pass telemetry when present, and the
+// fallback counter.
+func (m *Metrics) RecordMigrationStats(stats dynamic.MigrationStats) {
+	m.migMoved.Add(float64(stats.PairsMoved))
+	m.migKept.Add(float64(stats.PairsKept))
+	if stats.Fallback {
+		m.fallbacks.Inc()
+	}
+	ep := stats.Epoch
+	epochRan := ep.Dropped != 0 || ep.Inserted != 0 || ep.Improved != 0 ||
+		ep.Kept != 0 || ep.TouchedTopics != 0 || ep.DirtySubs != 0
+	if !epochRan {
+		if stats.RegretFrac > 0 || stats.BaseRegretFrac > 0 {
+			m.incRegret.Set(stats.RegretFrac)
+			m.incBaseRegret.Set(stats.BaseRegretFrac)
+		}
+		return
+	}
+	m.incEpochs.Inc()
+	m.incPairs.With("dropped").Add(float64(ep.Dropped))
+	m.incPairs.With("evicted").Add(float64(ep.Evicted))
+	m.incPairs.With("inserted").Add(float64(ep.Inserted))
+	m.incPairs.With("improved").Add(float64(ep.Improved))
+	m.incPairs.With("drained").Add(float64(ep.DrainMoved))
+	m.incPairs.With("kept").Add(float64(ep.Kept))
+	m.incTouched.Add(float64(ep.TouchedTopics))
+	m.incDirty.Add(float64(ep.DirtySubs))
+	m.incBudget.Add(float64(ep.ImproveBudget))
+	m.incSpent.Add(float64(ep.BudgetSpent))
+	m.incReleased.Add(float64(ep.ReleasedVMs))
+	m.incRegret.Set(ep.Regret)
+	m.incBaseRegret.Set(ep.BaseRegret)
+}
+
+// RecordEpochReport absorbs one controller epoch: duration, scale
+// decisions, fleet gauges, the per-type instance mix, and the candidate's
+// migration stats (fallback and incremental telemetry included).
+func (m *Metrics) RecordEpochReport(ep elastic.EpochReport) {
+	m.ctlEpochs.Inc()
+	m.ctlDuration.Observe(ep.Duration.Seconds())
+	if ep.AcquiredVMs > 0 {
+		m.ctlDecisions.With("up").Inc()
+	}
+	if ep.ReleasedVMs > 0 {
+		m.ctlDecisions.With("down").Inc()
+	}
+	switch {
+	case ep.Forced:
+		m.ctlAdoptions.With("forced").Inc()
+	case ep.Adopted:
+		m.ctlAdoptions.With("adopted").Inc()
+	default:
+		m.ctlAdoptions.With("kept").Inc()
+	}
+	m.ctlMoved.Add(float64(ep.PairsMoved))
+	m.ctlActive.Set(float64(ep.ActiveVMs))
+	m.ctlBilled.Set(float64(ep.BilledVMs))
+	m.ctlUtil.Set(ep.Utilization)
+	m.vmsByType.Reset()
+	for name, n := range ep.ActiveMix {
+		m.vmsByType.With(name).Set(float64(n))
+	}
+	if ep.Epoch > 0 || ep.CandidateStats != (dynamic.MigrationStats{}) {
+		m.RecordMigrationStats(ep.CandidateStats)
+	}
+}
+
+// RecordAllocation refreshes the allocation/index gauges: fleet size, pair
+// and placement (ingress-stream) counts, mean topic spread, free capacity,
+// objective cost, and the hourly rental rate — all from the allocation's
+// memoized aggregates where available.
+func (m *Metrics) RecordAllocation(alloc *core.Allocation, model pricing.Model) {
+	if alloc == nil {
+		return
+	}
+	var pairs, placements, free int64
+	topics := make(map[int]struct{})
+	for _, vm := range alloc.VMs {
+		pairs += int64(vm.NumPairs())
+		placements += int64(len(vm.Placements))
+		free += vm.FreeBytesPerHour()
+		for _, p := range vm.Placements {
+			topics[int(p.Topic)] = struct{}{}
+		}
+	}
+	m.allocVMs.Set(float64(alloc.NumVMs()))
+	m.allocPairs.Set(float64(pairs))
+	m.allocPlacements.Set(float64(placements))
+	if len(topics) > 0 {
+		m.allocSpread.Set(float64(placements) / float64(len(topics)))
+	} else {
+		m.allocSpread.Set(0)
+	}
+	m.allocFree.Set(float64(free))
+	m.allocCost.Set(alloc.Cost(model).USD())
+	m.hourlyRate.Set(alloc.HourlyRentalRate(model).USD())
+}
+
+// RecordLedger mirrors the billing ledger's monotone totals and cost
+// gauges. Safe to call repeatedly — counters only move forward.
+func (m *Metrics) RecordLedger(l *elastic.BillingLedger) {
+	if l == nil {
+		return
+	}
+	m.billAcquired.Set(float64(l.AcquiredVMs()))
+	m.billReleased.Set(float64(l.ReleasedVMs()))
+	m.billHours.Set(float64(l.StartedHours()))
+	m.billTransfer.Set(float64(l.TransferBytes()))
+	m.billRental.Set(l.RentalCost().USD())
+	m.billXferCost.Set(l.TransferCost().USD())
+	m.billTotal.Set(l.TotalCost().USD())
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/dynamic"
+	"github.com/pubsub-systems/mcss/internal/elastic"
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/tracegen"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestMetricsPageGolden pins the full /metrics page byte-for-byte. Wall
+// clock never enters the inputs: stage stats arrive with scripted elapsed
+// times, the epoch report carries a fixed duration, and the allocation
+// gauges come from a deterministic solve (the solver is deterministic for
+// a fixed seed; its timings are not, which is why the observer here is
+// driven by hand rather than by a live solve).
+func TestMetricsPageGolden(t *testing.T) {
+	m := NewMetrics(nil)
+
+	obs := m.Observer()
+	obs.OnStageStart(core.StageSelect, 1000)
+	obs.OnProgress(core.StageSelect, 1000, 1000)
+	obs.OnStageStats(core.StageStats{Stage: core.StageSelect, Done: 1000, Total: 1000, Elapsed: 20 * time.Millisecond})
+	obs.OnStageStats(core.StageStats{Stage: core.StagePack, Done: 2500, Total: 2500, Elapsed: 150 * time.Millisecond})
+	obs.OnStageStats(core.StageStats{Stage: core.StageLowerBound, Done: 1000, Total: 1000, Elapsed: 3 * time.Millisecond})
+	obs.OnEpoch(0, 4)
+
+	m.RecordMigrationStats(dynamic.MigrationStats{
+		PairsMoved: 120, PairsKept: 2380, PairsImproved: 40,
+		RegretFrac: 0.013, BaseRegretFrac: 0.011,
+		Epoch: core.EpochOutcome{
+			Dropped: 80, Inserted: 60, Improved: 40, Kept: 2380,
+			Evicted: 5, DrainMoved: 12, TouchedTopics: 9, DirtySubs: 33,
+			ImproveBudget: 256, BudgetSpent: 52, ReleasedVMs: 1,
+			Regret: 0.013, BaseRegret: 0.011,
+		},
+	})
+	m.RecordMigrationStats(dynamic.MigrationStats{
+		PairsMoved: 2500, PairsKept: 0, Fallback: true,
+		RegretFrac: 0.011, BaseRegretFrac: 0.011,
+	})
+
+	m.RecordEpochReport(elastic.EpochReport{
+		Epoch: 3, Adopted: true, AcquiredVMs: 2,
+		ActiveVMs: 7, BilledVMs: 9, PairsMoved: 120,
+		Utilization: 0.81, Duration: 40 * time.Millisecond,
+		ActiveMix: map[string]int{"c3.large": 4, "m3.xlarge": 3},
+	})
+
+	w, err := tracegen.Random(tracegen.RandomConfig{
+		Topics: 40, Subscribers: 400, MaxFollowings: 4, MaxRate: 50, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := pricing.NewModel(pricing.C3Large)
+	model.CapacityOverrideBytesPerHour = 40 * 50 * 200
+	cfg := core.DefaultConfig(30, model)
+	res, err := core.SolveContext(context.Background(), w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RecordAllocation(res.Allocation, model)
+
+	ledger := elastic.NewLedger(model.PerGB)
+	it := pricing.C3Large
+	if err := ledger.Acquire(it, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ledger.Release(it, 1, 90); err != nil {
+		t.Fatal(err)
+	}
+	ledger.AddTransfer(5 << 30)
+	m.RecordLedger(ledger)
+
+	got := m.Registry.DumpPrometheus()
+	golden := filepath.Join("testdata", "metrics_page.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("metrics page deviates from %s (run with -update if intended):\n--- got ---\n%s", golden, got)
+	}
+}
+
+// TestMetricsObserverEndToEnd runs a real deterministic solve with the
+// metrics observer attached and asserts the key families are non-zero —
+// the live-wiring check that complements the golden page (timings are
+// real here, so only presence and counts are pinned).
+func TestMetricsObserverEndToEnd(t *testing.T) {
+	m := NewMetrics(nil)
+	w, err := tracegen.Random(tracegen.RandomConfig{
+		Topics: 40, Subscribers: 400, MaxFollowings: 4, MaxRate: 50, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := pricing.NewModel(pricing.C3Large)
+	model.CapacityOverrideBytesPerHour = 40 * 50 * 200
+	cfg := core.DefaultConfig(30, model)
+	cfg.Observer = m.Observer()
+	if _, err := core.SolveContext(context.Background(), w, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := m.Registry
+	if n := reg.CounterVec("mcss_solve_stage_runs_total", "", "stage").With(core.StageSelect).Value(); n < 1 {
+		t.Errorf("stage1 runs = %v, want ≥ 1", n)
+	}
+	if n := reg.CounterVec("mcss_solve_stage_units_total", "", "stage").With(core.StageSelect).Value(); n != 400 {
+		t.Errorf("stage1 units = %v, want 400 (one per subscriber)", n)
+	}
+	if c := reg.HistogramVec("mcss_solve_stage_duration_seconds", "", nil, "stage").With(core.StagePack).Count(); c < 1 {
+		t.Errorf("stage2 duration observations = %d, want ≥ 1", c)
+	}
+}
+
+// TestMetricsConcurrentEpochs hammers one Metrics from concurrent epochs —
+// observer callbacks, migration stats, epoch reports, allocation gauges —
+// while a renderer reads the page. Run under -race in CI.
+func TestMetricsConcurrentEpochs(t *testing.T) {
+	m := NewMetrics(nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			obs := m.Observer()
+			for i := 0; i < 200; i++ {
+				obs.OnStageStats(core.StageStats{Stage: core.StagePack, Done: 100, Total: 100, Elapsed: time.Millisecond})
+				m.RecordMigrationStats(dynamic.MigrationStats{
+					PairsMoved: 1, Epoch: core.EpochOutcome{Inserted: 1, ImproveBudget: 4, BudgetSpent: 2},
+				})
+				m.RecordEpochReport(elastic.EpochReport{
+					Epoch: i, Adopted: true, ActiveVMs: g,
+					ActiveMix: map[string]int{"c3.large": g},
+				})
+				if i%50 == 0 {
+					_ = m.Registry.DumpPrometheus()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := m.Registry.Counter("mcss_incremental_epochs_total", "").Value(); n != 8*200 {
+		t.Errorf("incremental epochs = %v, want 1600", n)
+	}
+}

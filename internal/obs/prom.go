@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Output is byte-deterministic for a given registry
+// state: families appear sorted by name, children sorted by label values,
+// and floats use the shortest round-trip formatting. Errors from the writer
+// are returned as-is so HTTP handlers can abort on a broken connection.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		f.writeProm(&b)
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeProm(b *strings.Builder) {
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	sort.Strings(keys)
+	children := make([]*metric, 0, len(keys))
+	for _, k := range keys {
+		children = append(children, f.children[k])
+	}
+	f.mu.Unlock()
+
+	if f.help != "" {
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.help))
+		b.WriteByte('\n')
+	}
+	b.WriteString("# TYPE ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(f.kind.String())
+	b.WriteByte('\n')
+
+	for _, m := range children {
+		switch f.kind {
+		case kindCounter, kindGauge:
+			b.WriteString(f.name)
+			writeLabels(b, f.labels, m.labelValues, "", 0)
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(math.Float64frombits(m.bits.Load())))
+			b.WriteByte('\n')
+		case kindHistogram:
+			m.hmu.Lock()
+			buckets := append([]uint64(nil), m.buckets...)
+			sum, count := m.hsum, m.hcount
+			m.hmu.Unlock()
+			cum := uint64(0)
+			for i, bound := range f.bounds {
+				cum += buckets[i]
+				b.WriteString(f.name)
+				b.WriteString("_bucket")
+				writeLabels(b, f.labels, m.labelValues, "le", bound)
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatUint(cum, 10))
+				b.WriteByte('\n')
+			}
+			b.WriteString(f.name)
+			b.WriteString("_bucket")
+			writeLabels(b, f.labels, m.labelValues, "le", math.Inf(1))
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(count, 10))
+			b.WriteByte('\n')
+			b.WriteString(f.name)
+			b.WriteString("_sum")
+			writeLabels(b, f.labels, m.labelValues, "", 0)
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(sum))
+			b.WriteByte('\n')
+			b.WriteString(f.name)
+			b.WriteString("_count")
+			writeLabels(b, f.labels, m.labelValues, "", 0)
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(count, 10))
+			b.WriteByte('\n')
+		}
+	}
+}
+
+// writeLabels emits `{k1="v1",k2="v2"}` (or nothing when there are no
+// labels). A non-empty extra key appends the histogram `le` bound last,
+// matching client_golang's ordering.
+func writeLabels(b *strings.Builder, names, values []string, extra string, bound float64) {
+	if len(names) == 0 && extra == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extra != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+		b.WriteString(`="`)
+		if math.IsInf(bound, 1) {
+			b.WriteString("+Inf")
+		} else {
+			b.WriteString(formatFloat(bound))
+		}
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation, integers without a trailing ".0".
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the text format: backslash, quote,
+// and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes help text: backslash and newline only (quotes are
+// legal in help).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// DumpPrometheus returns the full exposition page as a string — the
+// convenience used by tests and golden comparisons.
+func (r *Registry) DumpPrometheus() string {
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	return b.String()
+}

@@ -1,0 +1,377 @@
+// Package obs is the dependency-free observability substrate of the MCSS
+// stack: a concurrency-safe metrics registry (counters, gauges, fixed-bucket
+// histograms, and labeled families of each) with deterministic Prometheus
+// text-format exposition and an expvar-style JSON dump, plus Timer/Span
+// helpers for stage timings. Everything is hand-rolled on the standard
+// library — no client_golang — so the solver, the elastic controller, and
+// the allocatord daemon can expose /metrics without a single external
+// dependency.
+//
+// Naming follows the mcss_* convention documented in DESIGN.md §12:
+// counters end in _total, durations are histograms in seconds, money gauges
+// are decimal USD. Exposition output is byte-deterministic for a given
+// registry state (families sorted by name, children by label values), which
+// is what makes the golden-file tests possible.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// metricKind discriminates the exposition type of a family.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Registry holds metric families by name. The zero value is not usable;
+// build with NewRegistry. All methods are safe for concurrent use; the
+// family accessors are get-or-create, so hot paths may call
+// Counter/Gauge/Histogram every time without caching the handle (though
+// caching is cheaper).
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named metric family: a fixed kind, help text, label names,
+// and its children keyed by joined label values. Unlabeled families have a
+// single child under the empty key.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string
+	bounds []float64 // histogram upper bounds, ascending (+Inf implicit)
+
+	mu       sync.Mutex
+	children map[string]*metric
+	order    []string // insertion order; sorted at exposition
+}
+
+// metric is one concrete series: the label values it carries and its value
+// cells. Counters and gauges use bits (counter: monotone uint64 of a
+// float64; gauge: float64 bits); histograms use buckets/sum/count.
+type metric struct {
+	labelValues []string
+
+	bits atomic.Uint64 // counter/gauge value as math.Float64bits
+
+	// histogram state; buckets[i] counts observations ≤ family.bounds[i],
+	// cumulative at exposition time (stored non-cumulative here).
+	hmu     sync.Mutex
+	buckets []uint64
+	hsum    float64
+	hcount  uint64
+}
+
+// family returns the named family, creating it with the given shape on
+// first use. It panics when the name is reused with a different kind or
+// label arity — a programming error, like prometheus.MustRegister.
+func (r *Registry) family(name, help string, kind metricKind, labels []string, bounds []float64) *family {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		f = r.families[name]
+		if f == nil {
+			f = &family{
+				name: name, help: help, kind: kind,
+				labels:   append([]string(nil), labels...),
+				bounds:   append([]float64(nil), bounds...),
+				children: make(map[string]*metric),
+			}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind || len(f.labels) != len(labels) {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s/%d labels (was %s/%d)",
+			name, kind, len(labels), f.kind, len(f.labels)))
+	}
+	return f
+}
+
+// child returns the series for the given label values, creating it on
+// first use.
+func (f *family) child(labelValues ...string) *metric {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(labelValues)))
+	}
+	key := joinLabelValues(labelValues)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m := f.children[key]
+	if m == nil {
+		m = &metric{labelValues: append([]string(nil), labelValues...)}
+		if f.kind == kindHistogram {
+			m.buckets = make([]uint64, len(f.bounds))
+		}
+		f.children[key] = m
+		f.order = append(f.order, key)
+	}
+	return m
+}
+
+// joinLabelValues builds the child key. \xff cannot appear in valid UTF-8
+// label values, so the join is collision-free.
+func joinLabelValues(vs []string) string {
+	switch len(vs) {
+	case 0:
+		return ""
+	case 1:
+		return vs[0]
+	}
+	n := 0
+	for _, v := range vs {
+		n += len(v) + 1
+	}
+	b := make([]byte, 0, n)
+	for i, v := range vs {
+		if i > 0 {
+			b = append(b, '\xff')
+		}
+		b = append(b, v...)
+	}
+	return string(b)
+}
+
+// ── Counter ──
+
+// Counter is a monotone non-decreasing value. The zero value is not usable;
+// obtain one from Registry.Counter or CounterVec.With.
+type Counter struct{ m *metric }
+
+// Counter returns the named unlabeled counter, creating it on first use.
+func (r *Registry) Counter(name, help string) Counter {
+	return Counter{r.family(name, help, kindCounter, nil, nil).child()}
+}
+
+// Inc adds one.
+func (c Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by d; negative deltas are ignored (counters
+// never go down).
+func (c Counter) Add(d float64) {
+	if d < 0 || c.m == nil {
+		return
+	}
+	addFloat(&c.m.bits, d)
+}
+
+// Set forces the counter to v when v is larger than the current value —
+// the mirror operation for totals maintained elsewhere (a billing ledger's
+// started hours, a report's cumulative counters) that are exposed rather
+// than incremented here. Lower values are ignored to keep monotonicity.
+func (c Counter) Set(v float64) {
+	if c.m == nil {
+		return
+	}
+	for {
+		old := c.m.bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if c.m.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value reports the current count.
+func (c Counter) Value() float64 {
+	if c.m == nil {
+		return 0
+	}
+	return math.Float64frombits(c.m.bits.Load())
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// CounterVec returns the named labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) CounterVec {
+	return CounterVec{r.family(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the child counter for the given label values.
+func (v CounterVec) With(labelValues ...string) Counter {
+	return Counter{v.f.child(labelValues...)}
+}
+
+// ── Gauge ──
+
+// Gauge is a value that can go up and down. The zero value is not usable;
+// obtain one from Registry.Gauge or GaugeVec.With.
+type Gauge struct{ m *metric }
+
+// Gauge returns the named unlabeled gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) Gauge {
+	return Gauge{r.family(name, help, kindGauge, nil, nil).child()}
+}
+
+// Set stores v.
+func (g Gauge) Set(v float64) {
+	if g.m == nil {
+		return
+	}
+	g.m.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by d (negative allowed).
+func (g Gauge) Add(d float64) {
+	if g.m == nil {
+		return
+	}
+	addFloat(&g.m.bits, d)
+}
+
+// Value reports the current value.
+func (g Gauge) Value() float64 {
+	if g.m == nil {
+		return 0
+	}
+	return math.Float64frombits(g.m.bits.Load())
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns the named labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) GaugeVec {
+	return GaugeVec{r.family(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the child gauge for the given label values.
+func (v GaugeVec) With(labelValues ...string) Gauge {
+	return Gauge{v.f.child(labelValues...)}
+}
+
+// Reset zeroes every existing child of the family — how per-epoch
+// instance-mix gauges forget types that left the fleet without the family
+// accumulating stale series values.
+func (v GaugeVec) Reset() {
+	v.f.mu.Lock()
+	children := make([]*metric, 0, len(v.f.children))
+	for _, m := range v.f.children {
+		children = append(children, m)
+	}
+	v.f.mu.Unlock()
+	for _, m := range children {
+		m.bits.Store(0)
+	}
+}
+
+// ── Histogram ──
+
+// Histogram accumulates observations into fixed buckets. The zero value is
+// not usable; obtain one from Registry.Histogram or HistogramVec.With.
+type Histogram struct {
+	m      *metric
+	bounds []float64
+}
+
+// DefBuckets is the default duration bucket layout (seconds): micro-solves
+// to multi-minute full re-solves.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// Histogram returns the named unlabeled histogram, creating it on first
+// use with the given ascending bucket upper bounds (nil = DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	f := r.family(name, help, kindHistogram, nil, bounds)
+	return Histogram{f.child(), f.bounds}
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// HistogramVec returns the named labeled histogram family (nil bounds =
+// DefBuckets).
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) HistogramVec {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return HistogramVec{r.family(name, help, kindHistogram, labels, bounds)}
+}
+
+// With returns the child histogram for the given label values.
+func (v HistogramVec) With(labelValues ...string) Histogram {
+	return Histogram{v.f.child(labelValues...), v.f.bounds}
+}
+
+// Observe records one observation.
+func (h Histogram) Observe(v float64) {
+	if h.m == nil {
+		return
+	}
+	h.m.hmu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.m.buckets) {
+		h.m.buckets[i]++
+	}
+	h.m.hsum += v
+	h.m.hcount++
+	h.m.hmu.Unlock()
+}
+
+// Count reports the number of observations so far.
+func (h Histogram) Count() uint64 {
+	if h.m == nil {
+		return 0
+	}
+	h.m.hmu.Lock()
+	defer h.m.hmu.Unlock()
+	return h.m.hcount
+}
+
+// Sum reports the sum of all observations so far.
+func (h Histogram) Sum() float64 {
+	if h.m == nil {
+		return 0
+	}
+	h.m.hmu.Lock()
+	defer h.m.hmu.Unlock()
+	return h.m.hsum
+}
+
+// addFloat atomically adds d to a float64 stored as bits.
+func addFloat(bits *atomic.Uint64, d float64) {
+	for {
+		old := bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusGolden pins the full exposition page byte-for-byte for a
+// registry driven through every metric kind. Any encoder change must be a
+// deliberate golden update.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+
+	r.Counter("mcss_epochs_total", "Epochs processed.").Add(3)
+	r.CounterVec("mcss_scale_decisions_total", "Controller scale decisions.", "direction").
+		With("up").Add(2)
+	r.CounterVec("mcss_scale_decisions_total", "Controller scale decisions.", "direction").
+		With("down").Inc()
+
+	r.Gauge("mcss_hourly_rental_rate_usd", "Current fleet hourly rental rate.").Set(12.5)
+	g := r.GaugeVec("mcss_vms", "VMs held, by instance type.", "type")
+	g.With("m3.large").Set(7)
+	g.With("c3.xlarge").Set(2)
+
+	h := r.Histogram("mcss_solve_duration_seconds", "Full solve wall time.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.7)
+	h.Observe(99)
+
+	hv := r.HistogramVec("mcss_stage_duration_seconds", "Per-stage solve wall time.", []float64{1}, "stage")
+	hv.With("stage1").Observe(0.5)
+	hv.With("stage2").Observe(2)
+
+	// Label escaping path.
+	r.CounterVec("mcss_weird_total", "Escaping: \\ and \n in help.", "k").
+		With("a\"b\\c\nd").Inc()
+
+	const want = `# HELP mcss_epochs_total Epochs processed.
+# TYPE mcss_epochs_total counter
+mcss_epochs_total 3
+# HELP mcss_hourly_rental_rate_usd Current fleet hourly rental rate.
+# TYPE mcss_hourly_rental_rate_usd gauge
+mcss_hourly_rental_rate_usd 12.5
+# HELP mcss_scale_decisions_total Controller scale decisions.
+# TYPE mcss_scale_decisions_total counter
+mcss_scale_decisions_total{direction="down"} 1
+mcss_scale_decisions_total{direction="up"} 2
+# HELP mcss_solve_duration_seconds Full solve wall time.
+# TYPE mcss_solve_duration_seconds histogram
+mcss_solve_duration_seconds_bucket{le="0.1"} 1
+mcss_solve_duration_seconds_bucket{le="1"} 3
+mcss_solve_duration_seconds_bucket{le="10"} 3
+mcss_solve_duration_seconds_bucket{le="+Inf"} 4
+mcss_solve_duration_seconds_sum 100.25
+mcss_solve_duration_seconds_count 4
+# HELP mcss_stage_duration_seconds Per-stage solve wall time.
+# TYPE mcss_stage_duration_seconds histogram
+mcss_stage_duration_seconds_bucket{stage="stage1",le="1"} 1
+mcss_stage_duration_seconds_bucket{stage="stage1",le="+Inf"} 1
+mcss_stage_duration_seconds_sum{stage="stage1"} 0.5
+mcss_stage_duration_seconds_count{stage="stage1"} 1
+mcss_stage_duration_seconds_bucket{stage="stage2",le="1"} 0
+mcss_stage_duration_seconds_bucket{stage="stage2",le="+Inf"} 1
+mcss_stage_duration_seconds_sum{stage="stage2"} 2
+mcss_stage_duration_seconds_count{stage="stage2"} 1
+# HELP mcss_vms VMs held, by instance type.
+# TYPE mcss_vms gauge
+mcss_vms{type="c3.xlarge"} 2
+mcss_vms{type="m3.large"} 7
+# HELP mcss_weird_total Escaping: \\ and \n in help.
+# TYPE mcss_weird_total counter
+mcss_weird_total{k="a\"b\\c\nd"} 1
+`
+
+	got := r.DumpPrometheus()
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Determinism: a second render must be byte-identical.
+	if again := r.DumpPrometheus(); again != got {
+		t.Error("exposition is not deterministic across renders")
+	}
+}
+
+func TestCounterSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	c.Add(5)
+	c.Add(-3) // ignored
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %v, want 5", got)
+	}
+	c.Set(10)
+	c.Set(4) // ignored: lower
+	if got := c.Value(); got != 10 {
+		t.Fatalf("Value after Set = %v, want 10", got)
+	}
+	// Re-fetching the same family returns the same series.
+	if got := r.Counter("c_total", "").Value(); got != 10 {
+		t.Fatalf("re-fetched Value = %v, want 10", got)
+	}
+}
+
+func TestGaugeVecReset(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("g", "", "type")
+	v.With("a").Set(3)
+	v.With("b").Set(4)
+	v.Reset()
+	if a, b := v.With("a").Value(), v.With("b").Value(); a != 0 || b != 0 {
+		t.Fatalf("after Reset: a=%v b=%v, want 0 0", a, b)
+	}
+}
+
+func TestRegisterShapeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mcss_epochs_total", "").Add(2)
+	r.GaugeVec("mcss_vms", "", "type").With("m3.large").Set(7)
+	r.Histogram("mcss_d", "", []float64{1, 2}).Observe(1.5)
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if string(doc["mcss_epochs_total"]) != "2" {
+		t.Errorf("mcss_epochs_total = %s, want 2", doc["mcss_epochs_total"])
+	}
+	var vms map[string]float64
+	if err := json.Unmarshal(doc["mcss_vms"], &vms); err != nil || vms["m3.large"] != 7 {
+		t.Errorf("mcss_vms = %s (err %v), want m3.large:7", doc["mcss_vms"], err)
+	}
+	var hist struct {
+		Count   uint64            `json:"count"`
+		Sum     float64           `json:"sum"`
+		Buckets map[string]uint64 `json:"buckets"`
+	}
+	if err := json.Unmarshal(doc["mcss_d"], &hist); err != nil {
+		t.Fatalf("mcss_d: %v", err)
+	}
+	if hist.Count != 1 || hist.Sum != 1.5 || hist.Buckets["2"] != 1 || hist.Buckets["1"] != 0 {
+		t.Errorf("mcss_d = %+v, want count 1 sum 1.5 buckets{1:0,2:1}", hist)
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// the shape of concurrent epochs all reporting into shared families —
+// and checks totals. Run with -race in CI.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 1000
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stage := "stage1"
+			if w%2 == 1 {
+				stage = "stage2"
+			}
+			for i := 0; i < perWorker; i++ {
+				r.Counter("mcss_epochs_total", "").Inc()
+				r.CounterVec("mcss_pairs_total", "", "pass").With(stage).Add(2)
+				r.Gauge("mcss_rate", "").Set(float64(i))
+				r.HistogramVec("mcss_dur", "", nil, "stage").With(stage).Observe(0.01)
+				if i%100 == 0 {
+					_ = r.DumpPrometheus() // concurrent render while writing
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := r.Counter("mcss_epochs_total", "").Value(); got != workers*perWorker {
+		t.Errorf("mcss_epochs_total = %v, want %d", got, workers*perWorker)
+	}
+	sum := r.CounterVec("mcss_pairs_total", "", "pass").With("stage1").Value() +
+		r.CounterVec("mcss_pairs_total", "", "pass").With("stage2").Value()
+	if sum != workers*perWorker*2 {
+		t.Errorf("mcss_pairs_total sum = %v, want %d", sum, workers*perWorker*2)
+	}
+	count := r.HistogramVec("mcss_dur", "", nil, "stage").With("stage1").Count() +
+		r.HistogramVec("mcss_dur", "", nil, "stage").With("stage2").Count()
+	if count != workers*perWorker {
+		t.Errorf("mcss_dur count = %v, want %d", count, workers*perWorker)
+	}
+}
+
+func TestTimerAndSpan(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d", "", nil)
+	tm := StartTimer(h)
+	if d := tm.ObserveDuration(); d < 0 {
+		t.Fatalf("negative duration %v", d)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("histogram count = %d, want 1", h.Count())
+	}
+
+	vec := r.HistogramVec("stages", "", nil, "stage")
+	sp := Begin(vec)
+	sp.Checkpoint("a")
+	sp.Checkpoint("b")
+	if vec.With("a").Count() != 1 || vec.With("b").Count() != 1 {
+		t.Fatal("span checkpoints not recorded per stage")
+	}
+}

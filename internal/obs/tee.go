@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"time"
+
+	"github.com/pubsub-systems/mcss/internal/core"
+)
+
+// Tee fans every observer callback out to each non-nil observer — how a
+// cmd runs the human progress reporter and the metrics observer side by
+// side. OnStageStats reaches only the members that implement
+// core.StatsObserver. Nil members are dropped; an empty result returns
+// nil, which the solver treats as "no observer".
+func Tee(members ...core.Observer) core.StatsObserver {
+	kept := make([]core.Observer, 0, len(members))
+	for _, o := range members {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	return teeObserver(kept)
+}
+
+type teeObserver []core.Observer
+
+func (t teeObserver) OnStageStart(stage string, total int64) {
+	for _, o := range t {
+		o.OnStageStart(stage, total)
+	}
+}
+
+func (t teeObserver) OnProgress(stage string, done, total int64) {
+	for _, o := range t {
+		o.OnProgress(stage, done, total)
+	}
+}
+
+func (t teeObserver) OnStageDone(stage string, elapsed time.Duration) {
+	for _, o := range t {
+		o.OnStageDone(stage, elapsed)
+	}
+}
+
+func (t teeObserver) OnEpoch(epoch, total int) {
+	for _, o := range t {
+		o.OnEpoch(epoch, total)
+	}
+}
+
+func (t teeObserver) OnStageStats(s core.StageStats) {
+	for _, o := range t {
+		if so, ok := o.(core.StatsObserver); ok {
+			so.OnStageStats(s)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package obs
+
+import "time"
+
+// Timer measures one duration and records it into a histogram in seconds.
+// The usual shape is:
+//
+//	defer obs.StartTimer(h).ObserveDuration()
+//
+// Span is the multi-checkpoint variant for staged work.
+type Timer struct {
+	h     Histogram
+	start time.Time
+}
+
+// StartTimer begins timing against h.
+func StartTimer(h Histogram) *Timer {
+	return &Timer{h: h, start: time.Now()}
+}
+
+// ObserveDuration records the elapsed time since StartTimer and returns it.
+func (t *Timer) ObserveDuration() time.Duration {
+	d := time.Since(t.start)
+	t.h.Observe(d.Seconds())
+	return d
+}
+
+// Span tracks a named unit of staged work: each Checkpoint records the
+// time since the previous checkpoint (or since Begin) into the labeled
+// histogram family under the given stage label, so consecutive stages of
+// one operation share a single clock with no gaps or overlaps.
+type Span struct {
+	vec  HistogramVec
+	last time.Time
+}
+
+// Begin opens a span over the labeled histogram family.
+func Begin(vec HistogramVec) *Span {
+	return &Span{vec: vec, last: time.Now()}
+}
+
+// Checkpoint records the elapsed time since the last checkpoint under the
+// stage label and resets the clock. Returns the recorded duration.
+func (s *Span) Checkpoint(stage string) time.Duration {
+	now := time.Now()
+	d := now.Sub(s.last)
+	s.last = now
+	s.vec.With(stage).Observe(d.Seconds())
+	return d
+}
