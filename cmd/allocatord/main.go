@@ -42,6 +42,7 @@ import (
 	"github.com/pubsub-systems/mcss/internal/obs"
 	"github.com/pubsub-systems/mcss/internal/obs/slogx"
 	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/spot"
 	"github.com/pubsub-systems/mcss/internal/timeline"
 	"github.com/pubsub-systems/mcss/internal/tracegen"
 	"github.com/pubsub-systems/mcss/internal/traceio"
@@ -71,6 +72,10 @@ type options struct {
 	maxRegret     float64
 	once          bool
 	metricsDump   string
+
+	spot       bool
+	spotMarket string
+	chaosSeed  int64
 }
 
 func run(args []string, stderr io.Writer) error {
@@ -90,6 +95,9 @@ func run(args []string, stderr io.Writer) error {
 	fs.BoolVar(&o.incremental, "incremental", false, "use the incremental re-solve path for per-epoch candidates")
 	fs.Float64Var(&o.maxRegret, "max-regret", 0, "regret bound triggering full-solve fallback (0 = incremental default)")
 	fs.BoolVar(&o.once, "once", false, "exit after the timeline replay completes instead of serving until signalled")
+	fs.BoolVar(&o.spot, "spot", false, "timeline replay on a spot market: price schedule, chaos reclamations, group repair")
+	fs.StringVar(&o.spotMarket, "spot-market", "", "spot market file for -spot (empty = generate one matched to the timeline)")
+	fs.Int64Var(&o.chaosSeed, "chaos-seed", 1, "reclamation draw seed for -spot")
 	fs.StringVar(&o.metricsDump, "metrics-dump", "", "write the final metrics registry as JSON to this file on exit")
 	logLevel := slogx.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -214,12 +222,48 @@ func (d *daemon) runTimeline(ctx context.Context, o options) error {
 	policy.Incremental = o.incremental
 	policy.IncrementalMaxRegret = o.maxRegret
 
-	wk, err := elastic.NewController(cfg, policy).Start(ctx, tl)
+	var sched *spot.Schedule
+	var chaos *spot.Chaos
+	if o.spot {
+		var market *spot.Market
+		if o.spotMarket != "" {
+			market, err = traceio.LoadSpotMarket(o.spotMarket)
+		} else {
+			// A market matched to the timeline, using the experiment's
+			// generator settings so a replay exercises the same market
+			// family `experiments -fig spot` reports on.
+			market, err = spot.GenerateMarket(cfg.Fleet,
+				experiments.SpotMarketConfig(tl.NumEpochs(), tl.EpochMinutes))
+		}
+		if err != nil {
+			return err
+		}
+		strat, ok := core.StrategyByName(spot.StrategyName)
+		if !ok {
+			return fmt.Errorf("spot strategy %q not registered", spot.StrategyName)
+		}
+		cfg.Stage2Strategy = strat
+		if sched, err = spot.NewSchedule(market, cfg.Fleet, spot.ScheduleConfig{}); err != nil {
+			return err
+		}
+		if chaos, err = spot.NewChaos(market, o.chaosSeed); err != nil {
+			return err
+		}
+	}
+
+	ctl := elastic.NewController(cfg, policy)
+	if o.spot {
+		ctl.SetFleetSchedule(sched)
+		ctl.SetChaos(chaos, 5)
+	}
+	wk, err := ctl.Start(ctx, tl)
 	if err != nil {
 		return err
 	}
 	d.log.Info("timeline replay starting", "epochs", tl.NumEpochs(),
-		"epoch_minutes", tl.EpochMinutes, "incremental", o.incremental)
+		"epoch_minutes", tl.EpochMinutes, "incremental", o.incremental, "spot", o.spot)
+	var reclaimed, groups int
+	var lost int64
 	for !wk.Done() {
 		ep, err := wk.Step(ctx)
 		if err != nil {
@@ -228,10 +272,22 @@ func (d *daemon) runTimeline(ctx context.Context, o options) error {
 		d.m.RecordEpochReport(ep)
 		d.m.RecordLedger(wk.Ledger())
 		d.setState(deploy.NewState(wk.Workload(), wk.Allocation()), model, ep.Epoch+1, tl.NumEpochs())
-		d.log.Info("epoch", "n", ep.Epoch, "adopted", ep.Adopted, "forced", ep.Forced,
-			"active_vms", ep.ActiveVMs, "billed_vms", ep.BilledVMs,
-			"moved", ep.PairsMoved, "fallback", ep.CandidateStats.Fallback,
-			"elapsed", ep.Duration.Round(time.Millisecond))
+		if o.spot {
+			reclaimed += ep.ReclaimedVMs
+			groups += ep.ReclaimGroups
+			lost += ep.LostPairMinutes
+			d.log.Info("epoch", "n", ep.Epoch, "adopted", ep.Adopted, "forced", ep.Forced,
+				"active_vms", ep.ActiveVMs, "billed_vms", ep.BilledVMs,
+				"moved", ep.PairsMoved, "repriced", ep.Repriced,
+				"reclaimed", ep.ReclaimedVMs, "repaired_pairs", ep.RepairedPairs,
+				"lost_pair_min", ep.LostPairMinutes,
+				"elapsed", ep.Duration.Round(time.Millisecond))
+		} else {
+			d.log.Info("epoch", "n", ep.Epoch, "adopted", ep.Adopted, "forced", ep.Forced,
+				"active_vms", ep.ActiveVMs, "billed_vms", ep.BilledVMs,
+				"moved", ep.PairsMoved, "fallback", ep.CandidateStats.Fallback,
+				"elapsed", ep.Duration.Round(time.Millisecond))
+		}
 		if o.epochInterval > 0 && !wk.Done() {
 			select {
 			case <-ctx.Done():
@@ -245,9 +301,16 @@ func (d *daemon) runTimeline(ctx context.Context, o options) error {
 		return err
 	}
 	d.m.RecordLedger(rep.Ledger)
-	d.log.Info("timeline complete", "epochs", tl.NumEpochs(),
-		"total_cost", rep.TotalCost().String(), "started_hours", rep.Ledger.StartedHours(),
-		"pairs_moved", rep.TotalMoved())
+	if o.spot {
+		d.log.Info("timeline complete", "epochs", tl.NumEpochs(),
+			"total_cost", rep.TotalCost().String(), "started_hours", rep.Ledger.StartedHours(),
+			"pairs_moved", rep.TotalMoved(), "reclaimed_vms", reclaimed,
+			"reclaim_groups", groups, "lost_pair_minutes", lost)
+	} else {
+		d.log.Info("timeline complete", "epochs", tl.NumEpochs(),
+			"total_cost", rep.TotalCost().String(), "started_hours", rep.Ledger.StartedHours(),
+			"pairs_moved", rep.TotalMoved())
+	}
 	return nil
 }
 

@@ -60,6 +60,10 @@ func run(args []string) error {
 		epochMinutes = fs.Int64("epoch-minutes", 60, "diurnal epoch duration")
 		satisfyFrac  = fs.Float64("satisfy-frac", 0.5, "fraction of τ_v·hours each subscriber must receive in replay")
 
+		spotChaos  = fs.Bool("spot", false, "timeline mode: chaos replay on a spot market (price schedule, reclamation storms, group repair) vs all-on-demand")
+		spotMarket = fs.String("spot-market", "", "spot market file for -spot (empty = generate one matched to the timeline)")
+		chaosSeed  = fs.Int64("chaos-seed", 1, "reclamation draw seed for -spot")
+
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 		progress = fs.Bool("progress", false, "stream per-stage solver progress to stderr")
 
@@ -94,6 +98,7 @@ func run(args []string) error {
 			path: *timelinePath, dataset: *dataset, scale: *scale,
 			tau: *tau, epochs: *epochs, epochMinutes: *epochMinutes,
 			maxEvents: *maxEvents, satisfyFrac: *satisfyFrac,
+			spot: *spotChaos, spotMarket: *spotMarket, chaosSeed: *chaosSeed,
 			metrics: m,
 		})
 		if derr := dumpMetrics(m, *metricsDump); derr != nil && err == nil {
@@ -208,6 +213,9 @@ type timelineArgs struct {
 	epochMinutes  int64
 	maxEvents     int64
 	satisfyFrac   float64
+	spot          bool
+	spotMarket    string
+	chaosSeed     int64
 	metrics       *obs.Metrics
 }
 
@@ -257,9 +265,37 @@ func runTimeline(ctx context.Context, a timelineArgs) error {
 	}
 	cfg := p.Config()
 
-	rep, err := p.RunTimeline(ctx, tl, mcss.DefaultElasticPolicy())
-	if err != nil {
-		return err
+	var rep, baseline *mcss.ElasticRunReport
+	if a.spot {
+		var market *mcss.SpotMarket
+		if a.spotMarket != "" {
+			market, err = mcss.LoadSpotMarket(a.spotMarket)
+		} else {
+			// A market matched to the timeline, using the experiment's
+			// generator settings so replay exercises the same market family
+			// `experiments -fig spot` reports on.
+			market, err = mcss.GenerateSpotMarket(experiments.FleetFor(env),
+				experiments.SpotMarketConfig(tl.NumEpochs(), tl.EpochMinutes))
+		}
+		if err != nil {
+			return err
+		}
+		rep, err = p.RunTimelineSpot(ctx, tl, mcss.DefaultElasticPolicy(), market,
+			mcss.SpotRunConfig{ChaosSeed: a.chaosSeed})
+		if err != nil {
+			return err
+		}
+		// The all-on-demand run over the same timeline — the bill the spot
+		// portfolio's realized savings are measured against.
+		baseline, err = p.RunTimeline(ctx, tl, mcss.DefaultElasticPolicy())
+		if err != nil {
+			return err
+		}
+	} else {
+		rep, err = p.RunTimeline(ctx, tl, mcss.DefaultElasticPolicy())
+		if err != nil {
+			return err
+		}
 	}
 	if a.metrics != nil {
 		for _, ep := range rep.Epochs {
@@ -291,11 +327,37 @@ func runTimeline(ctx context.Context, a timelineArgs) error {
 			unsatisfied++
 		}
 		ep := rep.Epochs[e]
-		fmt.Printf("epoch %2d: %d active / %d billed VMs, %7d moved, %6d added, %9d deliveries, mean ratio %.3f [%s]\n",
-			e, ep.ActiveVMs, ep.BilledVMs, ep.PairsMoved, ep.AddedPairs, sim.Deliveries, m.MeanRatio, status)
+		if a.spot {
+			fmt.Printf("epoch %2d: %d active / %d billed VMs, %7d moved, %4d reclaimed, %7d repaired, %8d lost pair-min, %9d deliveries, mean ratio %.3f [%s]\n",
+				e, ep.ActiveVMs, ep.BilledVMs, ep.PairsMoved, ep.ReclaimedVMs,
+				ep.RepairedPairs, ep.LostPairMinutes, sim.Deliveries, m.MeanRatio, status)
+		} else {
+			fmt.Printf("epoch %2d: %d active / %d billed VMs, %7d moved, %6d added, %9d deliveries, mean ratio %.3f [%s]\n",
+				e, ep.ActiveVMs, ep.BilledVMs, ep.PairsMoved, ep.AddedPairs, sim.Deliveries, m.MeanRatio, status)
+		}
 	}
 	fmt.Printf("bill: total %v (rental %v + transfer %v), %d started VM-hours, %d pairs moved\n",
 		rep.TotalCost(), rep.RentalCost(), rep.TransferCost(), rep.Ledger.StartedHours(), rep.TotalMoved())
+	if a.spot && baseline != nil {
+		var reclaimed, groups int
+		var lost int64
+		for _, ep := range rep.Epochs {
+			reclaimed += ep.ReclaimedVMs
+			groups += ep.ReclaimGroups
+			lost += ep.LostPairMinutes
+		}
+		savings := 0.0
+		if baseline.TotalCost() != 0 {
+			savings = 1 - float64(rep.TotalCost())/float64(baseline.TotalCost())
+		}
+		if a.metrics != nil {
+			a.metrics.SetSpotSavings(savings)
+		}
+		fmt.Printf("chaos: %d VMs reclaimed in %d groups, %d pair-minutes lost to repair lag\n",
+			reclaimed, groups, lost)
+		fmt.Printf("spot portfolio bill %v vs all-on-demand %v — realized savings %.1f%%\n",
+			rep.TotalCost(), baseline.TotalCost(), savings*100)
+	}
 	if unsatisfied > 0 {
 		return fmt.Errorf("%d of %d epochs fell short of satisfaction in replay", unsatisfied, tl.NumEpochs())
 	}

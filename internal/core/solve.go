@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"slices"
 	"time"
 
 	"github.com/pubsub-systems/mcss/internal/workload"
@@ -154,6 +155,95 @@ func VerifyAllocation(w *workload.Workload, sel *Selection, alloc *Allocation, c
 		return fmt.Errorf("%d placed pairs were never selected", len(placedPairs))
 	}
 
+	for v := 0; v < w.NumSubscribers(); v++ {
+		tauV := w.TauV(workload.SubID(v), cfg.Tau)
+		if delivered[v] < tauV {
+			return fmt.Errorf("subscriber %d delivered %d events/h, needs %d", v, delivered[v], tauV)
+		}
+	}
+	return nil
+}
+
+// VerifyServes checks that an allocation serves the workload without
+// requiring it to match a particular Stage-1 selection: satisfaction
+// (every subscriber's distinct placed pairs deliver ≥ τ_v), per-VM
+// capacity against the allocation's own fleet, bandwidth accounting, a
+// topic at most once per VM, and every placed pair referencing a real
+// subscription. It is the oracle for allocations that legitimately drift
+// from their originating selection — kept/topped-up epochs, crash repairs,
+// and chaos-mode replay — where VerifyAllocation's exact pair-set equality
+// would reject a correct placement.
+func VerifyServes(w *workload.Workload, alloc *Allocation, cfg Config) error {
+	// The verifier's own fleet wins the capacity lookup: an allocation's
+	// recorded fleet (and per-VM capacities) may be headroom-derated by the
+	// packing config, while the caller's cfg.Fleet carries the true bounds.
+	explicit := cfg.Fleet
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return err
+	}
+	fleet := explicit
+	if fleet.IsZero() {
+		fleet = cfg.Model.FleetOr(alloc.Fleet)
+	}
+
+	delivered := make([]int64, w.NumSubscribers())
+	type pairKey struct {
+		t workload.TopicID
+		v workload.SubID
+	}
+	seenPairs := make(map[pairKey]bool)
+	for _, vm := range alloc.VMs {
+		var out, in int64
+		seenTopics := make(map[workload.TopicID]bool, len(vm.Placements))
+		for _, p := range vm.Placements {
+			if seenTopics[p.Topic] {
+				return fmt.Errorf("vm %d: topic %d appears in multiple placements", vm.ID, p.Topic)
+			}
+			seenTopics[p.Topic] = true
+			if int(p.Topic) < 0 || int(p.Topic) >= w.NumTopics() {
+				return fmt.Errorf("vm %d: topic %d outside the workload", vm.ID, p.Topic)
+			}
+			rb := w.Rate(p.Topic) * cfg.MessageBytes
+			in += rb
+			out += rb * int64(len(p.Subs))
+			for _, v := range p.Subs {
+				if int(v) < 0 || int(v) >= w.NumSubscribers() {
+					return fmt.Errorf("vm %d: subscriber %d outside the workload", vm.ID, v)
+				}
+				if _, ok := slices.BinarySearch(w.Topics(v), p.Topic); !ok {
+					return fmt.Errorf("vm %d: pair (t=%d,v=%d) is not a subscription", vm.ID, p.Topic, v)
+				}
+				k := pairKey{p.Topic, v}
+				if !seenPairs[k] {
+					delivered[v] += w.Rate(p.Topic)
+					seenPairs[k] = true
+				}
+			}
+		}
+		if out != vm.OutBytesPerHour || in != vm.InBytesPerHour {
+			return fmt.Errorf("vm %d: accounted bw (out=%d,in=%d) != recomputed (out=%d,in=%d)",
+				vm.ID, vm.OutBytesPerHour, vm.InBytesPerHour, out, in)
+		}
+		// True capacity resolves fleet-first: recorded per-VM capacities may
+		// be headroom-derated by the packing config, while the verifier's
+		// fleet carries the un-derated bound (the same order the elastic
+		// controller validates kept allocations in).
+		var cap int64
+		if i := fleet.IndexByName(vm.Instance.Name); i >= 0 {
+			cap = fleet.Capacity(i)
+		}
+		if cap == 0 {
+			cap = vm.CapacityBytesPerHour
+		}
+		if cap == 0 {
+			cap = cfg.Model.CapacityBytesPerHour()
+		}
+		if !cfg.LenientFirstFit && vm.BytesPerHour() > cap {
+			return fmt.Errorf("vm %d (%s): bandwidth %d exceeds capacity %d",
+				vm.ID, vm.Instance.Name, vm.BytesPerHour(), cap)
+		}
+	}
 	for v := 0; v < w.NumSubscribers(); v++ {
 		tauV := w.TauV(workload.SubID(v), cfg.Tau)
 		if delivered[v] < tauV {

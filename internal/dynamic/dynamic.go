@@ -322,38 +322,81 @@ func (p *Provisioner) RepairCrash(vmID int) (RepairStats, error) {
 // the repair builds a private copy of the surviving fleet and installs it
 // only once every pair is re-homed.
 func (p *Provisioner) RepairCrashContext(ctx context.Context, vmID int) (RepairStats, error) {
+	return p.RepairCrashGroupContext(ctx, []int{vmID})
+}
+
+// RepairCrashGroup is RepairCrashGroupContext under context.Background().
+func (p *Provisioner) RepairCrashGroup(vmIDs []int) (RepairStats, error) {
+	return p.RepairCrashGroupContext(context.Background(), vmIDs)
+}
+
+// RepairCrashGroupContext repairs a correlated failure: every listed VM is
+// removed first, then the union of their placements is re-homed onto the
+// remaining survivors or fresh like-for-like VMs. Removing the whole group
+// before re-homing is what makes correlated failures safe — when an
+// availability zone takes out every replica of a topic at once, none of
+// the failed copies can masquerade as a survivor, so the repair re-places
+// all of them instead of silently dropping pairs. Duplicate IDs are
+// rejected; an unknown ID fails the whole repair with ErrUnknownVM and the
+// allocation stays untouched, as on any mid-repair failure.
+func (p *Provisioner) RepairCrashGroupContext(ctx context.Context, vmIDs []int) (RepairStats, error) {
 	if err := ctx.Err(); err != nil {
 		return RepairStats{}, err
 	}
+	if len(vmIDs) == 0 {
+		return RepairStats{VMsAfter: p.res.Allocation.NumVMs()}, nil
+	}
 	alloc := p.res.Allocation
-	idx := -1
-	for i, vm := range alloc.VMs {
-		if vm.ID == vmID {
-			idx = i
-			break
+	failedSet := make(map[int]bool, len(vmIDs))
+	for _, id := range vmIDs {
+		if failedSet[id] {
+			return RepairStats{}, fmt.Errorf("%w: VM %d listed twice in failure group", ErrBadDelta, id)
 		}
+		failedSet[id] = true
 	}
-	if idx < 0 {
-		return RepairStats{}, fmt.Errorf("%w: %d", ErrUnknownVM, vmID)
-	}
-	failed := alloc.VMs[idx]
-	// Deep-copy the survivors: re-homing mutates placements, and a repair
-	// abandoned mid-way (cancellation, infeasibility) must not leave the
-	// current allocation half-rewritten.
-	survivors := make([]*core.VM, 0, len(alloc.VMs)-1)
-	for i, vm := range alloc.VMs {
-		if i == idx {
+	var failed []*core.VM
+	survivors := make([]*core.VM, 0, len(alloc.VMs)-len(vmIDs))
+	for _, vm := range alloc.VMs {
+		if failedSet[vm.ID] {
+			failed = append(failed, vm)
 			continue
 		}
+		// Deep-copy the survivors: re-homing mutates placements, and a
+		// repair abandoned mid-way (cancellation, infeasibility) must not
+		// leave the current allocation half-rewritten.
 		survivors = append(survivors, cloneVM(vm))
+	}
+	if len(failed) != len(vmIDs) {
+		for _, id := range vmIDs {
+			found := false
+			for _, vm := range failed {
+				if vm.ID == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return RepairStats{}, fmt.Errorf("%w: %d", ErrUnknownVM, id)
+			}
+		}
 	}
 
 	msg := alloc.MessageBytes
 	stats := RepairStats{}
 
-	// Re-home groups, biggest volume first (the CBP heuristic).
-	groups := make([]core.TopicPlacement, len(failed.Placements))
-	copy(groups, failed.Placements)
+	// Re-home the union of the group's placements, biggest volume first
+	// (the CBP heuristic). Each orphan remembers its origin VM so a
+	// replacement deploy stays like-for-like per failed broker.
+	type orphan struct {
+		core.TopicPlacement
+		origin *core.VM
+	}
+	var groups []orphan
+	for _, f := range failed {
+		for _, g := range f.Placements {
+			groups = append(groups, orphan{TopicPlacement: g, origin: f})
+		}
+	}
 	sort.SliceStable(groups, func(i, j int) bool {
 		wi := p.w.Rate(groups[i].Topic) * int64(len(groups[i].Subs))
 		wj := p.w.Rate(groups[j].Topic) * int64(len(groups[j].Subs))
@@ -376,8 +419,8 @@ func (p *Provisioner) RepairCrashContext(ctx context.Context, vmID int) (RepairS
 				// Replace capacity like-for-like: the crash repair
 				// deploys the failed broker's own instance type.
 				vm = &core.VM{
-					Instance:             failed.Instance,
-					CapacityBytesPerHour: failed.CapacityBytesPerHour,
+					Instance:             g.origin.Instance,
+					CapacityBytesPerHour: g.origin.CapacityBytesPerHour,
 				}
 				newVMs = append(newVMs, vm)
 				stats.NewVMs++
@@ -415,7 +458,22 @@ func (p *Provisioner) RepairCrashContext(ctx context.Context, vmID int) (RepairS
 		Stage1Time: p.res.Stage1Time,
 		Stage2Time: p.res.Stage2Time,
 	}
+	// The repaired allocation no longer matches the incremental index's
+	// mirror (ensureIndex would notice on its own); drop the index eagerly
+	// so its memory goes with the old allocation.
+	p.inc = nil
 	return stats, nil
+}
+
+// SetFleet repoints the provisioner's solve configuration at a new fleet —
+// the price-epoch hook: when spot prices move, the elastic controller
+// swaps in the repriced decision fleet so every subsequent preview and
+// solve packs against current rates. The incremental index is dropped
+// (its maintained cost bounds were computed under the old rates); the
+// current allocation is left as adopted.
+func (p *Provisioner) SetFleet(f pricing.Fleet) {
+	p.cfg.Fleet = f
+	p.inc = nil
 }
 
 // cloneVM deep-copies a VM (placements included) so repairs can mutate a

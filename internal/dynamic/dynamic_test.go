@@ -533,3 +533,102 @@ func TestMigrationBetweenExported(t *testing.T) {
 		t.Errorf("diff to empty moved %d, want every pair (%d)", gone.PairsMoved, same.PairsKept)
 	}
 }
+
+// TestRepairCrashGroupCorrelated kills every VM hosting some replicated
+// topic in one correlated group — the AZ-storm shape — and checks that the
+// repair re-places all of the topic's pairs instead of silently dropping
+// them (none of the failed copies may masquerade as a survivor).
+func TestRepairCrashGroupCorrelated(t *testing.T) {
+	w := sampleWorkload(t, 10)
+	cfg := testConfig(30, 300) // tight capacity → topics split across VMs
+	p, err := New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := p.Allocation()
+	if alloc.NumVMs() < 3 {
+		t.Skipf("need ≥3 VMs, got %d", alloc.NumVMs())
+	}
+	// Find a topic spread over the most VMs; its host set is the group.
+	hosts := make(map[workload.TopicID][]int)
+	for _, vm := range alloc.VMs {
+		for _, g := range vm.Placements {
+			hosts[g.Topic] = append(hosts[g.Topic], vm.ID)
+		}
+	}
+	var victimTopic workload.TopicID
+	var group []int
+	for tid, ids := range hosts {
+		if len(ids) > len(group) {
+			victimTopic, group = tid, ids
+		}
+	}
+	if len(group) < 2 {
+		// Fall back to the first two VMs: still a correlated multi-VM loss.
+		group = []int{alloc.VMs[0].ID, alloc.VMs[1].ID}
+	}
+	var lostPairs int64
+	byID := make(map[int]*core.VM)
+	for _, vm := range alloc.VMs {
+		byID[vm.ID] = vm
+	}
+	for _, id := range group {
+		lostPairs += int64(byID[id].NumPairs())
+	}
+
+	stats, err := p.RepairCrashGroup(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PairsRehomed != lostPairs {
+		t.Errorf("PairsRehomed = %d, want %d (every pair of the group)", stats.PairsRehomed, lostPairs)
+	}
+	// Every selected pair — including all of the victim topic's replicas —
+	// is served again, within capacity.
+	if err := core.VerifyAllocation(p.Workload(), p.Selection(), p.Allocation(), cfg); err != nil {
+		t.Errorf("VerifyAllocation after group repair: %v", err)
+	}
+	served := 0
+	for _, vm := range p.Allocation().VMs {
+		for _, g := range vm.Placements {
+			if g.Topic == victimTopic {
+				served += len(g.Subs)
+			}
+		}
+	}
+	if want := len(p.Selection().SelectedSubscribers(victimTopic)); served != want {
+		t.Errorf("victim topic serves %d subscribers after repair, want %d", served, want)
+	}
+	for i, vm := range p.Allocation().VMs {
+		if vm.ID != i {
+			t.Errorf("vm at index %d has ID %d — not re-densified", i, vm.ID)
+		}
+	}
+}
+
+func TestRepairCrashGroupRejectsBadGroups(t *testing.T) {
+	w := sampleWorkload(t, 11)
+	cfg := testConfig(30, 500)
+	p, err := New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.Allocation().NumVMs()
+	if _, err := p.RepairCrashGroup([]int{0, 0}); !errors.Is(err, ErrBadDelta) {
+		t.Errorf("duplicate IDs: err = %v, want ErrBadDelta", err)
+	}
+	if _, err := p.RepairCrashGroup([]int{0, 4242}); !errors.Is(err, ErrUnknownVM) {
+		t.Errorf("unknown ID: err = %v, want ErrUnknownVM", err)
+	}
+	if got := p.Allocation().NumVMs(); got != before {
+		t.Errorf("failed repair mutated the allocation: %d → %d VMs", before, got)
+	}
+	// Empty group is a no-op reporting current state.
+	stats, err := p.RepairCrashGroup(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.VMsAfter != before || stats.PairsRehomed != 0 {
+		t.Errorf("empty group: stats = %+v", stats)
+	}
+}

@@ -86,6 +86,29 @@ func DefaultPolicy() Policy {
 // fresh solve and right-size the fleet immediately.
 func OraclePolicy() Policy { return Policy{} }
 
+// FleetSchedule supplies per-epoch fleets to a controller walk — the hook
+// a spot market plugs in (spot.Schedule implements it). FleetAt returns
+// the decision fleet the epoch's solves pack against (risk-adjusted spot
+// rates) and the billing fleet whose rates the ledger charges at acquire
+// time (raw epoch spot prices). A schedule that returns an unchanged
+// decision fleet (compare with the previous epoch's) costs nothing; a
+// changed one is a price epoch — the walk swaps the provisioner's fleet,
+// reprices the held allocation, and lets the normal keep-vs-adopt policy
+// decide whether the price delta alone justifies a migration plan.
+type FleetSchedule interface {
+	FleetAt(epoch int) (decision, billing pricing.Fleet, err error)
+}
+
+// ChaosInjector decides which VMs the provider reclaims each epoch —
+// implemented by spot.Chaos. FailureGroups is drawn against the
+// allocation adopted for the epoch and returns VM IDs grouped by
+// correlated failure domain (availability zone); the walk repairs the
+// union atomically through the provisioner's group crash repair and bills
+// the reclamations and replacements through the ledger.
+type ChaosInjector interface {
+	FailureGroups(epoch int, alloc *core.Allocation) [][]int
+}
+
 // EpochReport records one epoch's control decision and its accounting.
 type EpochReport struct {
 	// Epoch index and start, echoing the timeline.
@@ -129,6 +152,24 @@ type EpochReport struct {
 	// produces, so a controller run can be audited or replayed step by
 	// step (persist one with traceio.SavePlan).
 	Plan *deploy.Plan
+
+	// Spot-market fields, zero without a FleetSchedule/ChaosInjector.
+	//
+	// Repriced reports that the schedule's decision fleet changed this
+	// epoch (a price epoch): the provisioner was repointed at the new
+	// rates before the epoch's preview, so a price delta alone can force
+	// a re-solve/migration even when the workload is unchanged.
+	Repriced bool
+	// ReclaimGroups counts the epoch's correlated failure groups and
+	// ReclaimedVMs the spot VMs taken across them; RepairedPairs were
+	// re-homed and RepairNewVMs deployed by the group repair.
+	ReclaimGroups, ReclaimedVMs int
+	RepairedPairs               int64
+	RepairNewVMs                int
+	// LostPairMinutes models the delivery gap: each pair on a reclaimed
+	// VM loses the controller's repair lag (delivery minutes, summed over
+	// pairs) before its replacement serves it.
+	LostPairMinutes int64
 }
 
 // RunReport is a full controller run: per-epoch decisions, the per-epoch
@@ -180,6 +221,29 @@ type Controller struct {
 	// BenchmarkDiurnalControllerDirect and EXPERIMENTS.md); production
 	// paths always go through plans.
 	directAdopt bool
+
+	// schedule, when set, reprices the fleet per epoch (spot markets);
+	// chaos, when set, injects reclamations after each epoch's adoption.
+	schedule FleetSchedule
+	chaos    ChaosInjector
+	// repairLagMinutes is the modeled delivery gap per reclaimed pair
+	// (see EpochReport.LostPairMinutes); SetChaos defaults it to 5.
+	repairLagMinutes int64
+}
+
+// SetFleetSchedule attaches a per-epoch fleet schedule (price timeline).
+// Call before Start/Run.
+func (c *Controller) SetFleetSchedule(s FleetSchedule) { c.schedule = s }
+
+// SetChaos attaches a reclamation injector; lagMinutes is the modeled
+// per-pair delivery gap of a reclamation (≤ 0 defaults to 5). Call before
+// Start/Run.
+func (c *Controller) SetChaos(ch ChaosInjector, lagMinutes int64) {
+	c.chaos = ch
+	if lagMinutes <= 0 {
+		lagMinutes = 5
+	}
+	c.repairLagMinutes = lagMinutes
 }
 
 // NewController builds a controller. The config's Fleet (or single-type
@@ -242,6 +306,12 @@ type Walk struct {
 	held        map[string]int
 	lastAcquire map[string]int
 	next        int
+
+	// billing is the fleet whose rates acquisitions are billed at — the
+	// schedule's raw-spot-price fleet when one is attached, otherwise the
+	// decision fleet itself. Rentals charge their acquire-time rate for
+	// their whole life (acquisition-price billing; see DESIGN.md §13).
+	billing pricing.Fleet
 }
 
 // Start validates the timeline and builds the walk's provisioner, ledger,
@@ -285,7 +355,70 @@ func (c *Controller) Start(ctx context.Context, tl *timeline.Timeline) (*Walk, e
 		report:      report,
 		held:        make(map[string]int, fleet.Len()),
 		lastAcquire: make(map[string]int, fleet.Len()),
+		billing:     fleet,
 	}, nil
+}
+
+// refreshFleet pulls epoch e's fleets from the schedule (when one is
+// attached) and, on a decision-fleet change, repoints the walk: the solve
+// config packs against the repriced (headroom-derated) fleet, the
+// provisioner drops its incremental index, and the held allocation's VM
+// instances are repriced by name so the keep-vs-adopt cost comparison
+// sees current rates. Returns whether this is a price epoch.
+func (wk *Walk) refreshFleet(e int) (bool, error) {
+	if wk.c.schedule == nil {
+		return false, nil
+	}
+	decision, billing, err := wk.c.schedule.FleetAt(e)
+	if err != nil {
+		return false, fmt.Errorf("elastic: epoch %d: fleet schedule: %w", e, err)
+	}
+	wk.billing = billing
+	if fleetsEqual(wk.fleet, decision) {
+		return false, nil
+	}
+	wk.fleet = decision
+	wk.report.Fleet = decision
+	wk.solveCfg.Fleet = decision
+	if h := wk.c.policy.HeadroomFrac; h > 0 && h < 1 {
+		wk.solveCfg.Fleet = decision.WithCapacityScale(1 - h)
+	}
+	wk.prov.SetFleet(wk.solveCfg.Fleet)
+	repriceAllocation(wk.prov.Allocation(), decision)
+	return true, nil
+}
+
+// repriceAllocation updates each VM's instance rate to the fleet's current
+// rate for its type name (capacities are untouched — they identify the
+// packing, not the price). Mutates in place and invalidates the memoized
+// cost aggregates.
+func repriceAllocation(alloc *core.Allocation, fleet pricing.Fleet) {
+	if alloc == nil {
+		return
+	}
+	changed := false
+	for _, vm := range alloc.VMs {
+		if it, ok := instanceByName(fleet, vm.Instance.Name); ok && it.HourlyRate != vm.Instance.HourlyRate {
+			vm.Instance.HourlyRate = it.HourlyRate
+			changed = true
+		}
+	}
+	if changed {
+		alloc.InvalidateCost()
+	}
+}
+
+// fleetsEqual reports identical types, rates, and capacities in order.
+func fleetsEqual(a, b pricing.Fleet) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Type(i) != b.Type(i) || a.Capacity(i) != b.Capacity(i) {
+			return false
+		}
+	}
+	return true
 }
 
 // Done reports whether every epoch has been stepped.
@@ -339,11 +472,15 @@ func (wk *Walk) Step(ctx context.Context) (EpochReport, error) {
 		return EpochReport{}, err
 	}
 	e := wk.next
-	tl, fleet, solveCfg, prov, ledger := wk.tl, wk.fleet, wk.solveCfg, wk.prov, wk.ledger
 	epochStart := time.Now()
+	repriced, err := wk.refreshFleet(e)
+	if err != nil {
+		return EpochReport{}, err
+	}
+	tl, fleet, solveCfg, prov, ledger := wk.tl, wk.fleet, wk.solveCfg, wk.prov, wk.ledger
 	w := tl.Epochs[e]
 	now := tl.StartMinute(e)
-	ep := EpochReport{Epoch: e, StartMinute: now}
+	ep := EpochReport{Epoch: e, StartMinute: now, Repriced: repriced}
 
 	// Decide the epoch's target: the fresh solve, or the kept
 	// (repriced, topped-up) previous placements.
@@ -432,7 +569,9 @@ func (wk *Walk) Step(ctx context.Context) (EpochReport, error) {
 		prov.Adopt(w, &core.Result{Selection: sel, Allocation: target})
 		adopted = target
 	} else {
-		plan, err := deploy.NewPlan(c.cfg, deploy.StateOf(prov), deploy.NewState(w, target))
+		planCfg := c.cfg
+		planCfg.Fleet = fleet // record the epoch's (possibly repriced) fleet
+		plan, err := deploy.NewPlan(planCfg, deploy.StateOf(prov), deploy.NewState(w, target))
 		if err != nil {
 			return EpochReport{}, fmt.Errorf("elastic: epoch %d: plan: %w", e, err)
 		}
@@ -452,28 +591,94 @@ func (wk *Walk) Step(ctx context.Context) (EpochReport, error) {
 
 	// Fleet accounting: acquire shortfalls immediately (correctness),
 	// release surplus only past the cooldown and the savings bar.
-	active := adopted.InstanceMix()
-	for name, n := range active {
-		if short := n - wk.held[name]; short > 0 {
-			it, ok := instanceByName(fleet, name)
-			if !ok {
-				return EpochReport{}, fmt.Errorf("elastic: epoch %d deploys unknown instance type %q", e, name)
+	// Acquisitions bill at the billing fleet's current rate (raw spot
+	// price under a schedule); releases only need the type name.
+	acquireShortfall := func(active map[string]int) error {
+		for name, n := range active {
+			if short := n - wk.held[name]; short > 0 {
+				it, ok := instanceByName(wk.billing, name)
+				if !ok {
+					return fmt.Errorf("elastic: epoch %d deploys unknown instance type %q", e, name)
+				}
+				if err := ledger.Acquire(it, short, now); err != nil {
+					return err
+				}
+				wk.held[name] += short
+				ep.AcquiredVMs += short
+				wk.lastAcquire[name] = e
 			}
-			if err := ledger.Acquire(it, short, now); err != nil {
-				return EpochReport{}, err
-			}
-			wk.held[name] += short
-			ep.AcquiredVMs += short
-			wk.lastAcquire[name] = e
 		}
+		return nil
+	}
+	active := adopted.InstanceMix()
+	if err := acquireShortfall(active); err != nil {
+		return EpochReport{}, err
 	}
 	for name, surplus := range c.releasable(e, wk.lastAcquire, fleet, wk.held, active) {
-		it, _ := instanceByName(fleet, name)
+		it, ok := instanceByName(wk.billing, name)
+		if !ok {
+			it, _ = instanceByName(fleet, name)
+		}
 		if err := ledger.Release(it, surplus, now); err != nil {
 			return EpochReport{}, err
 		}
 		wk.held[name] -= surplus
 		ep.ReleasedVMs += surplus
+	}
+
+	// Chaos: the provider reclaims spot VMs from the allocation that just
+	// started serving the epoch. The reclaimed rentals end (their started
+	// hours stay billed), the union of the failure groups is repaired
+	// atomically through the provisioner, and the replacements open fresh
+	// rentals in the same minute — both started hours bill, which is the
+	// per-started-hour churn cost the risk-adjusted rates model.
+	if c.chaos != nil {
+		groups := c.chaos.FailureGroups(e, adopted)
+		if len(groups) > 0 {
+			ep.ReclaimGroups = len(groups)
+			byID := make(map[int]*core.VM, len(adopted.VMs))
+			for _, vm := range adopted.VMs {
+				byID[vm.ID] = vm
+			}
+			var union []int
+			reclaimMix := make(map[string]int)
+			for _, g := range groups {
+				for _, id := range g {
+					vm, ok := byID[id]
+					if !ok {
+						return EpochReport{}, fmt.Errorf("elastic: epoch %d: chaos reclaims unknown VM %d", e, id)
+					}
+					union = append(union, id)
+					reclaimMix[vm.Instance.Name]++
+					ep.LostPairMinutes += int64(vm.NumPairs()) * c.repairLagMinutes
+				}
+			}
+			ep.ReclaimedVMs = len(union)
+			for name, n := range reclaimMix {
+				it, ok := instanceByName(wk.billing, name)
+				if !ok {
+					return EpochReport{}, fmt.Errorf("elastic: epoch %d reclaims unknown instance type %q", e, name)
+				}
+				if err := ledger.Reclaim(it, n, now); err != nil {
+					return EpochReport{}, err
+				}
+				wk.held[name] -= n
+			}
+			rstats, err := prov.RepairCrashGroupContext(ctx, union)
+			if err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return EpochReport{}, cerr
+				}
+				return EpochReport{}, fmt.Errorf("elastic: epoch %d: repair: %w", e, err)
+			}
+			ep.RepairedPairs = rstats.PairsRehomed
+			ep.RepairNewVMs = rstats.NewVMs
+			adopted = prov.Allocation()
+			active = adopted.InstanceMix()
+			if err := acquireShortfall(active); err != nil {
+				return EpochReport{}, err
+			}
+		}
 	}
 
 	ep.ActiveVMs = adopted.NumVMs()

@@ -7,6 +7,7 @@ import (
 	"github.com/pubsub-systems/mcss/internal/core"
 	"github.com/pubsub-systems/mcss/internal/pricing"
 	"github.com/pubsub-systems/mcss/internal/pubsub"
+	"github.com/pubsub-systems/mcss/internal/spot"
 	"github.com/pubsub-systems/mcss/internal/timeline"
 	"github.com/pubsub-systems/mcss/internal/tracegen"
 	"github.com/pubsub-systems/mcss/internal/workload"
@@ -325,5 +326,94 @@ func TestControllerIncrementalModeEveryEpochSatisfied(t *testing.T) {
 	if float64(rep.TotalCost()) > 1.25*float64(std.TotalCost()) {
 		t.Errorf("incremental mode cost %v more than 1.25× the standard controller %v",
 			rep.TotalCost(), std.TotalCost())
+	}
+}
+
+// TestControllerChaosWalk runs the full spot pipeline at test scale: a
+// price schedule over the catalog fleet, the risk-aware packer, and a
+// chaos injector drawing reclamations each epoch. Postconditions: every
+// epoch's (post-repair) allocation still serves the epoch snapshot, every
+// reclamation is billed, and the spot run undercuts the all-on-demand
+// hysteresis baseline on realized cost.
+func TestControllerChaosWalk(t *testing.T) {
+	tl, cfg := testTimeline(t, 10, 60)
+	base := cfg.EffectiveFleet()
+
+	mcfg := spot.DefaultMarketConfig()
+	mcfg.Epochs = tl.NumEpochs()
+	mcfg.EpochMinutes = tl.EpochMinutes
+	mcfg.BaseReclaimProb = 0.08 // hot market: make reclamations certain at test size
+	mcfg.Seed = 11
+	market, err := spot.GenerateMarket(base, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := spot.NewSchedule(market, base, spot.ScheduleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos, err := spot.NewChaos(market, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spotCfg := cfg
+	strat, ok := core.StrategyByName(spot.StrategyName)
+	if !ok {
+		t.Fatal("spot strategy not registered")
+	}
+	spotCfg.Stage2Strategy = strat
+	ctl := NewController(spotCfg, DefaultPolicy())
+	ctl.SetFleetSchedule(sched)
+	ctl.SetChaos(chaos, 5)
+	rep, err := ctl.Run(context.Background(), tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero Verify failures after every chaos epoch: the post-repair
+	// allocation serves every subscriber's threshold within true capacity
+	// (the run's final decision fleet carries the un-derated bounds for
+	// the spot variants).
+	verifyCfg := spotCfg
+	verifyCfg.Fleet = rep.Fleet
+	for e, alloc := range rep.Allocations {
+		if err := core.VerifyServes(tl.Epochs[e], alloc, verifyCfg); err != nil {
+			t.Errorf("epoch %d fails verification after chaos: %v", e, err)
+		}
+	}
+
+	var reclaimed, repairedPairs int64
+	repriced := 0
+	for _, ep := range rep.Epochs {
+		reclaimed += int64(ep.ReclaimedVMs)
+		repairedPairs += ep.RepairedPairs
+		if ep.Repriced {
+			repriced++
+		}
+		if ep.ReclaimedVMs > 0 && ep.RepairedPairs == 0 && ep.LostPairMinutes > 0 {
+			t.Errorf("epoch %d reclaimed %d VMs carrying pairs but repaired none",
+				ep.Epoch, ep.ReclaimedVMs)
+		}
+	}
+	if repriced == 0 {
+		t.Error("no price epoch over a volatile 10-epoch market")
+	}
+	if reclaimed == 0 {
+		t.Skip("no reclamations drawn at this seed — raise BaseReclaimProb")
+	}
+	// Every reclamation hit the ledger (satellite 1's billing path).
+	if got := rep.Ledger.ReclaimedVMs(); got != reclaimed {
+		t.Errorf("ledger billed %d reclamations, epochs report %d", got, reclaimed)
+	}
+
+	// Realized savings: the same timeline on all-on-demand hysteresis.
+	baseRep, err := NewController(cfg, DefaultPolicy()).Run(context.Background(), tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalCost() >= baseRep.TotalCost() {
+		t.Errorf("spot portfolio %v not cheaper than all-on-demand %v despite %d reclamations",
+			rep.TotalCost(), baseRep.TotalCost(), reclaimed)
 	}
 }

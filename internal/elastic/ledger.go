@@ -52,9 +52,10 @@ type BillingLedger struct {
 	nowMinute     int64
 	closed        bool
 
-	// Charge event counters for the observability layer: VMs acquired and
-	// released over the ledger's lifetime (monotone, unlike OpenVMs).
-	acquired, released int64
+	// Charge event counters for the observability layer: VMs acquired,
+	// released, and reclaimed over the ledger's lifetime (monotone, unlike
+	// OpenVMs).
+	acquired, released, reclaimed int64
 }
 
 // NewLedger returns an empty ledger pricing transfer at perGB per decimal
@@ -117,6 +118,36 @@ func (l *BillingLedger) Release(it pricing.InstanceType, n int, atMinute int64) 
 	return nil
 }
 
+// Reclaim ends n open rentals of the given instance type at the given
+// virtual minute — the provider-initiated counterpart of Release. Two
+// differences matter for the bill: the provider takes whichever VMs it
+// wants, modeled here as oldest-first (FIFO — the opposite of Release's
+// LIFO, so a reclamation never cannibalizes the young rental a replacement
+// just started), and a reclaimed-and-replaced VM charges both started
+// hours: the reclaimed rental's hours are already ceil'd at its end minute
+// and the replacement acquired in the same minute opens a fresh rental
+// whose first started hour bills immediately. That per-started-hour
+// double-charge under churn is exactly what the risk-aware packer's
+// expected-repair term prices in.
+func (l *BillingLedger) Reclaim(it pricing.InstanceType, n int, atMinute int64) error {
+	if n < 0 {
+		return fmt.Errorf("elastic: reclaim %d VMs", n)
+	}
+	if err := l.advance(atMinute); err != nil {
+		return err
+	}
+	queue := l.open[it.Name]
+	if n > len(queue) {
+		return fmt.Errorf("elastic: reclaim %d %s VMs but only %d are open", n, it.Name, len(queue))
+	}
+	for i := 0; i < n; i++ {
+		queue[i].EndMinute = atMinute
+	}
+	l.open[it.Name] = queue[n:]
+	l.reclaimed += int64(n)
+	return nil
+}
+
 // AddTransfer accrues transfer volume (incoming plus outgoing bytes).
 func (l *BillingLedger) AddTransfer(bytes int64) {
 	if bytes > 0 {
@@ -148,6 +179,10 @@ func (l *BillingLedger) OpenVMs(name string) int { return len(l.open[name]) }
 // metrics layer mirrors them into monotone counters.
 func (l *BillingLedger) AcquiredVMs() int64 { return l.acquired }
 func (l *BillingLedger) ReleasedVMs() int64 { return l.released }
+
+// ReclaimedVMs reports the lifetime count of provider-initiated rental
+// terminations (spot reclamations).
+func (l *BillingLedger) ReclaimedVMs() int64 { return l.reclaimed }
 
 // TransferBytes reports the accrued transfer volume.
 func (l *BillingLedger) TransferBytes() int64 { return l.transferBytes }

@@ -170,3 +170,77 @@ func TestLedgerTransferPricingMatchesModel(t *testing.T) {
 		t.Errorf("TransferCost = %v, model says %v", got, want)
 	}
 }
+
+// TestLedgerReclaimBillsBothStartedHours is the satellite-1 regression: a
+// spot VM reclaimed mid-hour and replaced in the same minute must charge
+// BOTH started instance-hours — the reclaimed rental's hours stay billed
+// (ceil'd at its end minute) and the replacement opens a fresh rental
+// whose first started hour bills immediately.
+func TestLedgerReclaimBillsBothStartedHours(t *testing.T) {
+	l := NewLedger(0)
+	it := pricing.C3Large
+
+	if err := l.Acquire(it, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Reclaimed 25 minutes in; replacement acquired the same minute.
+	if err := l.Reclaim(it, 1, 25); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(it, 1, 25); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(60); err != nil {
+		t.Fatal(err)
+	}
+	// 25 min reclaimed rental → 1 started hour; 35 min replacement → 1
+	// started hour. One uninterrupted VM over the same hour bills 1.
+	if got := l.StartedHours(); got != 2 {
+		t.Fatalf("StartedHours = %d, want 2 (reclaimed + replacement both bill)", got)
+	}
+	if got := l.ReclaimedVMs(); got != 1 {
+		t.Errorf("ReclaimedVMs = %d, want 1", got)
+	}
+	if got := l.ReleasedVMs(); got != 0 {
+		t.Errorf("ReleasedVMs = %d — reclamation must not count as a release", got)
+	}
+}
+
+// TestLedgerReclaimFIFO: the provider takes the oldest rental, so a
+// reclamation arriving right after a replacement was acquired never
+// cannibalizes the young rental.
+func TestLedgerReclaimFIFO(t *testing.T) {
+	l := NewLedger(0)
+	it := pricing.C3Large
+	if err := l.Acquire(it, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(it, 1, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reclaim(it, 1, 70); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(120); err != nil {
+		t.Fatal(err)
+	}
+	rentals := l.Rentals()
+	if len(rentals) != 2 {
+		t.Fatalf("got %d rentals, want 2", len(rentals))
+	}
+	// The OLD rental (started 0) must be the reclaimed one — the mirror
+	// image of Release's LIFO.
+	if rentals[0].StartMinute != 0 || rentals[0].EndMinute != 70 {
+		t.Errorf("old rental = %+v, want start 0 end 70 (reclaimed)", rentals[0])
+	}
+	if rentals[1].StartMinute != 60 || rentals[1].EndMinute != 120 {
+		t.Errorf("young rental = %+v, want start 60 end 120 (alive)", rentals[1])
+	}
+	if err := l.Reclaim(it, 1, 130); err == nil {
+		t.Error("reclaim after Close succeeded")
+	}
+	l2 := NewLedger(0)
+	if err := l2.Reclaim(it, 1, 0); err == nil {
+		t.Error("reclaiming with nothing open succeeded")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/pubsub-systems/mcss/internal/dynamic"
 	"github.com/pubsub-systems/mcss/internal/elastic"
 	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/spot"
 )
 
 // Metrics is the canonical mcss_* metric set over one Registry: the solver
@@ -69,6 +70,17 @@ type Metrics struct {
 	allocSpread     Gauge // mcss_alloc_topic_spread_avg
 	allocFree       Gauge // mcss_alloc_free_bytes_per_hour
 	allocCost       Gauge // mcss_alloc_cost_usd
+
+	// Spot market / chaos mode.
+	spotReclaims     Counter // mcss_spot_reclamations_total
+	spotGroups       Counter // mcss_spot_reclaim_groups_total
+	spotRepairPairs  Counter // mcss_spot_repair_pairs_total
+	spotRepairVMs    Counter // mcss_spot_repair_new_vms_total
+	spotRepriced     Counter // mcss_spot_price_epochs_total
+	spotLostMinutes  Counter // mcss_spot_lost_pair_minutes_total
+	spotActiveVMs    Gauge   // mcss_spot_active_vms
+	spotSavingsFrac  Gauge   // mcss_spot_realized_savings_frac
+	spotBillReclaims Counter // mcss_billing_vms_reclaimed_total
 }
 
 // NewMetrics registers the full mcss_* family set on reg (a nil reg gets a
@@ -162,6 +174,25 @@ func NewMetrics(reg *Registry) *Metrics {
 		"Unused bandwidth capacity across the current allocation.")
 	m.allocCost = reg.Gauge("mcss_alloc_cost_usd",
 		"Objective cost of the current allocation.")
+
+	m.spotReclaims = reg.Counter("mcss_spot_reclamations_total",
+		"Spot VMs reclaimed by the provider (chaos mode).")
+	m.spotGroups = reg.Counter("mcss_spot_reclaim_groups_total",
+		"Correlated reclamation groups (storms and zone-grouped draws).")
+	m.spotRepairPairs = reg.Counter("mcss_spot_repair_pairs_total",
+		"Pairs re-homed by chaos crash repairs.")
+	m.spotRepairVMs = reg.Counter("mcss_spot_repair_new_vms_total",
+		"Replacement VMs deployed by chaos crash repairs.")
+	m.spotRepriced = reg.Counter("mcss_spot_price_epochs_total",
+		"Epochs whose decision fleet was repriced by the spot schedule.")
+	m.spotLostMinutes = reg.Counter("mcss_spot_lost_pair_minutes_total",
+		"Modeled delivery pair-minutes lost to reclamations (repair lag).")
+	m.spotActiveVMs = reg.Gauge("mcss_spot_active_vms",
+		"Active VMs on interruptible (spot) instance types.")
+	m.spotSavingsFrac = reg.Gauge("mcss_spot_realized_savings_frac",
+		"Realized cost saving of the spot portfolio vs the all-on-demand baseline (set by experiments/replay).")
+	m.spotBillReclaims = reg.Counter("mcss_billing_vms_reclaimed_total",
+		"Provider-initiated rental terminations recorded by the billing ledger.")
 	return m
 }
 
@@ -245,8 +276,23 @@ func (m *Metrics) RecordEpochReport(ep elastic.EpochReport) {
 	m.ctlBilled.Set(float64(ep.BilledVMs))
 	m.ctlUtil.Set(ep.Utilization)
 	m.vmsByType.Reset()
+	spotVMs := 0
 	for name, n := range ep.ActiveMix {
 		m.vmsByType.With(name).Set(float64(n))
+		if spot.IsSpot(name) {
+			spotVMs += n
+		}
+	}
+	m.spotActiveVMs.Set(float64(spotVMs))
+	if ep.Repriced {
+		m.spotRepriced.Inc()
+	}
+	if ep.ReclaimedVMs > 0 {
+		m.spotReclaims.Add(float64(ep.ReclaimedVMs))
+		m.spotGroups.Add(float64(ep.ReclaimGroups))
+		m.spotRepairPairs.Add(float64(ep.RepairedPairs))
+		m.spotRepairVMs.Add(float64(ep.RepairNewVMs))
+		m.spotLostMinutes.Add(float64(ep.LostPairMinutes))
 	}
 	if ep.Epoch > 0 || ep.CandidateStats != (dynamic.MigrationStats{}) {
 		m.RecordMigrationStats(ep.CandidateStats)
@@ -284,6 +330,12 @@ func (m *Metrics) RecordAllocation(alloc *core.Allocation, model pricing.Model) 
 	m.hourlyRate.Set(alloc.HourlyRentalRate(model).USD())
 }
 
+// SetSpotSavings publishes the realized saving of a spot-portfolio run
+// versus its all-on-demand baseline: (baseline − realized) / baseline over
+// ledger-billed totals. Experiments and chaos replays set it once their
+// baseline is known.
+func (m *Metrics) SetSpotSavings(frac float64) { m.spotSavingsFrac.Set(frac) }
+
 // RecordLedger mirrors the billing ledger's monotone totals and cost
 // gauges. Safe to call repeatedly — counters only move forward.
 func (m *Metrics) RecordLedger(l *elastic.BillingLedger) {
@@ -292,6 +344,7 @@ func (m *Metrics) RecordLedger(l *elastic.BillingLedger) {
 	}
 	m.billAcquired.Set(float64(l.AcquiredVMs()))
 	m.billReleased.Set(float64(l.ReleasedVMs()))
+	m.spotBillReclaims.Set(float64(l.ReclaimedVMs()))
 	m.billHours.Set(float64(l.StartedHours()))
 	m.billTransfer.Set(float64(l.TransferBytes()))
 	m.billRental.Set(l.RentalCost().USD())

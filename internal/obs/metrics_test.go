@@ -56,6 +56,18 @@ func TestMetricsPageGolden(t *testing.T) {
 		Utilization: 0.81, Duration: 40 * time.Millisecond,
 		ActiveMix: map[string]int{"c3.large": 4, "m3.xlarge": 3},
 	})
+	// A chaos epoch on a mixed spot/on-demand fleet: a price epoch fired,
+	// a correlated storm reclaimed two VMs in one group, and the repair
+	// re-placed three pairs onto one fresh VM.
+	m.RecordEpochReport(elastic.EpochReport{
+		Epoch: 4, Adopted: false, Repriced: true,
+		ActiveVMs: 7, BilledVMs: 8, Utilization: 0.78,
+		Duration:      35 * time.Millisecond,
+		ActiveMix:     map[string]int{"c3.large": 3, "c3.large:spot": 4},
+		ReclaimGroups: 1, ReclaimedVMs: 2,
+		RepairedPairs: 3, RepairNewVMs: 1, LostPairMinutes: 15,
+	})
+	m.SetSpotSavings(0.31)
 
 	w, err := tracegen.Random(tracegen.RandomConfig{
 		Topics: 40, Subscribers: 400, MaxFollowings: 4, MaxRate: 50, Seed: 3,
@@ -78,6 +90,9 @@ func TestMetricsPageGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := ledger.Release(it, 1, 90); err != nil {
+		t.Fatal(err)
+	}
+	if err := ledger.Reclaim(it, 1, 95); err != nil {
 		t.Fatal(err)
 	}
 	ledger.AddTransfer(5 << 30)

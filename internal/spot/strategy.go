@@ -1,0 +1,125 @@
+package spot
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+// StrategyName selects the risk-aware packer via Planner options or
+// Config.Stage2Strategy lookups.
+const StrategyName = "spot"
+
+func init() {
+	if err := core.RegisterStrategy(StrategyName, core.Strategy{
+		Description:     "risk-aware spot packing: replicated topics on interruptible types, singletons pinned on-demand",
+		Pack:            PackRiskAware,
+		ConcurrencySafe: true,
+	}); err != nil {
+		panic(err)
+	}
+}
+
+// PackRiskAware is the registered risk-aware stage-2 packer. It partitions
+// the selection by topic replication degree: topics with a single selected
+// subscriber are packed with CBP against the on-demand types only (a
+// reclamation there would lose the topic's sole copy until repair), while
+// replicated topics pack against the full fleet, where the risk-adjusted
+// spot variants' lower rates win the deploy-type choice (a reclaimed
+// replica costs a repair, never delivery — Beaumont et al.'s allocation
+// rule). The two partial allocations merge with renumbered VM IDs.
+//
+// On a fleet without interruptible variants it degrades to plain CBP, so
+// the strategy is safe as a standing default. A fleet with interruptible
+// variants but no on-demand type (a single-type portfolio restriction)
+// cannot pin singletons and reports infeasibility, which the portfolio
+// skips.
+func PackRiskAware(ctx context.Context, sel *core.Selection, cfg core.Config) (*core.Allocation, error) {
+	fleet := cfg.EffectiveFleet()
+	var odTypes, odCaps = fleetPartition(fleet)
+	if len(odTypes) == fleet.Len() { // no interruptible capacity offered
+		return core.CustomBinPackingContext(ctx, sel, cfg)
+	}
+
+	w := sel.Workload()
+	var safePairs, riskyPairs []workload.Pair
+	for t := 0; t < w.NumTopics(); t++ {
+		id := workload.TopicID(t)
+		subs := sel.SelectedSubscribers(id)
+		switch {
+		case len(subs) == 0:
+		case len(subs) == 1:
+			safePairs = append(safePairs, workload.Pair{Topic: id, Sub: subs[0]})
+		default:
+			for _, v := range subs {
+				riskyPairs = append(riskyPairs, workload.Pair{Topic: id, Sub: v})
+			}
+		}
+	}
+
+	if len(odTypes) == 0 {
+		if len(safePairs) > 0 {
+			return nil, fmt.Errorf("%w: %d singleton pairs require on-demand capacity", core.ErrInfeasible, len(safePairs))
+		}
+		return core.CustomBinPackingContext(ctx, sel, cfg)
+	}
+
+	var vms []*core.VM
+	if len(safePairs) > 0 {
+		safeSel, err := core.SelectionFromPairs(w, safePairs)
+		if err != nil {
+			return nil, err
+		}
+		safeCfg := cfg
+		odFleet, err := pricingFleet(odTypes, odCaps)
+		if err != nil {
+			return nil, err
+		}
+		safeCfg.Fleet = odFleet
+		// The safe pack runs silently; stage events come from the risky
+		// (bulk) pack below.
+		safeCfg.Observer = nil
+		alloc, err := core.CustomBinPackingContext(core.ContextWithObserver(ctx, nil), safeSel, safeCfg)
+		if err != nil {
+			return nil, err
+		}
+		vms = append(vms, alloc.VMs...)
+	}
+	if len(riskyPairs) > 0 {
+		riskySel, err := core.SelectionFromPairs(w, riskyPairs)
+		if err != nil {
+			return nil, err
+		}
+		alloc, err := core.CustomBinPackingContext(ctx, riskySel, cfg)
+		if err != nil {
+			return nil, err
+		}
+		vms = append(vms, alloc.VMs...)
+	}
+	for i, vm := range vms {
+		vm.ID = i
+	}
+	return &core.Allocation{VMs: vms, Fleet: fleet, MessageBytes: cfg.MessageBytes}, nil
+}
+
+// fleetPartition returns the on-demand (non-interruptible) types of a
+// fleet with their recorded capacities, in fleet order.
+func fleetPartition(f pricing.Fleet) ([]pricing.InstanceType, []int64) {
+	var types []pricing.InstanceType
+	var caps []int64
+	for i := 0; i < f.Len(); i++ {
+		if IsSpot(f.Type(i).Name) {
+			continue
+		}
+		types = append(types, f.Type(i))
+		caps = append(caps, f.Capacity(i))
+	}
+	return types, caps
+}
+
+func pricingFleet(types []pricing.InstanceType, caps []int64) (pricing.Fleet, error) {
+	return pricing.NewFleetWithCapacities(types, caps)
+}

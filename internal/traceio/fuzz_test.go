@@ -10,6 +10,7 @@ import (
 	"github.com/pubsub-systems/mcss/internal/core"
 	"github.com/pubsub-systems/mcss/internal/deploy"
 	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/spot"
 	"github.com/pubsub-systems/mcss/internal/timeline"
 	"github.com/pubsub-systems/mcss/internal/tracegen"
 	"github.com/pubsub-systems/mcss/internal/workload"
@@ -206,6 +207,63 @@ func FuzzReadBinary(f *testing.F) {
 		}
 		if !equalWorkloads(got, back) {
 			t.Fatal("round trip after fuzz parse changed the workload")
+		}
+	})
+}
+
+// FuzzReadSpotMarket hardens the spot-market parser under the symmetric
+// error contract: any input either parses into a market that Validate and
+// WriteSpotMarket both accept, or fails with ErrBadFormat (malformed
+// wire bytes) / spot.ErrInvalidMarket (well-formed JSON violating the
+// model) — never panic, never an untyped error.
+func FuzzReadSpotMarket(f *testing.F) {
+	base, err := pricing.NewFleetWithCapacities(
+		[]pricing.InstanceType{pricing.C3Large}, []int64{1 << 28})
+	if err != nil {
+		f.Fatal(err)
+	}
+	gcfg := spot.DefaultMarketConfig()
+	gcfg.Epochs = 4
+	seed, err := spot.GenerateMarket(base, gcfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSpotMarket(seed, &buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"format":"mcss-spot-market","version":1}`)
+	f.Add(`{"format":"mcss-spot-market","version":1,"epoch_minutes":60,"num_azs":2,` +
+		`"types":[{"base":{"name":"x","hourly_rate":"0.15","link_mbps":64},` +
+		`"prices":["0.05"],"reclaim_prob":[0.5]}],"storms":[{"epoch":0,"az":5}]}`)
+	f.Add(`{"format":"mcss-spot-market","version":1,"epoch_minutes":-60,"num_azs":0}`)
+	f.Add(`{"format":"mcss-timeline","version":1}`)
+	f.Add("garbage")
+	f.Add(`{}`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ReadSpotMarket(strings.NewReader(input))
+		if err != nil {
+			if !errors.Is(err, ErrBadFormat) && !errors.Is(err, spot.ErrInvalidMarket) {
+				t.Fatalf("untyped parse error: %v", err)
+			}
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("parser returned an invalid market: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteSpotMarket(m, &out); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		back, err := ReadSpotMarket(&out)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if back.Epochs() != m.Epochs() || len(back.Types) != len(m.Types) ||
+			len(back.Storms) != len(m.Storms) {
+			t.Fatal("round trip changed the market shape")
 		}
 	})
 }

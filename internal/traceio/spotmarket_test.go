@@ -1,0 +1,116 @@
+package traceio
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/spot"
+)
+
+func sampleMarket(t testing.TB) *spot.Market {
+	t.Helper()
+	base, err := pricing.NewFleetWithCapacities(
+		[]pricing.InstanceType{pricing.C3Large, pricing.C3XLarge}, []int64{1 << 28, 1 << 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := spot.DefaultMarketConfig()
+	cfg.Epochs = 6
+	cfg.Seed = 9
+	m, err := spot.GenerateMarket(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSpotMarketRoundTrip(t *testing.T) {
+	m := sampleMarket(t)
+	var buf bytes.Buffer
+	if err := WriteSpotMarket(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSpotMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.EpochMinutes != m.EpochMinutes || back.NumAZs != m.NumAZs ||
+		len(back.Types) != len(m.Types) || len(back.Storms) != len(m.Storms) {
+		t.Fatalf("round trip changed market shape: %+v vs %+v", back, m)
+	}
+	for i := range m.Types {
+		if back.Types[i].Base != m.Types[i].Base {
+			t.Fatalf("type %d base changed: %+v vs %+v", i, back.Types[i].Base, m.Types[i].Base)
+		}
+		for e := range m.Types[i].Prices {
+			if back.Types[i].Prices[e] != m.Types[i].Prices[e] {
+				t.Fatalf("type %d epoch %d price changed: %d vs %d",
+					i, e, back.Types[i].Prices[e], m.Types[i].Prices[e])
+			}
+			if back.Types[i].ReclaimProb[e] != m.Types[i].ReclaimProb[e] {
+				t.Fatalf("type %d epoch %d reclaim prob changed", i, e)
+			}
+		}
+	}
+	for i := range m.Storms {
+		if back.Storms[i] != m.Storms[i] {
+			t.Fatalf("storm %d changed: %+v vs %+v", i, back.Storms[i], m.Storms[i])
+		}
+	}
+}
+
+func TestSpotMarketSaveLoadGzip(t *testing.T) {
+	m := sampleMarket(t)
+	dir := t.TempDir()
+	for _, name := range []string{"market.json", "market.json.gz"} {
+		path := filepath.Join(dir, name)
+		if err := SaveSpotMarket(m, path); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := LoadSpotMarket(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if back.Epochs() != m.Epochs() || len(back.Types) != len(m.Types) {
+			t.Errorf("%s: round trip changed the market", name)
+		}
+	}
+}
+
+func TestSpotMarketErrorContract(t *testing.T) {
+	// Wire-level garbage → ErrBadFormat.
+	for _, in := range []string{
+		"garbage",
+		`{}`,
+		`{"format":"mcss-plan","version":1}`,
+		`{"format":"mcss-spot-market","version":7}`,
+	} {
+		if _, err := ReadSpotMarket(strings.NewReader(in)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("%q: err = %v, want ErrBadFormat", in, err)
+		}
+	}
+	// Parses but violates market invariants → spot.ErrInvalidMarket, and
+	// WriteSpotMarket rejects the same market symmetrically.
+	bad := `{"format":"mcss-spot-market","version":1,"epoch_minutes":60,"num_azs":1,` +
+		`"types":[{"base":{"name":"x","hourly_rate":"0.15","link_mbps":64},` +
+		`"prices":["0.50"],"reclaim_prob":[0.1]}]}`
+	if _, err := ReadSpotMarket(strings.NewReader(bad)); !errors.Is(err, spot.ErrInvalidMarket) {
+		t.Errorf("price above on-demand: err = %v, want spot.ErrInvalidMarket", err)
+	}
+	invalid := sampleMarket(t)
+	invalid.NumAZs = 0
+	var buf bytes.Buffer
+	if err := WriteSpotMarket(invalid, &buf); !errors.Is(err, spot.ErrInvalidMarket) {
+		t.Errorf("write invalid: err = %v, want spot.ErrInvalidMarket", err)
+	}
+	if buf.Len() != 0 {
+		t.Error("invalid market left bytes on the wire")
+	}
+	if err := SaveSpotMarket(invalid, filepath.Join(t.TempDir(), "m.json")); !errors.Is(err, spot.ErrInvalidMarket) {
+		t.Errorf("save invalid: err = %v, want spot.ErrInvalidMarket", err)
+	}
+}

@@ -72,6 +72,7 @@ import (
 	"github.com/pubsub-systems/mcss/internal/pricing"
 	"github.com/pubsub-systems/mcss/internal/pubsub"
 	"github.com/pubsub-systems/mcss/internal/satisfy"
+	"github.com/pubsub-systems/mcss/internal/spot"
 	"github.com/pubsub-systems/mcss/internal/timeline"
 	"github.com/pubsub-systems/mcss/internal/tracegen"
 	"github.com/pubsub-systems/mcss/internal/traceio"
@@ -441,6 +442,60 @@ func StaticPeakReport(tl *Timeline, oracle *ElasticRunReport) (*ElasticRunReport
 // NewBillingLedger returns an empty per-started-hour billing ledger
 // pricing transfer at perGB per decimal GB.
 func NewBillingLedger(perGB MicroUSD) *BillingLedger { return elastic.NewLedger(perGB) }
+
+// Spot markets: discounted, interruptible capacity with per-epoch price
+// timelines and correlated reclamation storms, consumed by the elastic
+// controller through Planner.RunTimelineSpot.
+type (
+	// SpotMarket is a per-type spot price and reclamation-risk timeline
+	// over a base fleet, plus zone-correlated storm windows.
+	SpotMarket = spot.Market
+	// SpotMarketConfig parameterizes the synthetic market generator
+	// (discount, volatility, spikes, reclamation risk, storms).
+	SpotMarketConfig = spot.MarketConfig
+	// SpotScheduleConfig tunes how market prices become controller fleets:
+	// the risk premium charged per expected interruption and the drift
+	// threshold below which the decision fleet stays sticky.
+	SpotScheduleConfig = spot.ScheduleConfig
+)
+
+// ErrInvalidSpotMarket reports a structurally unusable spot market (no
+// types, spot price above on-demand, probabilities outside [0,1], storms
+// outside the horizon). Both SaveSpotMarket and LoadSpotMarket surface
+// structural violations as this one typed error; LoadSpotMarket reserves
+// traceio's ErrBadFormat for malformed bytes.
+var ErrInvalidSpotMarket = spot.ErrInvalidMarket
+
+// SpotStage2Strategy names the registered risk-aware Stage-2 packer:
+// replicated pairs ride discounted spot capacity, singleton topics stay
+// pinned on-demand, and rates carry the expected repair premium.
+const SpotStage2Strategy = spot.StrategyName
+
+// IsSpotInstance reports whether an instance-type name is a spot variant
+// ("<base>:spot") — e.g. for inspecting ElasticEpochReport.ActiveMix.
+func IsSpotInstance(name string) bool { return spot.IsSpot(name) }
+
+// DefaultSpotMarketConfig returns the default spot trace: 24 hourly
+// epochs, 3 zones, a 70% mean discount with mild volatility, rare price
+// spikes, 2% baseline reclamation risk, and one storm in the second half.
+func DefaultSpotMarketConfig() SpotMarketConfig { return spot.DefaultMarketConfig() }
+
+// GenerateSpotMarket synthesizes a deterministic spot market over the base
+// fleet: mean-reverting log-price walks per type, demand spikes, price-
+// pressure-coupled reclamation risk, and correlated storms.
+func GenerateSpotMarket(base Fleet, cfg SpotMarketConfig) (*SpotMarket, error) {
+	return spot.GenerateMarket(base, cfg)
+}
+
+// SaveSpotMarket writes a spot market to path in the traceio spot-market
+// format (gzip when it ends in ".gz"). An invalid market is rejected with
+// ErrInvalidSpotMarket before anything is written.
+func SaveSpotMarket(m *SpotMarket, path string) error { return traceio.SaveSpotMarket(m, path) }
+
+// LoadSpotMarket reads a validated spot market from path. Malformed bytes
+// fail with traceio's ErrBadFormat; bytes that parse into an invalid
+// market fail with ErrInvalidSpotMarket, mirroring SaveSpotMarket.
+func LoadSpotMarket(path string) (*SpotMarket, error) { return traceio.LoadSpotMarket(path) }
 
 // Satisfaction metrics (the companion INFOCOM'14 framework, paper ref [9]).
 type (

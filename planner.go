@@ -10,6 +10,7 @@ import (
 	"github.com/pubsub-systems/mcss/internal/dynamic"
 	"github.com/pubsub-systems/mcss/internal/elastic"
 	"github.com/pubsub-systems/mcss/internal/exact"
+	"github.com/pubsub-systems/mcss/internal/spot"
 )
 
 // ErrBadOption reports an invalid Planner option; every validation failure
@@ -319,4 +320,48 @@ func (p *Planner) Diff(ctx context.Context, spec DeploySpec, current *ClusterSta
 // solve; the planner's Observer additionally receives OnEpoch callbacks.
 func (p *Planner) RunTimeline(ctx context.Context, tl *Timeline, policy ElasticPolicy) (*ElasticRunReport, error) {
 	return elastic.NewController(p.cfg, policy).Run(ctx, tl)
+}
+
+// SpotRunConfig parameterizes a chaos-mode timeline run against a spot
+// market. The zero value is usable: default schedule knobs, chaos seed 0,
+// and a 5-minute modeled repair lag.
+type SpotRunConfig struct {
+	// Schedule tunes the risk premium and repricing hysteresis (zero =
+	// defaults: 2 h repair premium, 5% drift threshold).
+	Schedule SpotScheduleConfig
+	// ChaosSeed draws the per-VM reclamations against the market's
+	// per-epoch probabilities (storms fire regardless of the seed).
+	ChaosSeed int64
+	// LagMinutes is the modeled detect-and-repair lag charged as lost
+	// pair-minutes when a reclamation takes pairs down (0 = 5).
+	LagMinutes int64
+}
+
+// RunTimelineSpot walks a timeline like RunTimeline but against a spot
+// market: every epoch the controller reprices its fleet from the market
+// (a price delta alone can force a re-solve), packs with the risk-aware
+// spot strategy unless the planner configured another Stage-2 strategy,
+// bills reclaimed VMs mid-hour, and repairs correlated reclamation groups
+// in place. The market must cover the timeline's epochs.
+func (p *Planner) RunTimelineSpot(ctx context.Context, tl *Timeline, policy ElasticPolicy, market *SpotMarket, rc SpotRunConfig) (*ElasticRunReport, error) {
+	cfg := p.cfg
+	if cfg.Stage2Strategy.Pack == nil && cfg.SolveStrategy.Solve == nil {
+		s, ok := StrategyByName(spot.StrategyName)
+		if !ok {
+			return nil, fmt.Errorf("spot strategy %q not registered", spot.StrategyName)
+		}
+		cfg.Stage2Strategy = s
+	}
+	sched, err := spot.NewSchedule(market, cfg.EffectiveFleet(), rc.Schedule)
+	if err != nil {
+		return nil, err
+	}
+	chaos, err := spot.NewChaos(market, rc.ChaosSeed)
+	if err != nil {
+		return nil, err
+	}
+	ctl := elastic.NewController(cfg, policy)
+	ctl.SetFleetSchedule(sched)
+	ctl.SetChaos(chaos, rc.LagMinutes)
+	return ctl.Run(ctx, tl)
 }

@@ -309,3 +309,60 @@ func TestPlannerRunTimeline(t *testing.T) {
 		t.Errorf("RunTimeline err = %v, want context.Canceled", err)
 	}
 }
+
+// RunTimelineSpot walks a timeline against a generated spot market through
+// the Planner: the fleet reprices per epoch, chaos reclamations are billed
+// on the run's ledger, and the defaulted risk-aware strategy still serves
+// every epoch.
+func TestPlannerRunTimelineSpot(t *testing.T) {
+	base := buildDemo(t)
+	day := mcss.DefaultDiurnalTrace()
+	day.Epochs, day.FlashEpoch = 6, -1
+	tl, err := mcss.GenerateDiurnal(base, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := mcss.NewPlanner(mcss.WithTau(40), mcss.WithModel(demoModel()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mcfg := mcss.DefaultSpotMarketConfig()
+	mcfg.Epochs = tl.NumEpochs()
+	mcfg.EpochMinutes = tl.EpochMinutes
+	mcfg.BaseReclaimProb = 0.3 // hot market: reclamations certain at demo size
+	mcfg.Seed = 7
+	market, err := mcss.GenerateSpotMarket(p.Config().EffectiveFleet(), mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := p.RunTimelineSpot(context.Background(), tl, mcss.DefaultElasticPolicy(),
+		market, mcss.SpotRunConfig{ChaosSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Epochs) != tl.NumEpochs() {
+		t.Fatalf("report covers %d epochs, timeline has %d", len(rep.Epochs), tl.NumEpochs())
+	}
+	reclaimed, repriced := 0, 0
+	for _, ep := range rep.Epochs {
+		reclaimed += ep.ReclaimedVMs
+		if ep.Repriced {
+			repriced++
+		}
+	}
+	if repriced == 0 {
+		t.Error("no price epoch over a volatile market")
+	}
+	if got := rep.Ledger.ReclaimedVMs(); got != int64(reclaimed) {
+		t.Errorf("ledger billed %d reclamations, epoch reports carry %d", got, reclaimed)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.RunTimelineSpot(ctx, tl, mcss.DefaultElasticPolicy(),
+		market, mcss.SpotRunConfig{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunTimelineSpot err = %v, want context.Canceled", err)
+	}
+}
