@@ -44,6 +44,7 @@ import (
 	"github.com/pubsub-systems/mcss/internal/pricing"
 	"github.com/pubsub-systems/mcss/internal/spot"
 	"github.com/pubsub-systems/mcss/internal/timeline"
+	"github.com/pubsub-systems/mcss/internal/topo"
 	"github.com/pubsub-systems/mcss/internal/tracegen"
 	"github.com/pubsub-systems/mcss/internal/traceio"
 	"github.com/pubsub-systems/mcss/internal/workload"
@@ -76,6 +77,9 @@ type options struct {
 	spot       bool
 	spotMarket string
 	chaosSeed  int64
+
+	topologyPath string
+	sloMillis    int64
 }
 
 func run(args []string, stderr io.Writer) error {
@@ -98,6 +102,8 @@ func run(args []string, stderr io.Writer) error {
 	fs.BoolVar(&o.spot, "spot", false, "timeline replay on a spot market: price schedule, chaos reclamations, group repair")
 	fs.StringVar(&o.spotMarket, "spot-market", "", "spot market file for -spot (empty = generate one matched to the timeline)")
 	fs.Int64Var(&o.chaosSeed, "chaos-seed", 1, "reclamation draw seed for -spot")
+	fs.StringVar(&o.topologyPath, "topology", "", "multi-region topology file: solve with the topo strategies and bill cross-region egress")
+	fs.Int64Var(&o.sloMillis, "slo", 0, "latency SLO ceiling in ms on modeled delivery RTT (0 = none; needs -topology)")
 	fs.StringVar(&o.metricsDump, "metrics-dump", "", "write the final metrics registry as JSON to this file on exit")
 	logLevel := slogx.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -139,12 +145,14 @@ type daemon struct {
 	m   *obs.Metrics
 	log *slog.Logger
 
-	mu     sync.RWMutex
-	state  *deploy.State
-	model  pricing.Model
-	epoch  int
-	epochs int
-	ready  bool
+	mu        sync.RWMutex
+	state     *deploy.State
+	model     pricing.Model
+	topology  *topo.Topology
+	sloMillis int64
+	epoch     int
+	epochs    int
+	ready     bool
 }
 
 func newDaemon(logger *slog.Logger) *daemon {
@@ -159,10 +167,56 @@ func newDaemon(logger *slog.Logger) *daemon {
 func (d *daemon) setState(st *deploy.State, model pricing.Model, epoch, epochs int) {
 	d.m.RecordAllocation(st.Allocation, model)
 	d.mu.Lock()
+	if d.topology != nil {
+		d.m.RecordTopology(d.topology, st.Allocation)
+	}
 	d.state, d.model = st, model
 	d.epoch, d.epochs = epoch, epochs
 	d.ready = true
 	d.mu.Unlock()
+}
+
+// applyTopology loads the -topology file (empty path = no-op), stores it as
+// the daemon's active topology, and rewires the config for multi-region
+// solving: the fleet replicated per region, the region-aware strategies,
+// the SLO ceiling, and egress billing through cfg.Topology.
+func (d *daemon) applyTopology(o options, cfg *core.Config) error {
+	if o.topologyPath == "" {
+		return nil
+	}
+	t, err := traceio.LoadTopology(o.topologyPath)
+	if err != nil {
+		return fmt.Errorf("loading topology: %w", err)
+	}
+	cfg.Topology = t
+	cfg.LatencySLOMillis = o.sloMillis
+	if t.NumRegions() > 1 {
+		base := cfg.Fleet
+		if base.IsZero() {
+			base = cfg.Model.SingleFleet()
+		}
+		if cfg.Fleet, err = topo.RegionalFleet(base, t); err != nil {
+			return err
+		}
+		s1, ok := core.StrategyByName(topo.Stage1Name)
+		if !ok {
+			return fmt.Errorf("topo strategy %q not registered", topo.Stage1Name)
+		}
+		s2, ok := core.StrategyByName(topo.Stage2Name)
+		if !ok {
+			return fmt.Errorf("topo strategy %q not registered", topo.Stage2Name)
+		}
+		cfg.Stage1Strategy = s1
+		cfg.Stage2Strategy = s2
+	}
+	d.mu.Lock()
+	d.topology = t
+	d.sloMillis = o.sloMillis
+	d.mu.Unlock()
+	d.m.RecordTopology(t, nil)
+	d.log.Info("topology loaded", "path", o.topologyPath,
+		"regions", t.NumRegions(), "slo_ms", o.sloMillis)
+	return nil
 }
 
 // load dispatches on the input mode: snapshot restore, one-shot solve, or
@@ -188,6 +242,9 @@ func (d *daemon) load(ctx context.Context, o options) error {
 		model := experiments.ModelFor(pricing.C3Large, w)
 		cfg := core.DefaultConfig(o.tau, model)
 		cfg.Observer = d.m.Observer()
+		if err := d.applyTopology(o, &cfg); err != nil {
+			return err
+		}
 		start := time.Now()
 		res, err := core.SolveContext(ctx, w, cfg)
 		if err != nil {
@@ -218,6 +275,9 @@ func (d *daemon) runTimeline(ctx context.Context, o options) error {
 	cfg := core.DefaultConfig(o.tau, model)
 	cfg.Fleet = experiments.FleetFor(env)
 	cfg.Observer = d.m.Observer()
+	if err := d.applyTopology(o, &cfg); err != nil {
+		return err
+	}
 	policy := elastic.DefaultPolicy()
 	policy.Incremental = o.incremental
 	policy.IncrementalMaxRegret = o.maxRegret
@@ -390,6 +450,12 @@ type stateDoc struct {
 	Pairs         int64   `json:"pairs"`
 	HourlyRateUSD float64 `json:"hourly_rate_usd"`
 	CostUSD       float64 `json:"cost_usd"`
+
+	// Multi-region surface: the active topology's regions and the live
+	// allocation's per-region VM counts. Absent without -topology.
+	TopologyRegions []string       `json:"topology_regions,omitempty"`
+	RegionVMs       map[string]int `json:"region_vms,omitempty"`
+	LatencySLOMs    int64          `json:"latency_slo_ms,omitempty"`
 }
 
 func (d *daemon) handleState(w http.ResponseWriter, r *http.Request) {
@@ -404,6 +470,16 @@ func (d *daemon) handleState(w http.ResponseWriter, r *http.Request) {
 			}
 			doc.HourlyRateUSD = alloc.HourlyRentalRate(d.model).USD()
 			doc.CostUSD = alloc.Cost(d.model).USD()
+		}
+	}
+	if t := d.topology; t != nil {
+		doc.TopologyRegions = t.Regions()
+		doc.LatencySLOMs = d.sloMillis
+		if d.state != nil && d.state.Allocation != nil {
+			doc.RegionVMs = make(map[string]int, t.NumRegions())
+			for _, vm := range d.state.Allocation.VMs {
+				doc.RegionVMs[t.RegionName(core.RegionOfInstance(t, vm.Instance))]++
+			}
 		}
 	}
 	d.mu.RUnlock()

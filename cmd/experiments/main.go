@@ -37,13 +37,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure: 2a 2b 3a 3b 4 5 6 7 8 9 10 11 12, all, summary, hetero, diurnal, spot, ablation, scaling, or scale")
+		fig      = fs.String("fig", "all", "figure: 2a 2b 3a 3b 4 5 6 7 8 9 10 11 12, all, summary, hetero, diurnal, spot, latency, ablation, scaling, or scale")
 		scale    = fs.Float64("scale", 1.0, "workload scale factor")
 		outdir   = fs.String("outdir", "", "write CSV files (and -fig scale's BENCH_5.json) to this directory")
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 		progress = fs.Bool("progress", false, "stream per-stage solver progress to stderr")
 		sizes    = fs.String("sizes", "", "comma-separated pair counts for -fig scale (default: the full 10k→1.28M sweep)")
 		churn    = fs.Bool("churn", false, "with -fig scale: run the incremental-vs-full churn sweep (BENCH_6.json) instead of the stage-2 sweep")
+		short    = fs.Bool("short", false, "CI smoke mode: cap the workload scale of figures that support it (currently latency)")
 
 		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics on this address for the life of the run")
 		metricsDump = fs.String("metrics-dump", "", "write the final metrics registry as JSON (relative paths land in -outdir, next to the BENCH output)")
@@ -87,7 +88,7 @@ func run(args []string) error {
 	}
 	for _, f := range figs {
 		start := time.Now()
-		if err := runFig(ctx, strings.TrimSpace(f), *scale, *outdir, scaleSizes, *churn); err != nil {
+		if err := runFig(ctx, strings.TrimSpace(f), *scale, *outdir, scaleSizes, *churn, *short); err != nil {
 			// Wrapping preserves the figure prefix while cli.ExitCode's
 			// errors.Is still recognizes a cancellation/deadline inside.
 			return fmt.Errorf("fig %s: %w", f, err)
@@ -135,7 +136,7 @@ func parseSizes(s string) ([]int64, error) {
 	return out, nil
 }
 
-func runFig(ctx context.Context, fig string, scale float64, outdir string, sizes []int64, churn bool) error {
+func runFig(ctx context.Context, fig string, scale float64, outdir string, sizes []int64, churn, short bool) error {
 	switch fig {
 	case "2a":
 		return ladder(ctx, experiments.Spotify, pricing.C3Large, scale, outdir, "fig2a")
@@ -163,6 +164,8 @@ func runFig(ctx context.Context, fig string, scale float64, outdir string, sizes
 		return diurnal(ctx, scale, outdir)
 	case "spot":
 		return spotChaos(ctx, scale, outdir)
+	case "latency":
+		return latency(ctx, scale, outdir, short)
 	case "ablation":
 		return ablation(ctx, scale, outdir)
 	case "scaling":
@@ -488,6 +491,46 @@ func spotChaos(ctx context.Context, scale float64, outdir string) error {
 		return err
 	}
 	return writeCSV(st, outdir, "spot-summary")
+}
+
+// latency runs the multi-region cost-vs-latency-SLO frontier and writes
+// the machine-readable BENCH_9.json next to the CSVs (or into the working
+// directory when no -outdir is given) — the acceptance bar is a monotone
+// non-increasing frontier and an exact degenerate single-region match
+// against the paper-faithful strategies.
+func latency(ctx context.Context, scale float64, outdir string, short bool) error {
+	res, err := experiments.RunLatency(ctx, experiments.Twitter, scale, short)
+	if err != nil {
+		return err
+	}
+	t := res.Table()
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	b := res.Bench()
+	fmt.Printf("frontier monotone: %v; tight/loose cost ratio %.3f; degenerate single-region exact: %v\n",
+		b.Summary.Monotone, b.Summary.TightLooseRatio, b.Summary.DegenerateExact)
+	if !res.DegenerateExact {
+		return fmt.Errorf("degenerate single-region run diverged from gsp+cbp: %s", res.DegenerateDiff)
+	}
+	if !res.Monotone() {
+		return fmt.Errorf("frontier not monotone: loosening the SLO ceiling increased total cost")
+	}
+	dir := outdir
+	if dir == "" {
+		dir = "."
+	}
+	path := filepath.Join(dir, "BENCH_9.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := b.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return writeCSV(t, outdir, "latency")
 }
 
 func summary(ctx context.Context, scale float64, outdir string) error {

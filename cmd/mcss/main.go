@@ -71,6 +71,8 @@ type solverFlags struct {
 	instance, fleetSpec               *string
 	capacity, msgBytes                *int64
 	stage1, stage2, optSpec, strategy *string
+	topologyPath                      *string
+	sloMillis                         *int64
 	progress                          *bool
 	metricsAddr, logLevel             *string
 }
@@ -85,11 +87,15 @@ func registerSolverFlags(fs *flag.FlagSet) *solverFlags {
 		fleetSpec: fs.String("fleet", "", "heterogeneous fleet: 'catalog' or comma list of instance types (empty = single -instance)"),
 		capacity:  fs.Int64("capacity", 0, "per-VM capacity override in bytes/hour for -instance, scaled per-mbps across the fleet (0 = calibrated)"),
 		msgBytes:  fs.Int64("message-bytes", 200, "notification size in bytes"),
-		stage1:    fs.String("stage1", "gsp", "stage 1 algorithm: gsp or rsp"),
-		stage2:    fs.String("stage2", "cbp", "stage 2 algorithm: cbp or ffbp"),
+		stage1:    fs.String("stage1", "gsp", "stage 1 algorithm: gsp, rsp, or topo-gsp"),
+		stage2:    fs.String("stage2", "cbp", "stage 2 algorithm: cbp, ffbp, or topo"),
 		optSpec:   fs.String("opts", "all", "CBP optimizations: all, none, or comma list of expensive,mostfree,cost"),
 		strategy:  fs.String("strategy", "", "full-solve strategy replacing both stages (e.g. exact)"),
-		progress:  fs.Bool("progress", false, "stream per-stage solver progress to stderr"),
+		topologyPath: fs.String("topology", "",
+			"multi-region topology file (traceio mcss-topology format; empty = the paper's single region)"),
+		sloMillis: fs.Int64("slo", 0,
+			"latency SLO ceiling in ms on modeled delivery RTT (0 = none; used by -stage2 topo)"),
+		progress: fs.Bool("progress", false, "stream per-stage solver progress to stderr"),
 		metricsAddr: fs.String("metrics-addr", "",
 			"serve Prometheus /metrics on this address for the life of the run"),
 		logLevel: slogx.Register(fs),
@@ -148,6 +154,25 @@ func (sf *solverFlags) build(m *obs.Metrics) (*mcss.Workload, *mcss.Planner, mcs
 	if err != nil {
 		return fail(err)
 	}
+	var topology *mcss.NetworkTopology
+	if *sf.topologyPath != "" {
+		topology, err = mcss.LoadTopology(*sf.topologyPath)
+		if err != nil {
+			return fail(fmt.Errorf("loading topology: %w", err))
+		}
+		if topology.NumRegions() > 1 {
+			// Replicate the decision fleet into every region so the topo
+			// packer has regional capacity to choose from.
+			base := fleet
+			if base.IsZero() {
+				base = model.SingleFleet()
+			}
+			fleet, err = mcss.RegionalFleet(base, topology)
+			if err != nil {
+				return fail(err)
+			}
+		}
+	}
 	popts := []mcss.Option{
 		mcss.WithTau(*sf.tau),
 		mcss.WithModel(model),
@@ -158,6 +183,9 @@ func (sf *solverFlags) build(m *obs.Metrics) (*mcss.Workload, *mcss.Planner, mcs
 	}
 	if !fleet.IsZero() {
 		popts = append(popts, mcss.WithFleet(fleet))
+	}
+	if topology != nil {
+		popts = append(popts, mcss.WithTopology(topology), mcss.WithLatencySLO(*sf.sloMillis))
 	}
 	if *sf.strategy != "" {
 		popts = append(popts, mcss.WithStrategy(*sf.strategy))

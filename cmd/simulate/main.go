@@ -60,6 +60,9 @@ func run(args []string) error {
 		epochMinutes = fs.Int64("epoch-minutes", 60, "diurnal epoch duration")
 		satisfyFrac  = fs.Float64("satisfy-frac", 0.5, "fraction of τ_v·hours each subscriber must receive in replay")
 
+		topologyPath = fs.String("topology", "", "multi-region topology file: solve with the topo strategies and bill cross-region egress")
+		sloMillis    = fs.Int64("slo", 0, "latency SLO ceiling in ms on modeled delivery RTT (0 = none; needs -topology)")
+
 		spotChaos  = fs.Bool("spot", false, "timeline mode: chaos replay on a spot market (price schedule, reclamation storms, group repair) vs all-on-demand")
 		spotMarket = fs.String("spot-market", "", "spot market file for -spot (empty = generate one matched to the timeline)")
 		chaosSeed  = fs.Int64("chaos-seed", 1, "reclamation draw seed for -spot")
@@ -99,6 +102,7 @@ func run(args []string) error {
 			tau: *tau, epochs: *epochs, epochMinutes: *epochMinutes,
 			maxEvents: *maxEvents, satisfyFrac: *satisfyFrac,
 			spot: *spotChaos, spotMarket: *spotMarket, chaosSeed: *chaosSeed,
+			topologyPath: *topologyPath, sloMillis: *sloMillis,
 			metrics: m,
 		})
 		if derr := dumpMetrics(m, *metricsDump); derr != nil && err == nil {
@@ -112,7 +116,13 @@ func run(args []string) error {
 		return err
 	}
 	model := experiments.ModelFor(pricing.C3Large, w)
-	p, err := mcss.NewPlanner(mcss.WithTau(*tau), mcss.WithModel(model))
+	popts := []mcss.Option{mcss.WithTau(*tau), mcss.WithModel(model)}
+	topology, topts, err := topologyOptions(*topologyPath, *sloMillis, model.SingleFleet())
+	if err != nil {
+		return err
+	}
+	popts = append(popts, topts...)
+	p, err := mcss.NewPlanner(popts...)
 	if err != nil {
 		return err
 	}
@@ -124,6 +134,14 @@ func run(args []string) error {
 	}
 	alloc := prov.Allocation()
 	m.RecordAllocation(alloc, model)
+	if topology != nil {
+		m.RecordTopology(topology, alloc)
+		lat := mcss.EvalLatency(topology, w, alloc, cfg.MessageBytes, *sloMillis)
+		m.SetSLOViolations(lat.Violations)
+		fmt.Printf("topology: %d regions, modeled RTT p50 %d ms / p99 %d ms / max %d ms, %d SLO violations, egress %v/h (%d bytes/h)\n",
+			topology.NumRegions(), lat.P50Millis, lat.P99Millis, lat.MaxMillis,
+			lat.Violations, lat.EgressCostPerHour, lat.EgressBytesPerHour)
+	}
 	u := alloc.ComputeUtilization()
 	fmt.Printf("workload: %d topics / %d subscribers / %d pairs\n",
 		w.NumTopics(), w.NumSubscribers(), w.NumPairs())
@@ -216,7 +234,36 @@ type timelineArgs struct {
 	spot          bool
 	spotMarket    string
 	chaosSeed     int64
+	topologyPath  string
+	sloMillis     int64
 	metrics       *obs.Metrics
+}
+
+// topologyOptions loads the topology (empty path = none) and returns the
+// planner options wiring it in: the topology itself, the SLO ceiling, and
+// — for a multi-region topology — the base fleet replicated per region and
+// the region-aware strategies.
+func topologyOptions(path string, sloMillis int64, base mcss.Fleet) (*mcss.NetworkTopology, []mcss.Option, error) {
+	if path == "" {
+		return nil, nil, nil
+	}
+	topology, err := mcss.LoadTopology(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("loading topology: %w", err)
+	}
+	opts := []mcss.Option{mcss.WithTopology(topology), mcss.WithLatencySLO(sloMillis)}
+	if topology.NumRegions() > 1 {
+		fleet, err := mcss.RegionalFleet(base, topology)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts = append(opts,
+			mcss.WithFleet(fleet),
+			mcss.WithStage1(mcss.TopoStage1Strategy),
+			mcss.WithStage2(mcss.TopoStage2Strategy),
+		)
+	}
+	return topology, opts, nil
 }
 
 // runTimeline drives the elastic controller over a timeline and replays
@@ -255,11 +302,17 @@ func runTimeline(ctx context.Context, a timelineArgs) error {
 	}
 	// The same envelope-calibrated fleet the diurnal experiment sizes
 	// against, so replay verifies what -fig diurnal reports.
-	p, err := mcss.NewPlanner(
+	popts := []mcss.Option{
 		mcss.WithTau(a.tau),
 		mcss.WithModel(mcss.NewModel(mcss.C3Large)),
 		mcss.WithFleet(experiments.FleetFor(env)),
-	)
+	}
+	topology, topts, err := topologyOptions(a.topologyPath, a.sloMillis, experiments.FleetFor(env))
+	if err != nil {
+		return err
+	}
+	popts = append(popts, topts...)
+	p, err := mcss.NewPlanner(popts...)
 	if err != nil {
 		return err
 	}
@@ -304,6 +357,9 @@ func runTimeline(ctx context.Context, a timelineArgs) error {
 		a.metrics.RecordLedger(rep.Ledger)
 		if n := len(rep.Allocations); n > 0 {
 			a.metrics.RecordAllocation(rep.Allocations[n-1], p.Config().Model)
+			if topology != nil {
+				a.metrics.RecordTopology(topology, rep.Allocations[n-1])
+			}
 		}
 	}
 	fmt.Printf("timeline: %d epochs × %d min, %d topics / %d subscribers\n",
@@ -336,8 +392,14 @@ func runTimeline(ctx context.Context, a timelineArgs) error {
 				e, ep.ActiveVMs, ep.BilledVMs, ep.PairsMoved, ep.AddedPairs, sim.Deliveries, m.MeanRatio, status)
 		}
 	}
-	fmt.Printf("bill: total %v (rental %v + transfer %v), %d started VM-hours, %d pairs moved\n",
-		rep.TotalCost(), rep.RentalCost(), rep.TransferCost(), rep.Ledger.StartedHours(), rep.TotalMoved())
+	if topology != nil && rep.Ledger.EgressBytes() > 0 {
+		fmt.Printf("bill: total %v (rental %v + transfer %v + egress %v), %d started VM-hours, %d pairs moved\n",
+			rep.TotalCost(), rep.RentalCost(), rep.TransferCost(), rep.EgressCost(),
+			rep.Ledger.StartedHours(), rep.TotalMoved())
+	} else {
+		fmt.Printf("bill: total %v (rental %v + transfer %v), %d started VM-hours, %d pairs moved\n",
+			rep.TotalCost(), rep.RentalCost(), rep.TransferCost(), rep.Ledger.StartedHours(), rep.TotalMoved())
+	}
 	if a.spot && baseline != nil {
 		var reclaimed, groups int
 		var lost int64

@@ -39,6 +39,7 @@ func run(args []string) error {
 		out     = fs.String("out", "", "output path (required; .gz enables compression)")
 		topics  = fs.Int("topics", 100, "topic count (random dataset)")
 		subs    = fs.Int("subscribers", 500, "subscriber count (random dataset)")
+		regions = fs.Int("regions", 1, "tag endpoints across this many regions (zipf-skewed geography; 1 = untagged)")
 
 		epochs       = fs.Int("epochs", 0, "emit a diurnal timeline with this many epochs (0 = single trace)")
 		epochMinutes = fs.Int64("epoch-minutes", 60, "timeline epoch duration")
@@ -112,6 +113,13 @@ func run(args []string) error {
 		return fmt.Errorf("generated workload invalid: %w", err)
 	}
 	note("[generate] %d topics / %d subscribers", w.NumTopics(), w.NumSubscribers())
+	if *regions > 1 {
+		w, err = mcss.TagRegions(w, *regions, *seed)
+		if err != nil {
+			return err
+		}
+		note("[regions] tagged endpoints across %d regions", *regions)
+	}
 	if *epochs > 0 {
 		cfg := mcss.DefaultDiurnalTrace()
 		cfg.Epochs = *epochs

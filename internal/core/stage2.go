@@ -612,12 +612,26 @@ func runStage2(ctx context.Context, sel *Selection, cfg Config) (*Allocation, er
 			return nil, errs[0]
 		}
 	}
-	best, bestCost := allocs[0], allocs[0].Cost(cfg.Model)
+	// With a multi-region topology the members are compared on the full
+	// objective, rental + transfer + egress over the rental duration —
+	// otherwise a single-region restriction that saves one VM would beat a
+	// properly routed mixed pack while silently paying egress on every
+	// cross-region pair. Single-region solves add nothing (EgressPerHour
+	// is zero there), keeping the paper-faithful comparison intact.
+	effCost := func(a *Allocation) pricing.MicroUSD {
+		c := a.Cost(cfg.Model)
+		if cfg.Topology != nil && cfg.Topology.NumRegions() > 1 {
+			_, eg := EgressPerHour(cfg.Topology, sel.Workload(), a, cfg.MessageBytes)
+			c = c.Add(eg.Mul(cfg.Model.Hours))
+		}
+		return c
+	}
+	best, bestCost := allocs[0], effCost(allocs[0])
 	for j := 1; j < runs; j++ {
 		if errs[j] != nil || allocs[j] == nil {
 			continue // the type is too small for some topic; skip it
 		}
-		if c := allocs[j].Cost(cfg.Model); c < bestCost {
+		if c := effCost(allocs[j]); c < bestCost {
 			best, bestCost = allocs[j], c
 		}
 	}

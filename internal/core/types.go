@@ -159,6 +159,17 @@ type Config struct {
 	// members in a fixed deterministic order.
 	Parallelism int
 
+	// Topology, when non-nil, describes the multi-region network the
+	// topology-aware strategies place against (regions, RTT matrix, egress
+	// prices). The paper-faithful strategies ignore it; the "topo"
+	// strategies read it, and the elastic controller bills egress with it.
+	Topology Topology
+	// LatencySLOMillis, when positive, is the per-subscription delivery-
+	// latency ceiling in milliseconds: every selected pair's modeled
+	// publisher→broker→subscriber RTT must stay at or under it. Zero means
+	// no SLO (the paper's setting).
+	LatencySLOMillis int64
+
 	// Stage1Strategy, Stage2Strategy, and SolveStrategy optionally replace
 	// the enum dispatch with registered pluggable implementations (see
 	// RegisterStrategy): a non-zero Stage1Strategy overrides Stage1, a
@@ -202,6 +213,12 @@ func (c Config) normalize() (Config, error) {
 		if c.Fleet.Capacity(i) <= 0 {
 			return c, fmt.Errorf("core: fleet type %q has no positive capacity", c.Fleet.Type(i).Name)
 		}
+	}
+	if c.LatencySLOMillis < 0 {
+		return c, fmt.Errorf("core: negative LatencySLOMillis %d", c.LatencySLOMillis)
+	}
+	if c.Topology != nil && c.Topology.NumRegions() < 1 {
+		return c, errors.New("core: topology has no regions")
 	}
 	if !c.Stage1Strategy.IsZero() && c.Stage1Strategy.SelectPairs == nil {
 		return c, errors.New("core: Stage1Strategy has no SelectPairs implementation")

@@ -133,6 +133,11 @@ type EpochReport struct {
 	AddedPairs int64
 	// TransferBytes is the epoch's billed transfer volume.
 	TransferBytes int64
+	// EgressBytes and EgressCost are the epoch's billed cross-region
+	// transfer under the config's Topology; zero without one (the paper's
+	// single-region setting).
+	EgressBytes int64
+	EgressCost  pricing.MicroUSD
 	// Utilization is the adopted allocation's bandwidth utilization.
 	Utilization float64
 	// ActiveMix counts active VMs per instance-type name.
@@ -184,9 +189,11 @@ type RunReport struct {
 	Ledger      *BillingLedger
 }
 
-// RentalCost, TransferCost, and TotalCost report the run's bill.
+// RentalCost, TransferCost, EgressCost, and TotalCost report the run's
+// bill.
 func (r *RunReport) RentalCost() pricing.MicroUSD   { return r.Ledger.RentalCost() }
 func (r *RunReport) TransferCost() pricing.MicroUSD { return r.Ledger.TransferCost() }
+func (r *RunReport) EgressCost() pricing.MicroUSD   { return r.Ledger.EgressCost() }
 func (r *RunReport) TotalCost() pricing.MicroUSD    { return r.Ledger.TotalCost() }
 
 // TotalMoved sums the churn actually incurred across epochs.
@@ -689,6 +696,19 @@ func (wk *Walk) Step(ctx context.Context) (EpochReport, error) {
 	ep.ActiveMix = active
 	ep.TransferBytes = adopted.TotalBytesPerHour() * tl.EpochMinutes / 60
 	ledger.AddTransfer(ep.TransferBytes)
+	if topo := c.cfg.Topology; topo != nil {
+		// Scale the hourly egress flow to the epoch duration; the cost
+		// scales the already-priced hourly figure, exact for whole-hour
+		// epochs.
+		mb := adopted.MessageBytes
+		if mb == 0 {
+			mb = c.cfg.MessageBytes
+		}
+		hb, hc := core.EgressPerHour(topo, w, adopted, mb)
+		ep.EgressBytes = hb * tl.EpochMinutes / 60
+		ep.EgressCost = pricing.MicroUSD(int64(hc.Mul(tl.EpochMinutes)) / 60)
+		ledger.AddEgress(ep.EgressBytes, ep.EgressCost)
+	}
 	ep.Duration = time.Since(epochStart)
 
 	wk.report.Epochs = append(wk.report.Epochs, ep)
@@ -776,6 +796,7 @@ func StaticPeakReport(tl *timeline.Timeline, oracle *RunReport) (*RunReport, err
 		}
 		sp.BilledVMs = billed
 		ledger.AddTransfer(ep.TransferBytes)
+		ledger.AddEgress(ep.EgressBytes, ep.EgressCost)
 		report.Epochs = append(report.Epochs, sp)
 	}
 	if err := ledger.Close(tl.HorizonMinutes()); err != nil {

@@ -49,6 +49,8 @@ type BillingLedger struct {
 	open          map[string][]*Rental // per instance-type name, acquisition order
 	all           []*Rental            // every rental, acquisition order
 	transferBytes int64
+	egressBytes   int64
+	egressCost    pricing.MicroUSD
 	nowMinute     int64
 	closed        bool
 
@@ -155,6 +157,21 @@ func (l *BillingLedger) AddTransfer(bytes int64) {
 	}
 }
 
+// AddEgress accrues cross-region transfer volume and its already-priced
+// cost (the egress matrix prices per directed region pair, so the caller —
+// core.EgressPerHour — prices before accrual). Egress is billed on top of
+// the flat per-GB transfer charge, like real clouds bill inter-region
+// traffic on top of Internet egress. Without a multi-region topology
+// nothing ever calls this and the bill reduces to the paper's C1+C2.
+func (l *BillingLedger) AddEgress(bytes int64, cost pricing.MicroUSD) {
+	if bytes > 0 {
+		l.egressBytes += bytes
+	}
+	if cost > 0 {
+		l.egressCost = l.egressCost.Add(cost)
+	}
+}
+
 // Close ends every open rental at the given minute; further mutation is
 // rejected.
 func (l *BillingLedger) Close(atMinute int64) error {
@@ -187,6 +204,12 @@ func (l *BillingLedger) ReclaimedVMs() int64 { return l.reclaimed }
 // TransferBytes reports the accrued transfer volume.
 func (l *BillingLedger) TransferBytes() int64 { return l.transferBytes }
 
+// EgressBytes reports the accrued cross-region transfer volume.
+func (l *BillingLedger) EgressBytes() int64 { return l.egressBytes }
+
+// EgressCost reports the accrued cross-region transfer cost.
+func (l *BillingLedger) EgressCost() pricing.MicroUSD { return l.egressCost }
+
 // StartedHours reports the total billed instance-hours across all rentals.
 func (l *BillingLedger) StartedHours() int64 {
 	var sum int64
@@ -211,9 +234,9 @@ func (l *BillingLedger) TransferCost() pricing.MicroUSD {
 	return pricing.BandwidthCost(l.perGB, l.transferBytes)
 }
 
-// TotalCost is RentalCost + TransferCost, saturating.
+// TotalCost is RentalCost + TransferCost + EgressCost, saturating.
 func (l *BillingLedger) TotalCost() pricing.MicroUSD {
-	return l.RentalCost().Add(l.TransferCost())
+	return l.RentalCost().Add(l.TransferCost()).Add(l.egressCost)
 }
 
 // Rentals returns a copy of every rental, ordered by start minute (ties by

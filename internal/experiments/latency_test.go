@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunLatencyShort drives the full Pareto sweep at CI scale and asserts
+// the experiment's two contracts: loosening the latency ceiling never
+// raises the total (rental + egress) hourly cost, and the single-region
+// degenerate solve is structurally identical to the paper-faithful
+// GSP+CBP solve.
+func TestRunLatencyShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep timing run")
+	}
+	res, err := RunLatency(context.Background(), Twitter, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res.Points), len(LatencyCeilings()); got != want {
+		t.Fatalf("%d frontier points, want %d", got, want)
+	}
+	if !res.Monotone() {
+		t.Fatalf("frontier is not monotone: %+v", res.Points)
+	}
+	if !res.DegenerateExact {
+		t.Fatalf("degenerate single-region solve diverged: %s", res.DegenerateDiff)
+	}
+	for _, p := range res.Points {
+		if p.VMs <= 0 || p.TotalUSDPerHour <= 0 {
+			t.Fatalf("degenerate frontier point %+v", p)
+		}
+		if p.Violations != 0 {
+			t.Fatalf("SLO %dms: %d violations in an accepted placement", p.SLOMillis, p.Violations)
+		}
+		if p.SLOMillis > 0 && p.P99Millis > p.SLOMillis {
+			t.Fatalf("SLO %dms: modeled p99 %dms exceeds the ceiling", p.SLOMillis, p.P99Millis)
+		}
+		if p.EgressUSDPerHour < 0 || p.EgressShare < 0 {
+			t.Fatalf("negative egress accounting: %+v", p)
+		}
+	}
+
+	bench := res.Bench()
+	if bench.Bench != "latency-frontier" || len(bench.Rows) != len(res.Points) {
+		t.Fatalf("bench shape: %+v", bench)
+	}
+	if !bench.Summary.Monotone || !bench.Summary.DegenerateExact {
+		t.Fatalf("bench summary lost the contract flags: %+v", bench.Summary)
+	}
+	if bench.Summary.TightLooseRatio < 1 {
+		t.Fatalf("tight/loose ratio %.3f < 1: tightening the ceiling cannot cut cost",
+			bench.Summary.TightLooseRatio)
+	}
+	var buf bytes.Buffer
+	if err := bench.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back LatencyBench
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("BENCH_9 document does not round-trip: %v", err)
+	}
+	if back.Summary != bench.Summary || len(back.Rows) != len(bench.Rows) {
+		t.Fatal("BENCH_9 round trip changed the document")
+	}
+}

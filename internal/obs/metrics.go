@@ -71,6 +71,13 @@ type Metrics struct {
 	allocFree       Gauge // mcss_alloc_free_bytes_per_hour
 	allocCost       Gauge // mcss_alloc_cost_usd
 
+	// Multi-region topology / egress billing.
+	topoRegions    Gauge    // mcss_topo_regions
+	topoRegionVMs  GaugeVec // mcss_topo_region_vms{region}
+	topoViolations Gauge    // mcss_topo_slo_violations
+	egressBytes    Counter  // mcss_egress_bytes_total
+	egressCost     Gauge    // mcss_egress_cost_usd
+
 	// Spot market / chaos mode.
 	spotReclaims     Counter // mcss_spot_reclamations_total
 	spotGroups       Counter // mcss_spot_reclaim_groups_total
@@ -174,6 +181,17 @@ func NewMetrics(reg *Registry) *Metrics {
 		"Unused bandwidth capacity across the current allocation.")
 	m.allocCost = reg.Gauge("mcss_alloc_cost_usd",
 		"Objective cost of the current allocation.")
+
+	m.topoRegions = reg.Gauge("mcss_topo_regions",
+		"Regions in the active topology (0 = single-region/paper mode).")
+	m.topoRegionVMs = reg.GaugeVec("mcss_topo_region_vms",
+		"Active VMs by region of the current allocation.", "region")
+	m.topoViolations = reg.Gauge("mcss_topo_slo_violations",
+		"Placed pairs whose modeled RTT exceeds the latency SLO ceiling.")
+	m.egressBytes = reg.Counter("mcss_egress_bytes_total",
+		"Cross-region transfer bytes accrued by the billing ledger.")
+	m.egressCost = reg.Gauge("mcss_egress_cost_usd",
+		"Cross-region transfer cost of the run so far.")
 
 	m.spotReclaims = reg.Counter("mcss_spot_reclamations_total",
 		"Spot VMs reclaimed by the provider (chaos mode).")
@@ -330,6 +348,34 @@ func (m *Metrics) RecordAllocation(alloc *core.Allocation, model pricing.Model) 
 	m.hourlyRate.Set(alloc.HourlyRentalRate(model).USD())
 }
 
+// RecordTopology publishes the active topology's region count and the
+// per-region distribution of the allocation's active VMs (region resolved
+// from each VM's instance tag, untagged types in the home region). A nil
+// topology clears the family back to the paper's single-region reading.
+func (m *Metrics) RecordTopology(t core.Topology, alloc *core.Allocation) {
+	m.topoRegionVMs.Reset()
+	if t == nil {
+		m.topoRegions.Set(0)
+		return
+	}
+	m.topoRegions.Set(float64(t.NumRegions()))
+	if alloc == nil {
+		return
+	}
+	counts := make(map[int]int, t.NumRegions())
+	for _, vm := range alloc.VMs {
+		counts[core.RegionOfInstance(t, vm.Instance)]++
+	}
+	for r, n := range counts {
+		m.topoRegionVMs.With(t.RegionName(r)).Set(float64(n))
+	}
+}
+
+// SetSLOViolations publishes the current count of placed pairs whose
+// modeled delivery RTT exceeds the latency SLO ceiling (topo.EvalLatency's
+// Violations figure).
+func (m *Metrics) SetSLOViolations(n int64) { m.topoViolations.Set(float64(n)) }
+
 // SetSpotSavings publishes the realized saving of a spot-portfolio run
 // versus its all-on-demand baseline: (baseline − realized) / baseline over
 // ledger-billed totals. Experiments and chaos replays set it once their
@@ -347,7 +393,9 @@ func (m *Metrics) RecordLedger(l *elastic.BillingLedger) {
 	m.spotBillReclaims.Set(float64(l.ReclaimedVMs()))
 	m.billHours.Set(float64(l.StartedHours()))
 	m.billTransfer.Set(float64(l.TransferBytes()))
+	m.egressBytes.Set(float64(l.EgressBytes()))
 	m.billRental.Set(l.RentalCost().USD())
 	m.billXferCost.Set(l.TransferCost().USD())
+	m.egressCost.Set(l.EgressCost().USD())
 	m.billTotal.Set(l.TotalCost().USD())
 }

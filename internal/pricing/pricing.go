@@ -193,6 +193,11 @@ type InstanceType struct {
 	// LinkMbps is the instance's network bandwidth cap in megabits/s
 	// (incoming plus outgoing combined, per the paper's simplification).
 	LinkMbps int64
+	// Region names the region this flavor deploys into. Empty means
+	// region-agnostic (the paper's single-region setting): such a type is
+	// treated as living in the topology's home region (index 0) by the
+	// topology-aware strategies and incurs no egress by itself.
+	Region string
 }
 
 // CapacityBytesPerHour converts the instance's link speed to bytes per hour:

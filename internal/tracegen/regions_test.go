@@ -1,0 +1,113 @@
+package tracegen
+
+import (
+	"testing"
+
+	"github.com/pubsub-systems/mcss/internal/workload"
+)
+
+func regionsBase(t *testing.T) *workload.Workload {
+	t.Helper()
+	w, err := Random(RandomConfig{
+		Topics: 60, Subscribers: 400, MaxFollowings: 6, MaxRate: 150, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestTagRegionsDegenerate(t *testing.T) {
+	w := regionsBase(t)
+	for _, n := range []int{0, 1} {
+		got, err := TagRegions(w, n, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Fatalf("n=%d: workload was copied instead of returned untouched", n)
+		}
+		if got.HasRegions() {
+			t.Fatalf("n=%d: degenerate tagging added region slices", n)
+		}
+	}
+	if _, err := TagRegions(w, 1<<17, 5); err == nil {
+		t.Fatal("out-of-range region count accepted")
+	}
+}
+
+func TestTagRegionsDeterministicAndInRange(t *testing.T) {
+	w := regionsBase(t)
+	const n = 4
+	a, err := TagRegions(w, n, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TagRegions(w, n, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.HasRegions() {
+		t.Fatal("tagged workload reports no regions")
+	}
+	if w.HasRegions() {
+		t.Fatal("tagging mutated the input workload")
+	}
+	counts := make([]int, n)
+	for v := 0; v < a.NumSubscribers(); v++ {
+		ra := a.SubscriberRegion(workload.SubID(v))
+		if ra != b.SubscriberRegion(workload.SubID(v)) {
+			t.Fatalf("subscriber %d region differs across identical seeds", v)
+		}
+		if ra < 0 || ra >= n {
+			t.Fatalf("subscriber %d region %d out of range", v, ra)
+		}
+		counts[ra]++
+	}
+	for tp := 0; tp < a.NumTopics(); tp++ {
+		ra := a.TopicRegion(workload.TopicID(tp))
+		if ra != b.TopicRegion(workload.TopicID(tp)) {
+			t.Fatalf("topic %d region differs across identical seeds", tp)
+		}
+		if ra < 0 || ra >= n {
+			t.Fatalf("topic %d region %d out of range", tp, ra)
+		}
+	}
+	// The skew makes region 0 the largest subscriber market.
+	for r := 1; r < n; r++ {
+		if counts[r] > counts[0] {
+			t.Fatalf("region %d (%d subs) outgrew home region 0 (%d subs)", r, counts[r], counts[0])
+		}
+	}
+}
+
+func TestTagRegionsPublishersFollowAudience(t *testing.T) {
+	// With publishers pinned to the plurality audience region 3/4 of the
+	// time, a clear majority of topics must land co-located with their
+	// largest market; the exact fraction floats with the skew draw, so the
+	// bound is loose.
+	w := regionsBase(t)
+	a, err := TagRegions(w, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coloc := 0
+	for tp := 0; tp < a.NumTopics(); tp++ {
+		id := workload.TopicID(tp)
+		counts := map[int]int{}
+		best, bestN := 0, -1
+		for _, v := range a.Subscribers(id) {
+			r := a.SubscriberRegion(v)
+			counts[r]++
+			if counts[r] > bestN || (counts[r] == bestN && r < best) {
+				best, bestN = r, counts[r]
+			}
+		}
+		if a.TopicRegion(id) == best {
+			coloc++
+		}
+	}
+	if coloc*2 < a.NumTopics() {
+		t.Fatalf("only %d/%d topics co-located with their plurality audience", coloc, a.NumTopics())
+	}
+}

@@ -22,6 +22,11 @@ import (
 // Delta-encoding the sorted interests keeps popular-ID-heavy social
 // workloads several times smaller than the text format, and varints make
 // the common small-rate/small-gap case one byte.
+//
+// A region-tagged workload appends a trailing section after the subscriber
+// blocks: one marker byte 'R', then numTopics uvarint publisher regions and
+// numSubscribers uvarint delivery regions. Untagged traces end at the last
+// subscriber block exactly as before, so old files parse unchanged.
 
 var binMagic = [5]byte{'M', 'C', 'S', 'B', 2}
 
@@ -73,8 +78,27 @@ func WriteBinary(w *workload.Workload, out io.Writer) error {
 			}
 		}
 	}
+	if w.HasRegions() {
+		if err := bw.WriteByte(regionMarker); err != nil {
+			return err
+		}
+		for t := 0; t < w.NumTopics(); t++ {
+			if err := putUvarint(uint64(w.TopicRegion(workload.TopicID(t)))); err != nil {
+				return err
+			}
+		}
+		for v := 0; v < w.NumSubscribers(); v++ {
+			if err := putUvarint(uint64(w.SubscriberRegion(workload.SubID(v)))); err != nil {
+				return err
+			}
+		}
+	}
 	return bw.Flush()
 }
+
+// regionMarker introduces the optional trailing region section of the v2
+// binary format.
+const regionMarker = 'R'
 
 // ReadBinary parses a v2 binary trace.
 func ReadBinary(in io.Reader) (*workload.Workload, error) {
@@ -151,5 +175,45 @@ func ReadBinary(in io.Reader) (*workload.Workload, error) {
 	if int64(len(subTopics)) != numP {
 		return nil, fmt.Errorf("%w: header says %d pairs, stream has %d", ErrBadFormat, numP, len(subTopics))
 	}
-	return workload.FromCSR(rates, subOff, subTopics, nil, nil)
+	w, err := workload.FromCSR(rates, subOff, subTopics, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	marker, err := br.ReadByte()
+	if err == io.EOF {
+		return w, nil // untagged trace
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if marker != regionMarker {
+		return nil, fmt.Errorf("%w: trailing byte %#x after subscriber blocks", ErrBadFormat, marker)
+	}
+	readRegions := func(n int) ([]int32, error) {
+		regions := make([]int32, 0, clampCap(n))
+		for i := 0; i < n; i++ {
+			r, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			if r > 1<<31-1 {
+				return nil, fmt.Errorf("%w: region index %d out of range", ErrBadFormat, r)
+			}
+			regions = append(regions, int32(r))
+		}
+		return regions, nil
+	}
+	topicRegions, err := readRegions(numT)
+	if err != nil {
+		return nil, err
+	}
+	subRegions, err := readRegions(numV)
+	if err != nil {
+		return nil, err
+	}
+	w, err = w.WithRegions(topicRegions, subRegions)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return w, nil
 }

@@ -12,6 +12,7 @@ import (
 	"github.com/pubsub-systems/mcss/internal/pricing"
 	"github.com/pubsub-systems/mcss/internal/spot"
 	"github.com/pubsub-systems/mcss/internal/timeline"
+	"github.com/pubsub-systems/mcss/internal/topo"
 	"github.com/pubsub-systems/mcss/internal/tracegen"
 	"github.com/pubsub-systems/mcss/internal/workload"
 )
@@ -34,6 +35,9 @@ func FuzzRead(f *testing.F) {
 	f.Add("mcss-trace 1\n0 0 0\n")
 	f.Add("mcss-trace 1\n1 1 1\n5\n0\n")
 	f.Add("mcss-trace 1\n1 1 1\n5\n0 0 0\n")
+	f.Add("mcss-trace 1\n1 1 1 regions\n5\n0\n1\n2\n")
+	f.Add("mcss-trace 1\n1 1 1 regions\n5\n0\n-1\n0\n")
+	f.Add("mcss-trace 1\n1 1 1 regions\n5\n0\n")
 	f.Add("garbage")
 	f.Add("mcss-trace 1\n-1 -2 -3\n")
 
@@ -264,6 +268,62 @@ func FuzzReadSpotMarket(f *testing.F) {
 		if back.Epochs() != m.Epochs() || len(back.Types) != len(m.Types) ||
 			len(back.Storms) != len(m.Storms) {
 			t.Fatal("round trip changed the market shape")
+		}
+	})
+}
+
+// FuzzReadTopology hardens the topology parser under the symmetric error
+// contract: any input either parses into a topology that WriteTopology
+// accepts and that round-trips unchanged, or fails with ErrBadFormat
+// (malformed wire bytes) / topo.ErrInvalidTopology (well-formed JSON
+// violating the model) — never panic, never an untyped error.
+func FuzzReadTopology(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteTopology(topo.SyntheticTopology(3), &buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"format":"mcss-topology","version":1,"regions":["a"],` +
+		`"rtt_millis":[[0]],"egress_per_gb":[["0"]]}`)
+	f.Add(`{"format":"mcss-topology","version":1,"regions":["a","a"],` +
+		`"rtt_millis":[[0,0],[0,0]],"egress_per_gb":[["0","0"],["0","0"]]}`)
+	f.Add(`{"format":"mcss-topology","version":1,"regions":["a","b"],` +
+		`"rtt_millis":[[0,-5],[5,0]],"egress_per_gb":[["0","0"],["0","0"]]}`)
+	f.Add(`{"format":"mcss-topology","version":1,"regions":["a"],` +
+		`"rtt_millis":[[0]],"egress_per_gb":[["0.02"]]}`)
+	f.Add(`{"format":"mcss-timeline","version":1}`)
+	f.Add("garbage")
+	f.Add(`{}`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		tp, err := ReadTopology(strings.NewReader(input))
+		if err != nil {
+			if !errors.Is(err, ErrBadFormat) && !errors.Is(err, topo.ErrInvalidTopology) {
+				t.Fatalf("untyped parse error: %v", err)
+			}
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteTopology(tp, &out); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		back, err := ReadTopology(&out)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if back.NumRegions() != tp.NumRegions() {
+			t.Fatal("round trip changed the region count")
+		}
+		for i := 0; i < tp.NumRegions(); i++ {
+			if back.RegionName(i) != tp.RegionName(i) {
+				t.Fatal("round trip changed a region name")
+			}
+			for j := 0; j < tp.NumRegions(); j++ {
+				if back.RTTMillis(i, j) != tp.RTTMillis(i, j) ||
+					back.EgressPerGB(i, j) != tp.EgressPerGB(i, j) {
+					t.Fatal("round trip changed a matrix entry")
+				}
+			}
 		}
 	})
 }

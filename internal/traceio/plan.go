@@ -55,6 +55,7 @@ type instanceDoc struct {
 	Name       string           `json:"name"`
 	HourlyRate pricing.MicroUSD `json:"hourly_rate"`
 	LinkMbps   int64            `json:"link_mbps"`
+	Region     string           `json:"region,omitempty"`
 }
 
 type modelDoc struct {
@@ -98,6 +99,9 @@ type workloadDoc struct {
 	Rates      []int64 `json:"rates"`
 	SubOffsets []int64 `json:"sub_offsets"`
 	SubTopics  []int64 `json:"sub_topics"`
+	// Optional region tags; both present or both absent.
+	TopicRegions []int32 `json:"topic_regions,omitempty"`
+	SubRegions   []int32 `json:"sub_regions,omitempty"`
 }
 
 type placementDoc struct {
@@ -288,11 +292,11 @@ func LoadPlan(path string) (*deploy.Plan, error) {
 }
 
 func instToDoc(it pricing.InstanceType) instanceDoc {
-	return instanceDoc{Name: it.Name, HourlyRate: it.HourlyRate, LinkMbps: it.LinkMbps}
+	return instanceDoc{Name: it.Name, HourlyRate: it.HourlyRate, LinkMbps: it.LinkMbps, Region: it.Region}
 }
 
 func instFromDoc(d instanceDoc) pricing.InstanceType {
-	return pricing.InstanceType{Name: d.Name, HourlyRate: d.HourlyRate, LinkMbps: d.LinkMbps}
+	return pricing.InstanceType{Name: d.Name, HourlyRate: d.HourlyRate, LinkMbps: d.LinkMbps, Region: d.Region}
 }
 
 func diffToDoc(d deploy.Diff) diffDoc {
@@ -455,6 +459,10 @@ func workloadToDoc(w *workload.Workload) workloadDoc {
 		}
 		doc.SubOffsets = append(doc.SubOffsets, int64(len(doc.SubTopics)))
 	}
+	if w.HasRegions() {
+		doc.TopicRegions = w.TopicRegions()
+		doc.SubRegions = w.SubscriberRegions()
+	}
 	return doc
 }
 
@@ -475,7 +483,14 @@ func workloadFromDoc(doc workloadDoc) (*workload.Workload, error) {
 	if len(subOff) == 0 {
 		subOff = []int64{0}
 	}
-	return workload.FromCSR(rates, subOff, subTopics, nil, nil)
+	w, err := workload.FromCSR(rates, subOff, subTopics, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if doc.TopicRegions != nil || doc.SubRegions != nil {
+		return w.WithRegions(doc.TopicRegions, doc.SubRegions)
+	}
+	return w, nil
 }
 
 func allocToDoc(a *core.Allocation) []vmDoc {

@@ -13,13 +13,14 @@ import (
 	"github.com/pubsub-systems/mcss/internal/deploy"
 	"github.com/pubsub-systems/mcss/internal/dynamic"
 	"github.com/pubsub-systems/mcss/internal/pricing"
+	"github.com/pubsub-systems/mcss/internal/topo"
 	"github.com/pubsub-systems/mcss/internal/workload"
 )
 
 // goldenPlan builds the deterministic plan committed as testdata: a small
 // hand-built workload solved on a calibrated c3.large/c3.xlarge fleet,
 // planned from the empty cluster.
-func goldenPlan(t *testing.T) *deploy.Plan {
+func workloadForGolden(t *testing.T) *workload.Workload {
 	t.Helper()
 	b := workload.NewBuilder().
 		AddTopic("hot", 120).
@@ -43,6 +44,12 @@ func goldenPlan(t *testing.T) *deploy.Plan {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return w
+}
+
+func goldenPlan(t *testing.T) *deploy.Plan {
+	t.Helper()
+	w := workloadForGolden(t)
 	model := pricing.NewModel(pricing.C3Large)
 	model.CapacityOverrideBytesPerHour = 100_000
 	cfg := core.DefaultConfig(40, model)
@@ -228,5 +235,73 @@ func TestWritePlanRejectsInvalid(t *testing.T) {
 	}
 	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
 		t.Fatal("SavePlan created a file for an invalid plan")
+	}
+}
+
+// TestPlanRoundTripRegions: a plan computed on a region-tagged workload
+// against a regionalized fleet keeps the whole geography through the wire —
+// per-topic and per-subscriber region indices on the workload, and the
+// region tag on every deployed instance type.
+func TestPlanRoundTripRegions(t *testing.T) {
+	net := topo.SyntheticTopology(2)
+	base := workloadForGolden(t)
+	w, err := base.WithRegions(
+		[]int32{0, 1, 0},       // hot, warm, cold publishers
+		[]int32{0, 1, 1, 0, 1}, // ana, bo, cy, di, ed
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	model := pricing.NewModel(pricing.C3Large)
+	model.CapacityOverrideBytesPerHour = 100_000
+	cfg := core.DefaultConfig(40, model)
+	cfg.Topology = net
+	if cfg.Fleet, err = topo.RegionalFleet(model.SingleFleet(), net); err != nil {
+		t.Fatal(err)
+	}
+	var ok bool
+	if cfg.Stage1Strategy, ok = core.StrategyByName(topo.Stage1Name); !ok {
+		t.Fatalf("strategy %q not registered", topo.Stage1Name)
+	}
+	if cfg.Stage2Strategy, ok = core.StrategyByName(topo.Stage2Name); !ok {
+		t.Fatalf("strategy %q not registered", topo.Stage2Name)
+	}
+	plan, err := deploy.NewPlanner(cfg).Plan(context.Background(), deploy.SpecFromWorkload(w), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePlan(plan, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPlansEquivalent(t, plan, back)
+
+	bw := back.Target.Workload
+	if !bw.HasRegions() {
+		t.Fatal("region tags dropped on the wire")
+	}
+	for tp := 0; tp < w.NumTopics(); tp++ {
+		if bw.TopicRegion(workload.TopicID(tp)) != w.TopicRegion(workload.TopicID(tp)) {
+			t.Fatalf("topic %d region changed", tp)
+		}
+	}
+	for v := 0; v < w.NumSubscribers(); v++ {
+		if bw.SubscriberRegion(workload.SubID(v)) != w.SubscriberRegion(workload.SubID(v)) {
+			t.Fatalf("subscriber %d region changed", v)
+		}
+	}
+	for i, vm := range back.Target.Allocation.VMs {
+		if net.RegionIndex(vm.Instance.Region) < 0 {
+			t.Fatalf("vm %d lost its region tag (instance %q)", i, vm.Instance.Name)
+		}
+		if vm.Instance != plan.Target.Allocation.VMs[i].Instance {
+			t.Fatalf("vm %d instance changed: %+v vs %+v", i, vm.Instance, plan.Target.Allocation.VMs[i].Instance)
+		}
 	}
 }

@@ -16,6 +16,12 @@
 // Topic and subscriber identifiers are implicit line positions, which keeps
 // multi-million-pair traces small and diff-friendly. Files ending in ".gz"
 // are transparently (de)compressed.
+//
+// A region-tagged workload (tracegen -regions) appends " regions" to the
+// header line and exactly two extra lines after the subscriber lines: the
+// space-separated per-topic publisher regions, then the per-subscriber
+// delivery regions. Untagged traces are unchanged, and the header marker
+// keeps back-to-back embedding (the timeline format) unambiguous.
 package traceio
 
 import (
@@ -39,7 +45,12 @@ var ErrBadFormat = errors.New("traceio: malformed trace")
 // Write serializes w to out in the v1 text format.
 func Write(w *workload.Workload, out io.Writer) error {
 	bw := bufio.NewWriterSize(out, 1<<20)
-	if _, err := fmt.Fprintf(bw, "%s\n%d %d %d\n", magic, w.NumTopics(), w.NumSubscribers(), w.NumPairs()); err != nil {
+	tagged := w.HasRegions()
+	marker := ""
+	if tagged {
+		marker = " regions"
+	}
+	if _, err := fmt.Fprintf(bw, "%s\n%d %d %d%s\n", magic, w.NumTopics(), w.NumSubscribers(), w.NumPairs(), marker); err != nil {
 		return err
 	}
 	for t := 0; t < w.NumTopics(); t++ {
@@ -52,6 +63,22 @@ func Write(w *workload.Workload, out io.Writer) error {
 				bw.WriteByte(' ')
 			}
 			bw.WriteString(strconv.FormatInt(int64(t), 10))
+		}
+		bw.WriteByte('\n')
+	}
+	if tagged {
+		for t := 0; t < w.NumTopics(); t++ {
+			if t > 0 {
+				bw.WriteByte(' ')
+			}
+			bw.WriteString(strconv.Itoa(w.TopicRegion(workload.TopicID(t))))
+		}
+		bw.WriteByte('\n')
+		for v := 0; v < w.NumSubscribers(); v++ {
+			if v > 0 {
+				bw.WriteByte(' ')
+			}
+			bw.WriteString(strconv.Itoa(w.SubscriberRegion(workload.SubID(v))))
 		}
 		bw.WriteByte('\n')
 	}
@@ -86,7 +113,14 @@ func readWorkload(sc *bufio.Scanner) (*workload.Workload, error) {
 	}
 	var numT, numV int
 	var numP int64
-	if _, err := fmt.Sscanf(sc.Text(), "%d %d %d", &numT, &numV, &numP); err != nil {
+	tagged := false
+	header := strings.Fields(sc.Text())
+	if n := len(header); n == 4 && header[3] == "regions" {
+		tagged = true
+	} else if n != 3 {
+		return nil, fmt.Errorf("%w: header %q", ErrBadFormat, sc.Text())
+	}
+	if _, err := fmt.Sscanf(strings.Join(header[:3], " "), "%d %d %d", &numT, &numV, &numP); err != nil {
 		return nil, fmt.Errorf("%w: header %q: %v", ErrBadFormat, sc.Text(), err)
 	}
 	if numT < 0 || numV < 0 || numP < 0 {
@@ -129,7 +163,44 @@ func readWorkload(sc *bufio.Scanner) (*workload.Workload, error) {
 	if int64(len(subTopics)) != numP {
 		return nil, fmt.Errorf("%w: header says %d pairs, stream has %d", ErrBadFormat, numP, len(subTopics))
 	}
-	return workload.FromCSR(rates, subOff, subTopics, nil, nil)
+	w, err := workload.FromCSR(rates, subOff, subTopics, nil, nil)
+	if err != nil || !tagged {
+		return w, err
+	}
+	topicRegions, err := readRegionLine(sc, numT, "topic")
+	if err != nil {
+		return nil, err
+	}
+	subRegions, err := readRegionLine(sc, numV, "subscriber")
+	if err != nil {
+		return nil, err
+	}
+	w, err = w.WithRegions(topicRegions, subRegions)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return w, nil
+}
+
+// readRegionLine parses one space-separated region-index line of the
+// optional trailing region section.
+func readRegionLine(sc *bufio.Scanner, want int, kind string) ([]int32, error) {
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: missing %s region line", ErrBadFormat, kind)
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) != want {
+		return nil, fmt.Errorf("%w: %d %s regions for %d entries", ErrBadFormat, len(fields), kind, want)
+	}
+	regions := make([]int32, 0, clampCap(want))
+	for _, f := range fields {
+		r, err := strconv.ParseInt(f, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s region %q: %v", ErrBadFormat, kind, f, err)
+		}
+		regions = append(regions, int32(r))
+	}
+	return regions, nil
 }
 
 // Save writes w to path. A ".gz" suffix enables gzip compression and a

@@ -190,3 +190,91 @@ func TestPropertyRoundTripPreservesWorkload(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRegionTaggedRoundTrip: region tags survive every trace container —
+// text, binary, and their gzip variants — and an untagged workload keeps
+// producing the exact legacy bytes (no marker, no trailing section).
+func TestRegionTaggedRoundTrip(t *testing.T) {
+	base := sample(t)
+	w, err := tracegen.TagRegions(base, 4, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRegions := func(name string, got *workload.Workload) {
+		t.Helper()
+		if !equalWorkloads(w, got) {
+			t.Fatalf("%s: workload changed", name)
+		}
+		if !got.HasRegions() {
+			t.Fatalf("%s: region tags dropped", name)
+		}
+		for tp := 0; tp < w.NumTopics(); tp++ {
+			if got.TopicRegion(workload.TopicID(tp)) != w.TopicRegion(workload.TopicID(tp)) {
+				t.Fatalf("%s: topic %d region changed", name, tp)
+			}
+		}
+		for v := 0; v < w.NumSubscribers(); v++ {
+			if got.SubscriberRegion(workload.SubID(v)) != w.SubscriberRegion(workload.SubID(v)) {
+				t.Fatalf("%s: subscriber %d region changed", name, v)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := Write(w, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.SplitN(buf.String(), "\n", 3)[1], " regions") {
+		t.Fatal("tagged text header missing the regions marker")
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRegions("text", got)
+
+	dir := t.TempDir()
+	for _, name := range []string{"w.trace", "w.trace.gz", "w.bin", "w.bin.gz"} {
+		path := filepath.Join(dir, name)
+		if err := Save(w, path); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sameRegions(name, got)
+	}
+
+	// Untagged output is byte-for-byte the legacy format.
+	var plain bytes.Buffer
+	if err := Write(base, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "regions") {
+		t.Fatal("untagged trace grew a regions marker")
+	}
+	var plainBin bytes.Buffer
+	if err := WriteBinary(base, &plainBin); err != nil {
+		t.Fatal(err)
+	}
+	gotBin, err := ReadBinary(bytes.NewReader(plainBin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotBin.HasRegions() {
+		t.Fatal("untagged binary trace came back tagged")
+	}
+
+	// Malformed region sections fail with ErrBadFormat.
+	for _, in := range []string{
+		"mcss-trace 1\n1 1 1 regions\n5\n0\n",         // section missing
+		"mcss-trace 1\n1 1 1 regions\n5\n0\n0 0\n0\n", // too many topic regions
+		"mcss-trace 1\n1 1 1 regions\n5\n0\n-2\n0\n",  // negative region
+		"mcss-trace 1\n1 1 1 bogus\n5\n0\n",           // unknown header marker
+	} {
+		if _, err := Read(strings.NewReader(in)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("%q: err = %v, want ErrBadFormat", in, err)
+		}
+	}
+}

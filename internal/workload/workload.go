@@ -49,6 +49,12 @@ type Workload struct {
 	// Optional human-readable names; nil when not supplied.
 	topicNames []string
 	subNames   []string
+
+	// Optional region tags (indices into a Topology's region list); nil
+	// when the workload is region-agnostic. A topic's region is where its
+	// publisher lives; a subscriber's region is where deliveries terminate.
+	topicRegions []int32
+	subRegions   []int32
 }
 
 // NumTopics reports the number of topics.
@@ -163,6 +169,64 @@ func (w *Workload) SubscriberName(v SubID) string {
 		return w.subNames[v]
 	}
 	return fmt.Sprintf("v%d", v)
+}
+
+// HasRegions reports whether the workload carries region tags.
+func (w *Workload) HasRegions() bool { return w.topicRegions != nil || w.subRegions != nil }
+
+// TopicRegion reports the region index of topic t's publisher, or 0 (the
+// home region) when the workload is region-agnostic.
+func (w *Workload) TopicRegion(t TopicID) int {
+	if w.topicRegions == nil {
+		return 0
+	}
+	return int(w.topicRegions[t])
+}
+
+// SubscriberRegion reports the region index of subscriber v, or 0 (the home
+// region) when the workload is region-agnostic.
+func (w *Workload) SubscriberRegion(v SubID) int {
+	if w.subRegions == nil {
+		return 0
+	}
+	return int(w.subRegions[v])
+}
+
+// TopicRegions returns the per-topic region-index slice, or nil for a
+// region-agnostic workload. The returned slice must not be modified.
+func (w *Workload) TopicRegions() []int32 { return w.topicRegions }
+
+// SubscriberRegions returns the per-subscriber region-index slice, or nil
+// for a region-agnostic workload. The returned slice must not be modified.
+func (w *Workload) SubscriberRegions() []int32 { return w.subRegions }
+
+// WithRegions returns a copy of the workload tagged with the given region
+// indices (publishers per topic, delivery locations per subscriber). Both
+// slices are required in full — len(topicRegions) must equal NumTopics and
+// len(subRegions) must equal NumSubscribers — and every index must be
+// non-negative; whether indices fit a particular Topology is checked at
+// solve time. The slices are retained; callers must not modify them.
+func (w *Workload) WithRegions(topicRegions, subRegions []int32) (*Workload, error) {
+	if len(topicRegions) != w.NumTopics() {
+		return nil, fmt.Errorf("workload: %d topic regions for %d topics", len(topicRegions), w.NumTopics())
+	}
+	if len(subRegions) != w.NumSubscribers() {
+		return nil, fmt.Errorf("workload: %d subscriber regions for %d subscribers", len(subRegions), w.NumSubscribers())
+	}
+	for t, r := range topicRegions {
+		if r < 0 {
+			return nil, fmt.Errorf("workload: topic %d has negative region %d", t, r)
+		}
+	}
+	for v, r := range subRegions {
+		if r < 0 {
+			return nil, fmt.Errorf("workload: subscriber %d has negative region %d", v, r)
+		}
+	}
+	out := *w
+	out.topicRegions = topicRegions
+	out.subRegions = subRegions
+	return &out, nil
 }
 
 // SubscriptionCardinality reports the paper's SC_v metric (Appendix D):

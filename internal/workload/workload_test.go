@@ -373,3 +373,48 @@ func TestPropertyDeliveryRateIsPairRateSum(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestWithRegions(t *testing.T) {
+	w := buildSample(t) // 2 topics, 3 subscribers
+
+	// Region-agnostic accessors default to the home region.
+	if w.HasRegions() {
+		t.Fatal("fresh workload claims regions")
+	}
+	if w.TopicRegion(0) != 0 || w.SubscriberRegion(2) != 0 {
+		t.Fatal("region-agnostic accessors must report the home region")
+	}
+
+	tagged, err := w.WithRegions([]int32{1, 0}, []int32{0, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tagged.HasRegions() || w.HasRegions() {
+		t.Fatal("WithRegions must tag the copy and leave the receiver untouched")
+	}
+	if tagged.TopicRegion(0) != 1 || tagged.TopicRegion(1) != 0 {
+		t.Fatalf("topic regions %d/%d", tagged.TopicRegion(0), tagged.TopicRegion(1))
+	}
+	if tagged.SubscriberRegion(0) != 0 || tagged.SubscriberRegion(1) != 2 || tagged.SubscriberRegion(2) != 1 {
+		t.Fatal("subscriber regions lost")
+	}
+	// The copy shares everything but the tags.
+	if tagged.NumPairs() != w.NumPairs() || tagged.TotalEventRate() != w.TotalEventRate() {
+		t.Fatal("WithRegions changed the workload shape")
+	}
+
+	for _, tc := range []struct {
+		name   string
+		topics []int32
+		subs   []int32
+	}{
+		{"short topic slice", []int32{1}, []int32{0, 0, 0}},
+		{"long sub slice", []int32{0, 0}, []int32{0, 0, 0, 0}},
+		{"negative topic region", []int32{-1, 0}, []int32{0, 0, 0}},
+		{"negative sub region", []int32{0, 0}, []int32{0, -3, 0}},
+	} {
+		if _, err := w.WithRegions(tc.topics, tc.subs); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

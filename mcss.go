@@ -74,6 +74,7 @@ import (
 	"github.com/pubsub-systems/mcss/internal/satisfy"
 	"github.com/pubsub-systems/mcss/internal/spot"
 	"github.com/pubsub-systems/mcss/internal/timeline"
+	"github.com/pubsub-systems/mcss/internal/topo"
 	"github.com/pubsub-systems/mcss/internal/tracegen"
 	"github.com/pubsub-systems/mcss/internal/traceio"
 	"github.com/pubsub-systems/mcss/internal/workload"
@@ -496,6 +497,87 @@ func SaveSpotMarket(m *SpotMarket, path string) error { return traceio.SaveSpotM
 // fail with traceio's ErrBadFormat; bytes that parse into an invalid
 // market fail with ErrInvalidSpotMarket, mirroring SaveSpotMarket.
 func LoadSpotMarket(path string) (*SpotMarket, error) { return traceio.LoadSpotMarket(path) }
+
+// Multi-region placement: a network topology makes region a first-class
+// dimension — regional fleets, cross-region egress billing, and a latency
+// SLO ceiling on each subscription's modeled delivery RTT. Attach one with
+// WithTopology; without one everything reduces to the paper's
+// single-region problem.
+type (
+	// Topology is the network-model interface the solver consumes: region
+	// names, an inter-region RTT matrix, and a per-GB egress price matrix
+	// with a zero diagonal.
+	Topology = core.Topology
+	// NetworkTopology is the concrete validated topology built by
+	// NewTopology/SyntheticTopology and (de)serialized by
+	// SaveTopology/LoadTopology.
+	NetworkTopology = topo.Topology
+	// LatencyReport summarizes an allocation's modeled delivery RTT
+	// distribution and egress bill under a topology.
+	LatencyReport = topo.LatencyReport
+)
+
+// ErrInvalidTopology reports a structurally unusable topology (no regions,
+// duplicate names, mismatched matrix shapes, negative entries, non-zero
+// diagonal egress). Both SaveTopology and LoadTopology surface structural
+// violations as this one typed error; LoadTopology reserves traceio's
+// ErrBadFormat for malformed bytes.
+var ErrInvalidTopology = topo.ErrInvalidTopology
+
+// TopoStage1Strategy and TopoStage2Strategy name the registered
+// region-aware strategies: a Stage-1 selector preferring co-located
+// topic–subscriber pairings and a Stage-2 packer that partitions the fleet
+// by region, routes each pair through its cheapest SLO-feasible broker
+// region, and packs each region independently. With a nil or single-region
+// topology both delegate to the paper-faithful "gsp"/"cbp" byte for byte.
+const (
+	TopoStage1Strategy = topo.Stage1Name
+	TopoStage2Strategy = topo.Stage2Name
+)
+
+// NewTopology builds a validated topology from region names, an
+// inter-region RTT matrix (milliseconds), and a per-GB egress price matrix
+// (zero diagonal required). Inputs are copied.
+func NewTopology(regions []string, rttMillis [][]int64, egressPerGB [][]MicroUSD) (*NetworkTopology, error) {
+	return topo.New(regions, rttMillis, egressPerGB)
+}
+
+// SyntheticTopology returns a deterministic n-region topology with
+// distance-proportional RTTs and a flat cross-region egress price — the
+// default testbed of the latency experiments.
+func SyntheticTopology(n int) *NetworkTopology { return topo.SyntheticTopology(n) }
+
+// RegionalFleet replicates a base fleet into every region of the topology,
+// tagging each copy "<name>@<region>". A single-region topology returns
+// the base fleet unchanged, preserving the paper's instance names.
+func RegionalFleet(base Fleet, t *NetworkTopology) (Fleet, error) {
+	return topo.RegionalFleet(base, t)
+}
+
+// EvalLatency scores an allocation under a topology: the modeled
+// publisher→broker→subscriber RTT distribution across placed pairs
+// (p50/p99/max), SLO violations against a ceiling (0 = none), and the
+// hourly cross-region egress volume and cost.
+func EvalLatency(t Topology, w *Workload, alloc *Allocation, messageBytes, sloMillis int64) LatencyReport {
+	return topo.EvalLatency(t, w, alloc, messageBytes, sloMillis)
+}
+
+// TagRegions spreads a workload's subscribers across n regions with a
+// Zipf-skewed geography and pins each topic to its plurality audience
+// region, deterministically from seed. n <= 1 returns w unchanged.
+func TagRegions(w *Workload, n int, seed int64) (*Workload, error) {
+	return tracegen.TagRegions(w, n, seed)
+}
+
+// SaveTopology writes a topology to path in the traceio topology format
+// (gzip when it ends in ".gz"). An invalid topology is rejected with
+// ErrInvalidTopology before anything is written.
+func SaveTopology(t *NetworkTopology, path string) error { return traceio.SaveTopology(t, path) }
+
+// LoadTopology reads a validated topology from path. Malformed bytes fail
+// with traceio's ErrBadFormat; bytes that parse into an invalid topology
+// fail with ErrInvalidTopology, mirroring SaveTopology.
+func LoadTopology(path string) (*NetworkTopology, error) { return traceio.LoadTopology(path) }
 
 // Satisfaction metrics (the companion INFOCOM'14 framework, paper ref [9]).
 type (

@@ -151,6 +151,30 @@ func WithMessageBytes(n int64) Option {
 	}
 }
 
+// WithTopology attaches a multi-region network topology: instance types
+// and workload endpoints resolve their region tags against it, the "topo"
+// strategies partition packing by region, and elastic runs bill
+// cross-region egress on top of rental and transfer. A nil topology (the
+// default) is the paper's single-region setting.
+func WithTopology(t Topology) Option {
+	return func(b *plannerBuilder) { b.cfg.Topology = t }
+}
+
+// WithLatencySLO caps each subscription's modeled delivery RTT
+// (publisher→broker plus broker→subscriber) at millis; the "topo" packer
+// only places pairs in SLO-feasible regions and fails with ErrInfeasible
+// when none has capacity. Zero (the default) disables the ceiling; only
+// meaningful together with WithTopology.
+func WithLatencySLO(millis int64) Option {
+	return func(b *plannerBuilder) {
+		if millis < 0 {
+			b.addErr("WithLatencySLO: ceiling must be non-negative, got %d", millis)
+			return
+		}
+		b.cfg.LatencySLOMillis = millis
+	}
+}
+
 // WithObserver streams progress callbacks from every long-running Planner
 // call to obs. Passing nil pins the planner to silence: it attaches
 // NopObserver, which also suppresses any ambient observer installed via
