@@ -30,6 +30,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -74,6 +75,11 @@ type options struct {
 	once          bool
 	metricsDump   string
 
+	dataDir        string
+	journalSync    int
+	compactEpochs  int
+	requestTimeout time.Duration
+
 	spot       bool
 	spotMarket string
 	chaosSeed  int64
@@ -105,6 +111,10 @@ func run(args []string, stderr io.Writer) error {
 	fs.StringVar(&o.topologyPath, "topology", "", "multi-region topology file: solve with the topo strategies and bill cross-region egress")
 	fs.Int64Var(&o.sloMillis, "slo", 0, "latency SLO ceiling in ms on modeled delivery RTT (0 = none; needs -topology)")
 	fs.StringVar(&o.metricsDump, "metrics-dump", "", "write the final metrics registry as JSON to this file on exit")
+	fs.StringVar(&o.dataDir, "data-dir", "", "directory for the durable apply journal: replay it on startup and journal every apply")
+	fs.IntVar(&o.journalSync, "journal-sync-every", 8, "fsync the journal every N step-done records (plan boundaries always sync)")
+	fs.IntVar(&o.compactEpochs, "journal-compact-epochs", 8, "compact the journal to a snapshot every N epochs (0 = never)")
+	fs.DurationVar(&o.requestTimeout, "request-timeout", 30*time.Second, "per-request deadline on HTTP handlers (0 = none)")
 	logLevel := slogx.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,6 +125,7 @@ func run(args []string, stderr io.Writer) error {
 	defer stop()
 
 	d := newDaemon(logger)
+	d.reqTimeout = o.requestTimeout
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
@@ -144,6 +155,9 @@ func run(args []string, stderr io.Writer) error {
 type daemon struct {
 	m   *obs.Metrics
 	log *slog.Logger
+	// reqTimeout bounds each HTTP request with its own deadline context
+	// (0 = none), so a slow marshal cannot wedge the drain path.
+	reqTimeout time.Duration
 
 	mu        sync.RWMutex
 	state     *deploy.State
@@ -153,13 +167,15 @@ type daemon struct {
 	epoch     int
 	epochs    int
 	ready     bool
+	degraded  bool
+	status    string // the /readyz reason while not ready
 }
 
 func newDaemon(logger *slog.Logger) *daemon {
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	return &daemon{m: obs.NewMetrics(nil), log: logger}
+	return &daemon{m: obs.NewMetrics(nil), log: logger, status: "starting: no allocation yet"}
 }
 
 // setState installs a new live state, refreshes the allocation gauges, and
@@ -173,6 +189,28 @@ func (d *daemon) setState(st *deploy.State, model pricing.Model, epoch, epochs i
 	d.state, d.model = st, model
 	d.epoch, d.epochs = epoch, epochs
 	d.ready = true
+	d.mu.Unlock()
+}
+
+// setStatus updates the not-ready reason /readyz serves.
+func (d *daemon) setStatus(status string) {
+	d.mu.Lock()
+	d.status = status
+	d.mu.Unlock()
+}
+
+// setDegraded installs a recovered state read-only: /state serves it, but
+// the daemon never becomes ready and refuses to run new applies — the
+// mode a journal corrupt past its last valid record puts the daemon in.
+func (d *daemon) setDegraded(rec *deploy.Recovery, reason error) {
+	d.mu.Lock()
+	if rec.State != nil && rec.State.Allocation != nil {
+		d.state, d.model = rec.State, rec.Model
+		d.epoch = int(rec.Epoch)
+	}
+	d.degraded = true
+	d.ready = false
+	d.status = fmt.Sprintf("degraded: %v", reason)
 	d.mu.Unlock()
 }
 
@@ -219,9 +257,96 @@ func (d *daemon) applyTopology(o options, cfg *core.Config) error {
 	return nil
 }
 
+// journalRig bundles the open apply journal with the executor every
+// journaled apply runs through.
+type journalRig struct {
+	j            *deploy.Journal
+	exec         deploy.Executor
+	compactEvery int
+}
+
+// applyOptions is the per-epoch option set the elastic controller's apply
+// hook hands to deploy.Apply.
+func (rig *journalRig) applyOptions(epoch int) []deploy.ApplyOption {
+	return []deploy.ApplyOption{
+		deploy.WithJournal(rig.j),
+		deploy.WithExecutor(rig.exec),
+		deploy.WithApplyEpoch(epoch),
+	}
+}
+
+// openJournal recovers and opens the apply journal under -data-dir. It
+// returns the recovery (nil when the journal is fresh) and the rig for
+// journaled applies. A journal corrupt past its last valid record puts
+// the daemon in degraded mode: the partial recovery is served read-only
+// and the returned rig is nil.
+func (d *daemon) openJournal(o options) (*deploy.Recovery, *journalRig, error) {
+	if err := os.MkdirAll(o.dataDir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	path := filepath.Join(o.dataDir, "apply.journal")
+	var rec *deploy.Recovery
+	if _, err := os.Stat(path); err == nil {
+		d.setStatus("recovering: replaying apply journal")
+		start := time.Now()
+		rec, err = traceio.RecoverJournal(path)
+		if err != nil {
+			if errors.Is(err, deploy.ErrCorruptJournal) && rec != nil {
+				d.m.RecordRecovery(rec)
+				d.setDegraded(rec, err)
+				d.log.Error("journal corrupt; entering degraded read-only mode",
+					"path", path, "records", rec.Records, "err", err)
+				return nil, nil, nil
+			}
+			return nil, nil, err
+		}
+		d.m.RecordRecovery(rec)
+		d.log.Info("journal recovered", "path", path, "records", rec.Records,
+			"committed", rec.Committed, "snapshots", rec.Snapshots,
+			"epoch", rec.Epoch, "in_flight", rec.InFlight != nil,
+			"torn", rec.Torn, "fingerprint", rec.State.Fingerprint(),
+			"elapsed", time.Since(start).Round(time.Millisecond))
+	}
+	j, err := traceio.OpenJournal(path, deploy.JournalOptions{
+		SyncEvery: o.journalSync,
+		Hooks:     d.m.JournalHooks(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	onRetry, onGiveUp := d.m.ApplyRetryHooks()
+	exec := deploy.NewRetryExecutor(deploy.NopExecutor, deploy.RetryConfig{
+		StepTimeout: o.requestTimeout,
+		OnRetry: func(step, attempt int, err error) {
+			onRetry(step, attempt, err)
+			d.log.Warn("step retry", "step", step, "attempt", attempt, "err", err)
+		},
+		OnGiveUp: onGiveUp,
+	})
+	return rec, &journalRig{j: j, exec: exec, compactEvery: o.compactEpochs}, nil
+}
+
 // load dispatches on the input mode: snapshot restore, one-shot solve, or
-// timeline replay through the elastic controller.
+// timeline replay through the elastic controller. With -data-dir the
+// journal is replayed first and every apply is journaled.
 func (d *daemon) load(ctx context.Context, o options) error {
+	var rec *deploy.Recovery
+	var rig *journalRig
+	if o.dataDir != "" {
+		var err error
+		rec, rig, err = d.openJournal(o)
+		if err != nil {
+			return err
+		}
+		if rig == nil {
+			return nil // degraded: serve the partial recovery read-only
+		}
+		defer func() {
+			if cerr := rig.j.Close(); cerr != nil {
+				d.log.Error("journal close", "err", cerr)
+			}
+		}()
+	}
 	switch {
 	case o.snapshot != "":
 		plan, err := traceio.LoadPlan(o.snapshot)
@@ -229,11 +354,16 @@ func (d *daemon) load(ctx context.Context, o options) error {
 			return err
 		}
 		d.setState(plan.Target, plan.Model, 0, 0)
+		if rig != nil {
+			if err := rig.j.AppendSnapshot(-1, plan); err != nil {
+				return err
+			}
+		}
 		d.log.Info("snapshot restored", "path", o.snapshot,
 			"fingerprint", plan.Target.Fingerprint(), "vms", plan.Target.Allocation.NumVMs())
 		return nil
 	case o.timelinePath != "" || o.diurnal:
-		return d.runTimeline(ctx, o)
+		return d.runTimeline(ctx, o, rec, rig)
 	default:
 		w, err := loadWorkload(o.trace, o.dataset, o.scale)
 		if err != nil {
@@ -252,6 +382,15 @@ func (d *daemon) load(ctx context.Context, o options) error {
 		}
 		st := deploy.NewState(w, res.Allocation)
 		d.setState(st, model, 0, 0)
+		if rig != nil {
+			snap, err := deploy.Snapshot(cfg, st)
+			if err != nil {
+				return err
+			}
+			if err := rig.j.AppendSnapshot(-1, snap); err != nil {
+				return err
+			}
+		}
 		d.log.Info("solved", "topics", w.NumTopics(), "subscribers", w.NumSubscribers(),
 			"vms", res.Allocation.NumVMs(), "fingerprint", st.Fingerprint(),
 			"elapsed", time.Since(start).Round(time.Millisecond))
@@ -261,8 +400,11 @@ func (d *daemon) load(ctx context.Context, o options) error {
 
 // runTimeline drives the elastic controller epoch by epoch via the Walk
 // stepper, pushing every epoch's report, allocation, and ledger totals into
-// the registry and updating the live state the endpoints serve.
-func (d *daemon) runTimeline(ctx context.Context, o options) error {
+// the registry and updating the live state the endpoints serve. With a
+// journal rig every epoch's plan application is journaled through the
+// retrying executor; a recovery resumes the walk — finishing a half-applied
+// plan first — at the epoch after the last durable one.
+func (d *daemon) runTimeline(ctx context.Context, o options, rec *deploy.Recovery, rig *journalRig) error {
 	tl, err := loadTimeline(o)
 	if err != nil {
 		return err
@@ -316,11 +458,26 @@ func (d *daemon) runTimeline(ctx context.Context, o options) error {
 		ctl.SetFleetSchedule(sched)
 		ctl.SetChaos(chaos, 5)
 	}
-	wk, err := ctl.Start(ctx, tl)
+	if rig != nil {
+		ctl.SetApplyHook(rig.applyOptions)
+	}
+	var wk *elastic.Walk
+	if rec != nil {
+		wk, err = ctl.ResumeRecovery(ctx, tl, rec)
+	} else {
+		wk, err = ctl.Start(ctx, tl)
+	}
 	if err != nil {
 		return err
 	}
-	d.log.Info("timeline replay starting", "epochs", tl.NumEpochs(),
+	startEpoch := wk.NextEpoch()
+	if rec != nil && startEpoch > 0 {
+		// Serve the recovered allocation before the first stepped epoch.
+		st := deploy.NewState(wk.Workload(), wk.Allocation())
+		d.setState(st, model, startEpoch, tl.NumEpochs())
+		d.log.Info("timeline resumed", "epoch", startEpoch, "fingerprint", st.Fingerprint())
+	}
+	d.log.Info("timeline replay starting", "epochs", tl.NumEpochs(), "start_epoch", startEpoch,
 		"epoch_minutes", tl.EpochMinutes, "incremental", o.incremental, "spot", o.spot)
 	var reclaimed, groups int
 	var lost int64
@@ -332,6 +489,16 @@ func (d *daemon) runTimeline(ctx context.Context, o options) error {
 		d.m.RecordEpochReport(ep)
 		d.m.RecordLedger(wk.Ledger())
 		d.setState(deploy.NewState(wk.Workload(), wk.Allocation()), model, ep.Epoch+1, tl.NumEpochs())
+		if rig != nil && rig.compactEvery > 0 && (ep.Epoch+1)%rig.compactEvery == 0 {
+			snap, err := deploy.Snapshot(cfg, deploy.NewState(wk.Workload(), wk.Allocation()))
+			if err != nil {
+				return err
+			}
+			if err := rig.j.Compact(int64(ep.Epoch), snap); err != nil {
+				return err
+			}
+			d.log.Info("journal compacted", "epoch", ep.Epoch)
+		}
 		if o.spot {
 			reclaimed += ep.ReclaimedVMs
 			groups += ep.ReclaimGroups
@@ -413,7 +580,21 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return d.logRequests(mux)
+	return d.logRequests(d.withTimeout(mux))
+}
+
+// withTimeout derives a per-request deadline context so no handler can
+// outlive -request-timeout. pprof profile/trace streams are exempt —
+// their duration is the point.
+func (d *daemon) withTimeout(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if d.reqTimeout > 0 && !strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+			ctx, cancel := context.WithTimeout(r.Context(), d.reqTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -429,10 +610,10 @@ func (d *daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (d *daemon) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	d.mu.RLock()
-	ready := d.ready
+	ready, status := d.ready, d.status
 	d.mu.RUnlock()
 	if !ready {
-		http.Error(w, "starting: no allocation yet", http.StatusServiceUnavailable)
+		http.Error(w, status, http.StatusServiceUnavailable)
 		return
 	}
 	fmt.Fprintln(w, "ready")
@@ -443,6 +624,7 @@ func (d *daemon) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // scraping the full metrics page.
 type stateDoc struct {
 	Ready         bool    `json:"ready"`
+	Degraded      bool    `json:"degraded,omitempty"`
 	Fingerprint   string  `json:"fingerprint"`
 	Epoch         int     `json:"epoch"`
 	NumEpochs     int     `json:"num_epochs,omitempty"`
@@ -460,7 +642,7 @@ type stateDoc struct {
 
 func (d *daemon) handleState(w http.ResponseWriter, r *http.Request) {
 	d.mu.RLock()
-	doc := stateDoc{Ready: d.ready, Epoch: d.epoch, NumEpochs: d.epochs}
+	doc := stateDoc{Ready: d.ready, Degraded: d.degraded, Epoch: d.epoch, NumEpochs: d.epochs}
 	if d.state != nil {
 		doc.Fingerprint = d.state.Fingerprint()
 		if alloc := d.state.Allocation; alloc != nil {

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// timelineOpts is the shared replay configuration of the recovery tests:
+// small enough to be quick, long enough that an interruption lands
+// mid-timeline.
+func timelineOpts(dataDir string) options {
+	return options{
+		dataset: "twitter", scale: 0.002, tau: 10,
+		diurnal: true, epochs: 6, epochMinutes: 60,
+		dataDir: dataDir, journalSync: 1,
+	}
+}
+
+// TestDaemonCrashRecovery interrupts a journaled timeline replay partway
+// through, restarts the daemon on the same data directory with identical
+// options, and requires the resumed run to (a) replay the journal, (b)
+// finish the timeline, and (c) land on the exact fingerprint an
+// uninterrupted replay of the same options reaches.
+func TestDaemonCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+
+	// Uninterrupted reference run on its own data directory.
+	ref := newDaemon(nil)
+	if err := ref.load(context.Background(), timelineOpts(filepath.Join(dir, "ref"))); err != nil {
+		t.Fatalf("reference replay: %v", err)
+	}
+	ref.mu.RLock()
+	wantFP := ref.state.Fingerprint()
+	ref.mu.RUnlock()
+
+	// Interrupted run: the epoch interval paces the replay so the
+	// deadline fires mid-timeline — the in-process stand-in for kill -9.
+	crashDir := filepath.Join(dir, "crash")
+	o := timelineOpts(crashDir)
+	o.epochInterval = 30 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	d1 := newDaemon(nil)
+	err := d1.load(ctx, o)
+	cancel()
+	if err == nil {
+		t.Fatal("interrupted replay finished; deadline too generous to test recovery")
+	}
+	if !strings.Contains(err.Error(), "context deadline exceeded") {
+		t.Fatalf("interrupted replay failed with %v, want context deadline", err)
+	}
+	if _, err := os.Stat(filepath.Join(crashDir, "apply.journal")); err != nil {
+		t.Fatalf("no journal after interrupted replay: %v", err)
+	}
+
+	// Restart with the same flags: recovery + resumed replay to the end.
+	d2 := newDaemon(nil)
+	base, done := startServer(t, d2, context.Background())
+	o.epochInterval = 0
+	if err := d2.load(context.Background(), o); err != nil {
+		t.Fatalf("resumed replay: %v", err)
+	}
+	if code, body := get(t, base+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after recovery = %d %q, want 200", code, body)
+	}
+	code, body := get(t, base+"/state")
+	if code != http.StatusOK {
+		t.Fatalf("state = %d, want 200", code)
+	}
+	var doc stateDoc
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("state JSON: %v", err)
+	}
+	if doc.Degraded {
+		t.Fatal("recovered daemon reports degraded")
+	}
+	if doc.Epoch != 6 || doc.NumEpochs != 6 {
+		t.Errorf("resumed replay stopped at epoch %d/%d, want 6/6", doc.Epoch, doc.NumEpochs)
+	}
+	if doc.Fingerprint != wantFP {
+		t.Errorf("resumed fingerprint %s, uninterrupted run reaches %s", doc.Fingerprint, wantFP)
+	}
+
+	_, page := get(t, base+"/metrics")
+	for _, m := range []string{
+		"mcss_journal_recoveries_total",
+		"mcss_journal_replayed_records_total",
+		"mcss_journal_records_total",
+	} {
+		if v := metricValue(t, page, m); v <= 0 {
+			t.Errorf("%s = %v, want > 0 after recovery", m, v)
+		}
+	}
+	d2.mu.RLock()
+	serveCancelCheck := d2.ready
+	d2.mu.RUnlock()
+	if !serveCancelCheck {
+		t.Error("daemon not ready after resumed replay")
+	}
+	_ = done
+}
+
+// TestDaemonDegradedMode corrupts the journal past its last commit and
+// requires the restarted daemon to refuse readiness with a degraded
+// status while still serving the recovered state read-only on /state.
+func TestDaemonDegradedMode(t *testing.T) {
+	dir := t.TempDir()
+	o := timelineOpts(dir)
+	o.epochs = 3
+	d1 := newDaemon(nil)
+	if err := d1.load(context.Background(), o); err != nil {
+		t.Fatalf("seed replay: %v", err)
+	}
+	d1.mu.RLock()
+	seededFP := d1.state.Fingerprint()
+	d1.mu.RUnlock()
+
+	// A structurally framed record whose CRC is wrong: unambiguous
+	// corruption, not a torn tail.
+	path := filepath.Join(dir, "apply.journal")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := binary.AppendUvarint(nil, 4)
+	frame = binary.LittleEndian.AppendUint32(frame, 0xDEADBEEF)
+	frame = append(frame, 'D', 0, 0, 0)
+	if _, err := f.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := newDaemon(nil)
+	base, _ := startServer(t, d2, context.Background())
+	if err := d2.load(context.Background(), o); err != nil {
+		t.Fatalf("degraded load must not error (it serves read-only), got %v", err)
+	}
+	code, body := get(t, base+"/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "degraded") {
+		t.Fatalf("readyz on corrupt journal = %d %q, want 503 degraded", code, body)
+	}
+	code, body = get(t, base+"/state")
+	if code != http.StatusOK {
+		t.Fatalf("state = %d, want 200", code)
+	}
+	var doc stateDoc
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("state JSON: %v", err)
+	}
+	if !doc.Degraded || doc.Ready {
+		t.Errorf("state = ready %v degraded %v, want degraded read-only", doc.Ready, doc.Degraded)
+	}
+	if doc.Fingerprint != seededFP {
+		t.Errorf("degraded state fingerprint %s, want last durable %s", doc.Fingerprint, seededFP)
+	}
+}
+
+// TestRequestTimeoutMiddleware pins the -request-timeout contract: normal
+// handlers run under a deadline context, pprof streams are exempt.
+func TestRequestTimeoutMiddleware(t *testing.T) {
+	d := newDaemon(nil)
+	d.reqTimeout = time.Minute
+	var deadlines = map[string]bool{}
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, ok := r.Context().Deadline()
+		deadlines[r.URL.Path] = ok
+	})
+	h := d.withTimeout(inner)
+	for _, path := range []string{"/state", "/metrics", "/debug/pprof/profile"} {
+		r, err := http.NewRequest(http.MethodGet, path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.ServeHTTP(nopResponseWriter{}, r)
+	}
+	if !deadlines["/state"] || !deadlines["/metrics"] {
+		t.Errorf("deadlines = %v, want /state and /metrics bounded", deadlines)
+	}
+	if deadlines["/debug/pprof/profile"] {
+		t.Error("pprof stream must be exempt from the request timeout")
+	}
+}
+
+type nopResponseWriter struct{}
+
+func (nopResponseWriter) Header() http.Header         { return http.Header{} }
+func (nopResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (nopResponseWriter) WriteHeader(int)             {}

@@ -1,0 +1,253 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	mcss "github.com/pubsub-systems/mcss"
+	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/deploy"
+	"github.com/pubsub-systems/mcss/internal/experiments"
+	"github.com/pubsub-systems/mcss/internal/traceio"
+)
+
+// The -chaos-apply sweep stress-tests the crash-safe apply path end to
+// end: it solves the timeline into a chain of plans, then runs N seeded
+// cases where each apply is journaled to disk and driven through a
+// fault-injecting executor — transient step failures absorbed by the
+// retry policy, plus (in most cases) a simulated process crash at a
+// random step. A crashed case recovers the journal from disk exactly the
+// way allocatord does at startup and resumes the plan with ResumeFrom.
+//
+// Every case must end at the plan's exact target fingerprint, pass the
+// allocation oracle, and — the exactly-once contract — have executed each
+// step's effect precisely once across the pre-crash and resumed applies.
+
+// chaosApplyArgs parameterizes one -chaos-apply sweep.
+type chaosApplyArgs struct {
+	timelineArgs
+	cases int
+	seed  int64
+}
+
+// chaosStats aggregates sweep-wide counters for the summary line.
+type chaosStats struct {
+	crashes, resumed, retries, stepsApplied int
+}
+
+// chaosFailProb is the per-attempt transient fault rate. With
+// chaosAttempts retry attempts per step, the odds of a spurious
+// exhaustion are failProb^attempts ≈ 2.6e-6 — negligible over a sweep,
+// and deterministic per seed if it ever fires.
+const (
+	chaosFailProb = 0.2
+	chaosAttempts = 8
+)
+
+// runChaosApply executes the sweep and fails on the first case that
+// breaks an invariant.
+func runChaosApply(ctx context.Context, a chaosApplyArgs) error {
+	tl, err := buildTimeline(a.timelineArgs)
+	if err != nil {
+		return err
+	}
+	env, err := tl.Envelope()
+	if err != nil {
+		return err
+	}
+	p, err := mcss.NewPlanner(
+		mcss.WithTau(a.tau),
+		mcss.WithModel(mcss.NewModel(mcss.C3Large)),
+		mcss.WithFleet(experiments.FleetFor(env)),
+	)
+	if err != nil {
+		return err
+	}
+	cfg := p.Config()
+
+	// The plan chain: epoch e's plan moves the cluster from epoch e-1's
+	// target (the empty cluster for e = 0) to a fresh full solve of
+	// epoch e. Each case below applies one link of this chain.
+	states := []*deploy.State{deploy.EmptyState()}
+	plans := make([]*deploy.Plan, 0, tl.NumEpochs())
+	totalSteps := 0
+	for e := 0; e < tl.NumEpochs(); e++ {
+		prov, err := p.Provision(ctx, tl.Epochs[e])
+		if err != nil {
+			return fmt.Errorf("chaos-apply: epoch %d solve: %w", e, err)
+		}
+		plan, err := deploy.NewPlan(cfg, states[e], deploy.NewState(tl.Epochs[e], prov.Allocation()))
+		if err != nil {
+			return fmt.Errorf("chaos-apply: epoch %d plan: %w", e, err)
+		}
+		plans = append(plans, plan)
+		states = append(states, plan.Target)
+		totalSteps += len(plan.Steps)
+	}
+	var eligible []int
+	for e, pl := range plans {
+		if len(pl.Steps) > 0 {
+			eligible = append(eligible, e)
+		}
+	}
+	if len(eligible) == 0 {
+		return fmt.Errorf("chaos-apply: no epoch produced a plan with steps")
+	}
+	fmt.Printf("chaos-apply: %d epochs solved, %d plans with steps (%d steps total), running %d cases (seed %d)\n",
+		tl.NumEpochs(), len(eligible), totalSteps, a.cases, a.seed)
+
+	dir, err := os.MkdirTemp("", "mcss-chaos-apply-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	rng := rand.New(rand.NewSource(a.seed))
+	var stats chaosStats
+	for c := 0; c < a.cases; c++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		e := eligible[rng.Intn(len(eligible))]
+		plan := plans[e]
+		// Crash step in [0, len(steps)]; the one-past-the-end draw runs
+		// the case crash-free (transient faults only).
+		k := rng.Intn(len(plan.Steps) + 1)
+		path := filepath.Join(dir, fmt.Sprintf("case-%d.journal", c))
+		caseSeed := a.seed + int64(c)*7919
+		if err := runChaosCase(ctx, cfg, states[e], plan, e, path, k, caseSeed, &stats); err != nil {
+			return fmt.Errorf("chaos-apply: case %d (epoch %d, crash step %d of %d): %w",
+				c, e, k, len(plan.Steps), err)
+		}
+		stats.stepsApplied += len(plan.Steps)
+	}
+	fmt.Printf("chaos-apply: %d cases passed — %d crashes injected, %d resumed from journal, %d transient faults retried, %d step effects (all exactly-once)\n",
+		a.cases, stats.crashes, stats.resumed, stats.retries, stats.stepsApplied)
+	fmt.Println("chaos-apply: 0 verify failures, 0 duplicate step effects")
+	return nil
+}
+
+// chaosExecutor builds the fault-injecting retry stack for one apply leg.
+// The effect log is shared across a case's legs so duplicates spanning
+// the crash are visible.
+func chaosExecutor(effects *deploy.EffectLog, seed int64, crash bool, crashAt int, stats *chaosStats) deploy.Executor {
+	inj := deploy.NewFaultInjector(deploy.NopExecutor, deploy.FaultConfig{
+		FailProb:    chaosFailProb,
+		Crash:       crash,
+		CrashAtStep: crashAt,
+		Seed:        seed,
+		Effects:     effects,
+	})
+	return deploy.NewRetryExecutor(inj, deploy.RetryConfig{
+		MaxAttempts: chaosAttempts,
+		Seed:        seed,
+		Sleep:       func(ctx context.Context, _ time.Duration) error { return ctx.Err() },
+		OnRetry:     func(int, int, error) { stats.retries++ },
+	})
+}
+
+// runChaosCase applies one plan under fault injection: snapshot the base
+// state, apply with journal + faults, and — when the injected crash fires
+// — recover from disk and resume, then check every post-condition.
+func runChaosCase(ctx context.Context, cfg core.Config, base *deploy.State, plan *deploy.Plan,
+	epoch int, path string, k int, seed int64, stats *chaosStats) error {
+	prov, err := base.Provisioner(cfg)
+	if err != nil {
+		return fmt.Errorf("restoring base provisioner: %w", err)
+	}
+	j, err := traceio.OpenJournal(path, deploy.JournalOptions{SyncEvery: 1})
+	if err != nil {
+		return err
+	}
+	snap, err := deploy.Snapshot(cfg, base)
+	if err != nil {
+		j.Close()
+		return err
+	}
+	if err := j.AppendSnapshot(int64(epoch)-1, snap); err != nil {
+		j.Close()
+		return err
+	}
+
+	effects := deploy.NewEffectLog()
+	crash := k < len(plan.Steps)
+	exec := chaosExecutor(effects, seed, crash, k, stats)
+	_, aerr := deploy.Apply(ctx, plan, prov,
+		deploy.WithJournal(j), deploy.WithExecutor(exec), deploy.WithApplyEpoch(epoch))
+
+	if crash {
+		if !errors.Is(aerr, deploy.ErrSimulatedCrash) {
+			j.Close()
+			return fmt.Errorf("expected simulated crash, apply returned %v", aerr)
+		}
+		stats.crashes++
+		// The "process" is dead: only what the journal fsynced survives.
+		// Recover from disk exactly as allocatord does at startup.
+		j.Close()
+		rec, rerr := traceio.RecoverJournal(path)
+		if rerr != nil {
+			return fmt.Errorf("recovery: %v", rerr)
+		}
+		if rec.InFlight == nil {
+			return fmt.Errorf("recovery found no in-flight plan")
+		}
+		if rec.NextStep != k {
+			return fmt.Errorf("recovery resumes at step %d, crash was before step %d", rec.NextStep, k)
+		}
+		if got, want := rec.State.Fingerprint(), plan.BaseFingerprint; got != want {
+			return fmt.Errorf("recovered state %s, plan base %s", got, want)
+		}
+		prov, err = rec.State.Provisioner(cfg)
+		if err != nil {
+			return fmt.Errorf("restoring recovered provisioner: %w", err)
+		}
+		j, err = traceio.OpenJournal(path, deploy.JournalOptions{SyncEvery: 1})
+		if err != nil {
+			return err
+		}
+		// Same effect log, no crash this time: a duplicate effect across
+		// the two legs is exactly what MaxPerStep would expose.
+		resumeExec := chaosExecutor(effects, seed+1, false, 0, stats)
+		_, aerr = deploy.Apply(ctx, rec.InFlight, prov,
+			deploy.WithJournal(j), deploy.WithExecutor(resumeExec),
+			deploy.WithApplyEpoch(epoch), deploy.ResumeFrom(rec.NextStep))
+		stats.resumed++
+	}
+	if aerr != nil {
+		j.Close()
+		return fmt.Errorf("apply: %w", aerr)
+	}
+	if err := j.Close(); err != nil {
+		return err
+	}
+
+	if got, want := deploy.StateOf(prov).Fingerprint(), plan.TargetFingerprint(); got != want {
+		return fmt.Errorf("final state %s, plan target %s", got, want)
+	}
+	if err := core.VerifyServes(plan.Target.Workload, prov.Allocation(), cfg); err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	for i := range plan.Steps {
+		if n := effects.Executions(i); n != 1 {
+			return fmt.Errorf("step %d effect executed %d times, want exactly once", i, n)
+		}
+	}
+	// The journal on disk must tell the same story: a clean recovery
+	// landing on the committed target with nothing in flight.
+	final, err := traceio.RecoverJournal(path)
+	if err != nil {
+		return fmt.Errorf("final journal recovery: %v", err)
+	}
+	if final.InFlight != nil {
+		return fmt.Errorf("final journal still has an in-flight plan")
+	}
+	if got, want := final.State.Fingerprint(), plan.TargetFingerprint(); got != want {
+		return fmt.Errorf("final journal recovers %s, plan target %s", got, want)
+	}
+	return nil
+}

@@ -67,6 +67,9 @@ func run(args []string) error {
 		spotMarket = fs.String("spot-market", "", "spot market file for -spot (empty = generate one matched to the timeline)")
 		chaosSeed  = fs.Int64("chaos-seed", 1, "reclamation draw seed for -spot")
 
+		chaosApply     = fs.Int("chaos-apply", 0, "run N fault-injected journaled applies over the timeline's plans (transient faults + mid-apply crashes) and verify exactly-once recovery")
+		chaosApplySeed = fs.Int64("chaos-apply-seed", 1, "seed for the -chaos-apply sweep")
+
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 		progress = fs.Bool("progress", false, "stream per-stage solver progress to stderr")
 
@@ -95,6 +98,16 @@ func run(args []string) error {
 		watchers = append(watchers, report.NewProgress(os.Stderr))
 	}
 	ctx = mcss.ContextWithObserver(ctx, obs.Tee(watchers...))
+
+	if *chaosApply > 0 {
+		return runChaosApply(ctx, chaosApplyArgs{
+			timelineArgs: timelineArgs{
+				path: *timelinePath, dataset: *dataset, scale: *scale,
+				tau: *tau, epochs: *epochs, epochMinutes: *epochMinutes,
+			},
+			cases: *chaosApply, seed: *chaosApplySeed,
+		})
+	}
 
 	if *timelinePath != "" || *diurnal {
 		err := runTimeline(ctx, timelineArgs{
@@ -266,32 +279,33 @@ func topologyOptions(path string, sloMillis int64, base mcss.Fleet) (*mcss.Netwo
 	return topology, opts, nil
 }
 
+// buildTimeline loads the timeline file when one was given, otherwise
+// synthesizes the diurnal cycle from the dataset — the same timeline
+// family both replay and the chaos-apply sweep exercise.
+func buildTimeline(a timelineArgs) (*mcss.Timeline, error) {
+	if a.path != "" {
+		return mcss.LoadTimeline(a.path)
+	}
+	base, err := loadWorkload("", a.dataset, a.scale)
+	if err != nil {
+		return nil, err
+	}
+	// The experiment's modulation (flash crowd included), so replay
+	// exercises the same timeline family -fig diurnal reports on.
+	cfg := experiments.DiurnalModulation()
+	cfg.Epochs = a.epochs
+	cfg.EpochMinutes = a.epochMinutes
+	if cfg.FlashEpoch >= cfg.Epochs {
+		cfg.FlashEpoch = cfg.Epochs / 2
+	}
+	return mcss.GenerateDiurnal(base, cfg)
+}
+
 // runTimeline drives the elastic controller over a timeline and replays
 // every epoch's allocation through the simulator, failing if any epoch
 // falls short of its satisfaction thresholds.
 func runTimeline(ctx context.Context, a timelineArgs) error {
-	var (
-		tl  *mcss.Timeline
-		err error
-	)
-	if a.path != "" {
-		tl, err = mcss.LoadTimeline(a.path)
-	} else {
-		var base *mcss.Workload
-		base, err = loadWorkload("", a.dataset, a.scale)
-		if err != nil {
-			return err
-		}
-		// The experiment's modulation (flash crowd included), so replay
-		// exercises the same timeline family -fig diurnal reports on.
-		cfg := experiments.DiurnalModulation()
-		cfg.Epochs = a.epochs
-		cfg.EpochMinutes = a.epochMinutes
-		if cfg.FlashEpoch >= cfg.Epochs {
-			cfg.FlashEpoch = cfg.Epochs / 2
-		}
-		tl, err = mcss.GenerateDiurnal(base, cfg)
-	}
+	tl, err := buildTimeline(a)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"path/filepath"
 	"testing"
+	"time"
 
 	mcss "github.com/pubsub-systems/mcss"
 )
@@ -152,5 +153,110 @@ func TestElasticEpochPlansPublic(t *testing.T) {
 		if e > 0 && ep.Plan.BaseFingerprint != rep.Epochs[e-1].Plan.TargetFingerprint() {
 			t.Fatalf("epoch %d plan does not chain from epoch %d", e, e-1)
 		}
+	}
+}
+
+// TestPublicCrashSafeApply drives the crash-safety surface through the
+// exported API only: a journaled apply killed mid-plan by a fault
+// injector, journal recovery, and a resumed apply (through a retrying
+// executor that eats one transient fault) that lands on the plan's own
+// target fingerprint with every step effect exactly once.
+func TestPublicCrashSafeApply(t *testing.T) {
+	ctx := context.Background()
+	w := deployDemoWorkload(t)
+	p, err := mcss.NewPlanner(mcss.WithTau(40), mcss.WithModel(demoModel()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.Plan(ctx, mcss.DeploySpec{Workload: w}, mcss.EmptyClusterState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) < 3 {
+		t.Fatalf("bootstrap plan has %d steps, need >= 3", len(plan.Steps))
+	}
+	crashAt := len(plan.Steps) / 2
+	path := filepath.Join(t.TempDir(), "apply.journal")
+	nop := mcss.DeployExecutorFunc(func(context.Context, int, int, mcss.DeployStep) error { return nil })
+	effects := mcss.NewEffectLog()
+
+	// Phase 1: journaled apply, crash armed mid-plan.
+	j, err := mcss.OpenApplyJournal(path, mcss.JournalOptions{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := mcss.RestoreProvisioner(mcss.EmptyClusterState(), p.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crasher := mcss.NewFaultInjector(nop, mcss.FaultConfig{
+		Crash: true, CrashAtStep: crashAt, Effects: effects,
+	})
+	_, err = mcss.Apply(ctx, plan, prov,
+		mcss.WithApplyJournal(j), mcss.WithStepExecutor(crasher))
+	if !errors.Is(err, mcss.ErrSimulatedCrash) {
+		t.Fatalf("want ErrSimulatedCrash, got %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: recover — the plan is in flight, resumable at the crash step.
+	rec, err := mcss.RecoverApplyJournal(path)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if rec.InFlight == nil || rec.NextStep != crashAt {
+		t.Fatalf("recovery: in-flight %v next %d, want plan at step %d",
+			rec.InFlight != nil, rec.NextStep, crashAt)
+	}
+
+	// Phase 3: resume through a retrying executor; the first executed step
+	// fails transiently once and must be retried, not aborted.
+	prov2, err := mcss.RestoreProvisioner(rec.State, p.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := mcss.OpenApplyJournal(path, mcss.JournalOptions{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaked := false
+	flaky := mcss.DeployExecutorFunc(func(ctx context.Context, i, total int, s mcss.DeployStep) error {
+		if !flaked {
+			flaked = true
+			return mcss.Transient(errors.New("cloud API hiccup"))
+		}
+		return mcss.NewFaultInjector(nop, mcss.FaultConfig{Effects: effects}).Execute(ctx, i, total, s)
+	})
+	exec := mcss.NewRetryExecutor(flaky, mcss.RetryConfig{
+		Sleep: func(ctx context.Context, _ time.Duration) error { return ctx.Err() },
+	})
+	rep, err := mcss.Apply(ctx, rec.InFlight, prov2,
+		mcss.WithApplyJournal(j2), mcss.WithStepExecutor(exec),
+		mcss.ResumeFrom(rec.NextStep))
+	if err != nil {
+		t.Fatalf("resumed apply: %v", err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !flaked {
+		t.Error("transient fault never injected")
+	}
+	if got := mcss.ClusterStateOf(prov2).Fingerprint(); got != plan.TargetFingerprint() {
+		t.Fatalf("resumed fingerprint %s, plan target %s", got, plan.TargetFingerprint())
+	}
+	if rep.StepsApplied != len(plan.Steps) {
+		t.Errorf("resume reports %d steps applied, want the plan's %d", rep.StepsApplied, len(plan.Steps))
+	}
+	for i := range plan.Steps {
+		if n := effects.Executions(i); n != 1 {
+			t.Errorf("step %d executed %d times across the crash, want exactly once", i, n)
+		}
+	}
+	final, err := mcss.RecoverApplyJournal(path)
+	if err != nil || final.InFlight != nil {
+		t.Fatalf("post-resume journal: in-flight %v err %v, want committed", final.InFlight != nil, err)
 	}
 }

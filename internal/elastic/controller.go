@@ -236,7 +236,17 @@ type Controller struct {
 	// repairLagMinutes is the modeled delivery gap per reclaimed pair
 	// (see EpochReport.LostPairMinutes); SetChaos defaults it to 5.
 	repairLagMinutes int64
+
+	// applyHook supplies extra deploy.Apply options per epoch — the seam
+	// allocatord uses to journal every epoch's plan application and run
+	// steps through a retrying executor.
+	applyHook func(epoch int) []deploy.ApplyOption
 }
+
+// SetApplyHook attaches a per-epoch Apply option supplier (journal,
+// executor, epoch tag). Call before Start/Run; ignored under direct
+// adoption, which bypasses Apply entirely.
+func (c *Controller) SetApplyHook(h func(epoch int) []deploy.ApplyOption) { c.applyHook = h }
 
 // SetFleetSchedule attaches a per-epoch fleet schedule (price timeline).
 // Call before Start/Run.
@@ -366,6 +376,82 @@ func (c *Controller) Start(ctx context.Context, tl *timeline.Timeline) (*Walk, e
 	}, nil
 }
 
+// StartAt builds a walk that resumes a timeline mid-way: st is the
+// journal-recovered state (the allocation epoch next-1 left behind) and
+// next is the first epoch still to run. The walk's provisioner is
+// restored from st and the recovered fleet is acquired in the ledger at
+// the resume minute — billing restarts honestly from the crash, it does
+// not back-date the pre-crash rentals (the ledger died with the process).
+// A nil st or next == 0 is a plain Start.
+func (c *Controller) StartAt(ctx context.Context, tl *timeline.Timeline, st *deploy.State, next int) (*Walk, error) {
+	wk, err := c.Start(ctx, tl)
+	if err != nil {
+		return nil, err
+	}
+	if st == nil || next <= 0 {
+		return wk, nil
+	}
+	if next > tl.NumEpochs() {
+		return nil, fmt.Errorf("elastic: resume epoch %d past timeline's %d epochs", next, tl.NumEpochs())
+	}
+	prov, err := st.Provisioner(wk.solveCfg)
+	if err != nil {
+		return nil, fmt.Errorf("elastic: resume: %w", err)
+	}
+	if c.policy.Incremental {
+		prov.SetIncrementalPolicy(dynamic.IncrementalPolicy{MaxRegretFrac: c.policy.IncrementalMaxRegret})
+	}
+	wk.prov = prov
+	wk.next = next
+	if next < tl.NumEpochs() {
+		now := tl.StartMinute(next)
+		for name, n := range st.Allocation.InstanceMix() {
+			it, ok := instanceByName(wk.billing, name)
+			if !ok {
+				return nil, fmt.Errorf("elastic: resumed state holds unknown instance type %q", name)
+			}
+			if err := wk.ledger.Acquire(it, n, now); err != nil {
+				return nil, err
+			}
+			wk.held[name] = n
+			wk.lastAcquire[name] = next
+		}
+	}
+	return wk, nil
+}
+
+// ResumeRecovery builds a walk from a journal recovery: an in-flight
+// plan (a crash mid-apply) is finished first — through the apply hook,
+// resuming at the first step whose effect is not journaled, so effects
+// land exactly once — and the walk continues at the next epoch. A clean
+// recovery just resumes after its last durable epoch.
+func (c *Controller) ResumeRecovery(ctx context.Context, tl *timeline.Timeline, rec *deploy.Recovery) (*Walk, error) {
+	st, next := rec.State, int(rec.Epoch)+1
+	if rec.InFlight != nil {
+		fleet := c.cfg.EffectiveFleet()
+		solveCfg := c.cfg
+		if c.policy.HeadroomFrac > 0 && c.policy.HeadroomFrac < 1 {
+			solveCfg.Fleet = fleet.WithCapacityScale(1 - c.policy.HeadroomFrac)
+		}
+		prov, err := st.Provisioner(solveCfg)
+		if err != nil {
+			return nil, fmt.Errorf("elastic: resume: %w", err)
+		}
+		epoch := int(rec.InFlightEpoch)
+		var opts []deploy.ApplyOption
+		if c.applyHook != nil {
+			opts = c.applyHook(epoch)
+		}
+		opts = append(opts, deploy.ResumeFrom(rec.NextStep))
+		if _, err := deploy.Apply(ctx, rec.InFlight, prov, opts...); err != nil {
+			return nil, fmt.Errorf("elastic: resume apply (epoch %d): %w", epoch, err)
+		}
+		st = deploy.StateOf(prov)
+		next = epoch + 1
+	}
+	return c.StartAt(ctx, tl, st, next)
+}
+
 // refreshFleet pulls epoch e's fleets from the schedule (when one is
 // attached) and, on a decision-fleet change, repoints the walk: the solve
 // config packs against the repriced (headroom-derated) fleet, the
@@ -443,6 +529,11 @@ func (wk *Walk) Allocation() *core.Allocation {
 	if n := len(wk.report.Allocations); n > 0 {
 		return wk.report.Allocations[n-1]
 	}
+	if wk.next > 0 {
+		// A resumed walk before its first step serves the recovered
+		// allocation.
+		return wk.prov.Allocation()
+	}
 	return nil
 }
 
@@ -454,6 +545,10 @@ func (wk *Walk) Workload() *workload.Workload {
 	}
 	return wk.prov.Workload()
 }
+
+// NextEpoch reports the epoch the next Step will run (equal to NumEpochs
+// once the walk is done).
+func (wk *Walk) NextEpoch() int { return wk.next }
 
 // Ledger exposes the walk's live billing ledger.
 func (wk *Walk) Ledger() *BillingLedger { return wk.ledger }
@@ -582,7 +677,11 @@ func (wk *Walk) Step(ctx context.Context) (EpochReport, error) {
 		if err != nil {
 			return EpochReport{}, fmt.Errorf("elastic: epoch %d: plan: %w", e, err)
 		}
-		if _, err := deploy.Apply(ctx, plan, prov); err != nil {
+		var applyOpts []deploy.ApplyOption
+		if c.applyHook != nil {
+			applyOpts = c.applyHook(e)
+		}
+		if _, err := deploy.Apply(ctx, plan, prov, applyOpts...); err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return EpochReport{}, cerr
 			}

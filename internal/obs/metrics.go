@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/pubsub-systems/mcss/internal/core"
+	"github.com/pubsub-systems/mcss/internal/deploy"
 	"github.com/pubsub-systems/mcss/internal/dynamic"
 	"github.com/pubsub-systems/mcss/internal/elastic"
 	"github.com/pubsub-systems/mcss/internal/pricing"
@@ -88,6 +89,16 @@ type Metrics struct {
 	spotActiveVMs    Gauge   // mcss_spot_active_vms
 	spotSavingsFrac  Gauge   // mcss_spot_realized_savings_frac
 	spotBillReclaims Counter // mcss_billing_vms_reclaimed_total
+
+	// Crash safety (apply journal + retrying step executor).
+	jrnRecords     Counter   // mcss_journal_records_total
+	jrnBytes       Counter   // mcss_journal_bytes_total
+	jrnFsync       Histogram // mcss_journal_fsync_seconds
+	jrnCompactions Counter   // mcss_journal_compactions_total
+	jrnRecoveries  Counter   // mcss_journal_recoveries_total
+	jrnReplayed    Counter   // mcss_journal_replayed_records_total
+	applyRetries   Counter   // mcss_apply_retries_total
+	applyGiveUps   Counter   // mcss_apply_retry_exhausted_total
 }
 
 // NewMetrics registers the full mcss_* family set on reg (a nil reg gets a
@@ -211,7 +222,50 @@ func NewMetrics(reg *Registry) *Metrics {
 		"Realized cost saving of the spot portfolio vs the all-on-demand baseline (set by experiments/replay).")
 	m.spotBillReclaims = reg.Counter("mcss_billing_vms_reclaimed_total",
 		"Provider-initiated rental terminations recorded by the billing ledger.")
+
+	m.jrnRecords = reg.Counter("mcss_journal_records_total",
+		"Records appended to the apply journal.")
+	m.jrnBytes = reg.Counter("mcss_journal_bytes_total",
+		"Framed bytes appended to the apply journal.")
+	m.jrnFsync = reg.Histogram("mcss_journal_fsync_seconds",
+		"Wall time per apply-journal fsync.", nil)
+	m.jrnCompactions = reg.Counter("mcss_journal_compactions_total",
+		"Snapshot compactions of the apply journal.")
+	m.jrnRecoveries = reg.Counter("mcss_journal_recoveries_total",
+		"Startup recoveries replayed from the apply journal.")
+	m.jrnReplayed = reg.Counter("mcss_journal_replayed_records_total",
+		"Journal records replayed by startup recoveries.")
+	m.applyRetries = reg.Counter("mcss_apply_retries_total",
+		"Step executions retried by the deploy executor.")
+	m.applyGiveUps = reg.Counter("mcss_apply_retry_exhausted_total",
+		"Steps abandoned after exhausting executor retries (or permanent failures).")
 	return m
+}
+
+// JournalHooks returns the hook set that feeds apply-journal activity
+// into the mcss_journal_* families; hand it to deploy.JournalOptions.
+func (m *Metrics) JournalHooks() deploy.JournalHooks {
+	return deploy.JournalHooks{
+		Appended: func(bytes int) {
+			m.jrnRecords.Inc()
+			m.jrnBytes.Add(float64(bytes))
+		},
+		Fsync:     func(seconds float64) { m.jrnFsync.Observe(seconds) },
+		Compacted: func() { m.jrnCompactions.Inc() },
+	}
+}
+
+// RecordRecovery absorbs one startup journal recovery.
+func (m *Metrics) RecordRecovery(rec *deploy.Recovery) {
+	m.jrnRecoveries.Inc()
+	m.jrnReplayed.Add(float64(rec.Records))
+}
+
+// ApplyRetryHooks returns the OnRetry / OnGiveUp callbacks that feed the
+// mcss_apply_retry* counters; hand them to deploy.RetryConfig.
+func (m *Metrics) ApplyRetryHooks() (onRetry func(step, attempt int, err error), onGiveUp func(step, attempts int, err error)) {
+	return func(int, int, error) { m.applyRetries.Inc() },
+		func(int, int, error) { m.applyGiveUps.Inc() }
 }
 
 // Observer returns the core observer that feeds solver-stage metrics into

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -211,6 +213,90 @@ func FuzzReadBinary(f *testing.F) {
 		}
 		if !equalWorkloads(got, back) {
 			t.Fatal("round trip after fuzz parse changed the workload")
+		}
+	})
+}
+
+// FuzzReadJournal hardens the apply-journal reader: any byte stream must
+// either scan into records (possibly with a torn tail) or fail typed as
+// ErrCorruptJournal — never panic, never an untyped error — and whatever
+// scans must replay through Recover under the same contract.
+func FuzzReadJournal(f *testing.F) {
+	b := workload.NewBuilder().AddTopic("a", 30).AddTopic("b", 9)
+	b.AddSubscription("u", "a")
+	b.AddSubscription("u", "b")
+	b.AddSubscription("v", "a")
+	w, err := b.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	model := pricing.NewModel(pricing.C3Large)
+	model.CapacityOverrideBytesPerHour = 50_000
+	cfg := core.DefaultConfig(20, model)
+	plan, err := deploy.NewPlanner(cfg).Plan(context.Background(), deploy.SpecFromWorkload(w), nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	path := filepath.Join(f.TempDir(), "seed.journal")
+	j, err := OpenJournal(path, deploy.JournalOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	snap, err := deploy.Snapshot(cfg, deploy.EmptyState())
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := j.AppendSnapshot(-1, snap); err != nil {
+		f.Fatal(err)
+	}
+	if err := j.AppendPlanBegin(0, plan); err != nil {
+		f.Fatal(err)
+	}
+	for s := range plan.Steps {
+		if err := j.AppendStepDone(0, s); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := j.AppendPlanCommit(0, plan.TargetFingerprint()); err != nil {
+		f.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		f.Fatal(err)
+	}
+	seed, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3])                                // torn tail
+	f.Add([]byte("mcss-journal 1\n"))                        // header only
+	f.Add([]byte("mcss-journal 1\nXXXX"))                    // torn frame
+	f.Add([]byte("mcss-journal 2\n"))                        // wrong version
+	f.Add([]byte{})                                          // crash before the magic
+	f.Add(bytes.Repeat([]byte{0xff}, 64))                    // garbage
+	f.Add(append([]byte("mcss-journal 1\n"), 0, 0, 0, 0, 0)) // zero-length frame
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		recs, torn, err := deploy.ReadJournal(bytes.NewReader(input))
+		if err != nil {
+			if !errors.Is(err, deploy.ErrCorruptJournal) {
+				t.Fatalf("untyped journal read error: %v", err)
+			}
+			// Corruption still hands back the valid prefix for partial
+			// recovery; replay below must hold for it too.
+		}
+		rec, rerr := deploy.Recover(recs, torn, PlanJournalCodec())
+		if rerr != nil && !errors.Is(rerr, deploy.ErrCorruptJournal) {
+			t.Fatalf("untyped recovery error: %v", rerr)
+		}
+		if rec == nil {
+			t.Fatal("Recover returned no recovery")
+		}
+		if rec.State == nil {
+			t.Fatal("recovery without a state")
+		}
+		if rec.InFlight != nil && (rec.NextStep < 0 || rec.NextStep > len(rec.InFlight.Steps)) {
+			t.Fatalf("resume point %d outside plan of %d steps", rec.NextStep, len(rec.InFlight.Steps))
 		}
 	})
 }
